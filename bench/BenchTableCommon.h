@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared table rendering for the per-application update-stream benches
+/// (Tables 2, 3, 4 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BENCH_BENCHTABLECOMMON_H
+#define JVOLVE_BENCH_BENCHTABLECOMMON_H
+
+#include "apps/Evaluation.h"
+#include "dsu/Updater.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Prints one app's update stream in the paper's table shape, extended
+/// with the live Jvolve outcome and the E&C baseline verdict.
+inline void printUpdateStreamTable(const std::string &Title,
+                                   const std::vector<ReleaseOutcome> &Rows) {
+  std::printf("=== %s ===\n", Title.c_str());
+  TablePrinter TP;
+  TP.setHeader({"Ver.", "cls+", "cls-", "cls~", "m+", "m-", "m chg",
+                "f+", "f-", "JVOLVE", "pause(ms)", "barriers", "OSR",
+                "E&C"});
+  int Supported = 0, Ec = 0;
+  for (const ReleaseOutcome &R : Rows) {
+    const UpdateSummary &S = R.Summary;
+    std::string Outcome;
+    if (R.Result.Status == UpdateStatus::Applied)
+      Outcome = "applied";
+    else if (R.AppliedWhenIdle)
+      Outcome = "applied-when-idle";
+    else
+      Outcome = updateStatusName(R.Result.Status);
+    if (R.supported())
+      ++Supported;
+    if (R.EcSupported)
+      ++Ec;
+    TP.addRow({R.Version, std::to_string(S.ClassesAdded),
+               std::to_string(S.ClassesDeleted),
+               std::to_string(S.ClassesChanged),
+               std::to_string(S.MethodsAdded),
+               std::to_string(S.MethodsDeleted), S.methodsChangedCell(),
+               std::to_string(S.FieldsAdded),
+               std::to_string(S.FieldsDeleted), Outcome,
+               R.Result.Status == UpdateStatus::Applied
+                   ? TablePrinter::fmt(R.Result.TotalPauseMs, 2)
+                   : "-",
+               std::to_string(R.Result.ReturnBarriersInstalled),
+               std::to_string(R.Result.OsrReplacements),
+               R.EcSupported ? "yes" : "no"});
+  }
+  std::printf("%s", TP.render().c_str());
+  std::printf("JVOLVE supported %d of %zu updates; a method-body-only "
+              "system supports %d.\n\n",
+              Supported, Rows.size(), Ec);
+}
+
+} // namespace jvolve
+
+#endif // JVOLVE_BENCH_BENCHTABLECOMMON_H

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's §4 flexibility headline: Jvolve supports 20 of
+/// the 22 updates across Jetty, JavaEmailServer, and CrossFTP, while
+/// method-body-only systems (HotSwap/.NET E&C style) support fewer than
+/// half. Every update is applied live on a loaded server.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/Evaluation.h"
+#include "apps/JettyApp.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace jvolve;
+
+int main() {
+  AppModel Apps[] = {makeJettyApp(), makeEmailApp(), makeCrossFtpApp()};
+
+  std::printf("=== Flexibility summary (paper §4): live application of "
+              "every update ===\n\n");
+
+  TablePrinter TP;
+  TP.setHeader({"Application", "updates", "JVOLVE", "E&C baseline",
+                "unsupported"});
+  int Total = 0, JvolveOk = 0, EcOk = 0;
+  for (const AppModel &App : Apps) {
+    std::vector<ReleaseOutcome> Rows = evaluateApp(App);
+    int AppOk = 0, AppEc = 0;
+    std::string Failures;
+    for (const ReleaseOutcome &R : Rows) {
+      ++Total;
+      if (R.supported())
+        ++AppOk;
+      else
+        Failures += (Failures.empty() ? "" : ", ") + R.Version;
+      if (R.EcSupported)
+        ++AppEc;
+    }
+    JvolveOk += AppOk;
+    EcOk += AppEc;
+    TP.addRow({App.name(), std::to_string(Rows.size()),
+               std::to_string(AppOk), std::to_string(AppEc),
+               Failures.empty() ? "-" : Failures});
+  }
+  std::printf("%s\n", TP.render().c_str());
+
+  std::printf("JVOLVE: %d of %d updates supported (paper: 20 of 22)\n",
+              JvolveOk, Total);
+  std::printf("Method-body-only baseline: %d of %d (paper reports 9 of 22 "
+              "from the same tables; our reconstruction counts %d — see "
+              "EXPERIMENTS.md)\n",
+              EcOk, Total, EcOk);
+  return JvolveOk == 20 && Total == 22 ? 0 : 1;
+}

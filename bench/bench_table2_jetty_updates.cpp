@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates **Table 2**: the Jetty webserver update stream (5.1.0
+/// through 5.1.10). Each release boots a fresh VM on the previous version,
+/// puts it under httperf-style load, and applies the dynamic update. The
+/// reproduction targets: every change summary matches the table, every
+/// update applies except 5.1.3 (whose diff touches ThreadedServer.
+/// acceptSocket and PoolThread.run, both always on stack), and the
+/// method-body-only baseline supports only the first and last three
+/// releases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchTableCommon.h"
+
+#include "apps/JettyApp.h"
+
+using namespace jvolve;
+
+int main() {
+  AppModel App = makeJettyApp();
+  std::vector<ReleaseOutcome> Rows = evaluateApp(App);
+  printUpdateStreamTable("Table 2: updates to Jetty (5.1.0 .. 5.1.10)",
+                         Rows);
+
+  // Paper expectations.
+  for (const ReleaseOutcome &R : Rows) {
+    bool ShouldApply = R.Version != "5.1.3";
+    if (R.supported() != ShouldApply) {
+      std::printf("MISMATCH: %s expected %s\n", R.Version.c_str(),
+                  ShouldApply ? "applied" : "timeout");
+      return 1;
+    }
+  }
+  std::printf("Matches paper: 9 of 10 Jetty updates applied; 5.1.3 cannot "
+              "reach a DSU safe point.\n");
+  return 0;
+}

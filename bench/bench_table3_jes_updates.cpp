@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates **Table 3**: the JavaEmailServer update stream (1.2.1
+/// through 1.4). Reproduction targets: summaries match the table; 1.3
+/// (the configuration-framework rework that changes the always-running
+/// processing loops) times out; 1.3.2 — the Figure 2 User/EmailAddress
+/// change with the Figure 3 transformer — and 1.3.3 apply *via on-stack
+/// replacement* of the run() methods; everything else applies directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchTableCommon.h"
+
+#include "apps/EmailApp.h"
+
+using namespace jvolve;
+
+int main() {
+  AppModel App = makeEmailApp();
+  std::vector<ReleaseOutcome> Rows = evaluateApp(App);
+  printUpdateStreamTable(
+      "Table 3: updates to JavaEmailServer (1.2.1 .. 1.4)", Rows);
+
+  for (size_t V = 1; V < App.numVersions(); ++V) {
+    const ReleaseOutcome &R = Rows[V - 1];
+    const Release &Rel = App.release(V);
+    if (R.supported() != Rel.ExpectSupported) {
+      std::printf("MISMATCH: %s expected %s\n", R.Version.c_str(),
+                  Rel.ExpectSupported ? "applied" : "timeout");
+      return 1;
+    }
+    if (Rel.NeedsOsr && R.Result.OsrReplacements == 0) {
+      std::printf("MISMATCH: %s expected OSR\n", R.Version.c_str());
+      return 1;
+    }
+  }
+  std::printf("Matches paper: 8 of 9 JES updates applied; 1.3 cannot reach "
+              "a safe point; 1.3.2 and 1.3.3 used OSR.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates **Table 4**: the CrossFTP server update stream (1.05
+/// through 1.08). Reproduction targets: summaries match the table; all
+/// three updates apply, but 1.07 -> 1.08 (which changes the session
+/// handler that is essentially always on stack under load) only succeeds
+/// when the server is relatively idle; and — since every update adds or
+/// deletes fields — the method-body-only baseline supports none of them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchTableCommon.h"
+
+#include "apps/CrossFtpApp.h"
+
+using namespace jvolve;
+
+int main() {
+  AppModel App = makeCrossFtpApp();
+  std::vector<ReleaseOutcome> Rows = evaluateApp(App);
+  printUpdateStreamTable("Table 4: updates to CrossFTP (1.05 .. 1.08)",
+                         Rows);
+
+  for (size_t V = 1; V < App.numVersions(); ++V) {
+    const ReleaseOutcome &R = Rows[V - 1];
+    const Release &Rel = App.release(V);
+    if (!R.supported()) {
+      std::printf("MISMATCH: %s expected to apply\n", R.Version.c_str());
+      return 1;
+    }
+    if (Rel.OnlyWhenIdle &&
+        (R.Result.Status == UpdateStatus::Applied || !R.AppliedWhenIdle)) {
+      std::printf("MISMATCH: %s expected busy-timeout + idle-success\n",
+                  R.Version.c_str());
+      return 1;
+    }
+    if (R.EcSupported) {
+      std::printf("MISMATCH: %s should defeat method-body-only systems\n",
+                  R.Version.c_str());
+      return 1;
+    }
+  }
+  std::printf("Matches paper: all 3 CrossFTP updates applied (1.08 only "
+              "when idle); none supported by method-body-only systems.\n");
+  return 0;
+}

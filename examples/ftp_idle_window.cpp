@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Update timing windows: the CrossFTP 1.07 -> 1.08 scenario (paper §4.4).
+///
+/// The update changes the session handler, which is essentially always on
+/// stack while FTP sessions are active: applying it under load times out
+/// (the installed return barrier never gets a chance to complete the
+/// update), but the same update applies immediately once the server goes
+/// idle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/CrossFtpApp.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace jvolve;
+
+static UpdateResult tryUpdate(VM &TheVM, const AppModel &App) {
+  UpdateBundle B = Upt::prepare(App.version(2), App.version(3), "v107");
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 50'000;
+  Updater U(TheVM);
+  return U.applyNow(std::move(B), Opts);
+}
+
+int main() {
+  AppModel App = makeCrossFtpApp();
+
+  std::printf("scenario 1: busy server (long FTP sessions active)\n");
+  {
+    VM::Config Cfg;
+    Cfg.HeapSpaceBytes = 16u << 20;
+    VM TheVM(Cfg);
+    TheVM.loadProgram(App.version(2)); // 1.07
+    startCrossFtpThreads(TheVM);
+    std::vector<int64_t> LongSession(400, 7);
+    TheVM.injectConnection(FtpPort, LongSession, /*InterArrival=*/250);
+    TheVM.run(2'000);
+
+    UpdateResult R = tryUpdate(TheVM, App);
+    std::printf("  update 1.07 -> 1.08: %s (%d return barrier(s) armed; "
+                "handle() never left the stack)\n",
+                updateStatusName(R.Status), R.ReturnBarriersInstalled);
+  }
+
+  std::printf("scenario 2: idle server (no session active)\n");
+  {
+    VM::Config Cfg;
+    Cfg.HeapSpaceBytes = 16u << 20;
+    VM TheVM(Cfg);
+    TheVM.loadProgram(App.version(2));
+    startCrossFtpThreads(TheVM);
+    TheVM.run(2'000); // the accept loop parks waiting for clients
+
+    UpdateResult R = tryUpdate(TheVM, App);
+    std::printf("  update 1.07 -> 1.08: %s in %.2f ms\n",
+                updateStatusName(R.Status), R.TotalPauseMs);
+    if (R.Status != UpdateStatus::Applied)
+      return 1;
+
+    // New sessions run the updated handler.
+    TheVM.injectConnection(FtpPort, {5});
+    TheVM.run(10'000);
+    for (const NetResponse &Resp : TheVM.net().drainResponses())
+      std::printf("  new session served by v1.08: response %lld\n",
+                  static_cast<long long>(Resp.Value));
+  }
+  return 0;
+}

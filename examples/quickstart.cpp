@@ -1,0 +1,152 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: the smallest end-to-end dynamic software update.
+///
+/// Builds a one-class program, runs it, then applies a dynamic update that
+/// adds a field to a live object — with a custom object transformer that
+/// initializes the new field from the old state (paper §2.3).
+///
+/// Build & run:  ./examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "dsu/Transformers.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace jvolve;
+
+/// Version 1: Counter has a single `count` field.
+static ClassSet versionOne() {
+  ClassSet Program;
+  {
+    ClassBuilder CB("Counter");
+    CB.field("count", "I");
+    CB.method("increment", "()V")
+        .load(0)
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iconst(1)
+        .iadd()
+        .putfield("Counter", "count", "I")
+        .ret();
+    CB.method("get", "()I")
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iret();
+    Program.add(CB.build());
+  }
+  {
+    ClassBuilder CB("App");
+    CB.staticField("counter", "LCounter;");
+    CB.staticMethod("init", "()V")
+        .newobj("Counter")
+        .putstatic("App", "counter", "LCounter;")
+        .ret();
+    CB.staticMethod("tick", "()I")
+        .getstatic("App", "counter", "LCounter;")
+        .invokevirtual("Counter", "increment", "()V")
+        .getstatic("App", "counter", "LCounter;")
+        .invokevirtual("Counter", "get", "()I")
+        .iret();
+    Program.add(CB.build());
+  }
+  return Program;
+}
+
+/// Version 2: Counter additionally tracks the high-water mark.
+static ClassSet versionTwo() {
+  ClassSet Program;
+  {
+    ClassBuilder CB("Counter");
+    CB.field("count", "I");
+    CB.field("high", "I"); // new field
+    CB.method("increment", "()V")
+        .load(0)
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iconst(1)
+        .iadd()
+        .putfield("Counter", "count", "I")
+        .load(0)
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .putfield("Counter", "high", "I")
+        .ret();
+    CB.method("get", "()I")
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iret();
+    CB.method("highWater", "()I")
+        .load(0)
+        .getfield("Counter", "high", "I")
+        .iret();
+    Program.add(CB.build());
+  }
+  {
+    ClassBuilder CB("App");
+    CB.staticField("counter", "LCounter;");
+    CB.staticMethod("init", "()V")
+        .newobj("Counter")
+        .putstatic("App", "counter", "LCounter;")
+        .ret();
+    CB.staticMethod("tick", "()I")
+        .getstatic("App", "counter", "LCounter;")
+        .invokevirtual("Counter", "increment", "()V")
+        .getstatic("App", "counter", "LCounter;")
+        .invokevirtual("Counter", "get", "()I")
+        .iret();
+    CB.staticMethod("high", "()I")
+        .getstatic("App", "counter", "LCounter;")
+        .invokevirtual("Counter", "highWater", "()I")
+        .iret();
+    Program.add(CB.build());
+  }
+  return Program;
+}
+
+int main() {
+  // 1. Boot the VM on version 1 and build up some state.
+  VM TheVM((VM::Config()));
+  TheVM.loadProgram(versionOne());
+  TheVM.callStatic("App", "init", "()V");
+  for (int I = 0; I < 41; ++I)
+    TheVM.callStatic("App", "tick", "()I");
+  std::printf("before update: count = %lld\n",
+              static_cast<long long>(
+                  TheVM.callStatic("App", "tick", "()I").IntVal));
+
+  // 2. Prepare the update with the UPT and customize the generated
+  //    transformer: the new `high` field starts at the current count.
+  UpdateBundle Bundle = Upt::prepare(versionOne(), versionTwo(), "v1");
+  std::printf("update spec: %zu class update(s), %zu method body "
+              "update(s)\n",
+              Bundle.Spec.ClassUpdates.size(),
+              Bundle.Spec.MethodBodyUpdates.size());
+  Bundle.ObjectTransformers["Counter"] = [](TransformCtx &Ctx, Ref To,
+                                            Ref From) {
+    int64_t Count = Ctx.getInt(From, "count");
+    Ctx.setInt(To, "count", Count);
+    Ctx.setInt(To, "high", Count);
+  };
+
+  // 3. Apply it while the VM is live.
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(Bundle));
+  std::printf("update: %s in %.2f ms (%llu object(s) transformed)\n",
+              updateStatusName(R.Status), R.TotalPauseMs,
+              static_cast<unsigned long long>(R.ObjectsTransformed));
+
+  // 4. The live object carried its state into the new version.
+  std::printf("after update: count = %lld, highWater = %lld\n",
+              static_cast<long long>(
+                  TheVM.callStatic("App", "tick", "()I").IntVal),
+              static_cast<long long>(
+                  TheVM.callStatic("App", "high", "()I").IntVal));
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned application models.
+///
+/// The paper evaluates Jvolve on one-to-two years of releases of three real
+/// servers (Jetty, JavaEmailServer, CrossFTP). We cannot ship those, so
+/// each application is modeled as a handwritten *behavioural core* (the
+/// request loops and the classes the paper discusses, e.g. Figure 2's
+/// User/ConfigurationManager) plus generated *filler classes*. For every
+/// release, scripted core changes reproduce the behaviours the paper calls
+/// out (the Figure 2 update, the always-on-stack methods that defeat
+/// updates, the run() methods that need OSR), and a filler mutation engine
+/// tops the diff up so that the UPT summary matches the corresponding row
+/// of Tables 2-4 *exactly*. Generation asserts that property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_APPMODEL_H
+#define JVOLVE_APPS_APPMODEL_H
+
+#include "bytecode/ClassDef.h"
+#include "dsu/UpdateSpec.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Target change counts for one release: one row of Tables 2-4.
+struct ChangeCounts {
+  int ClsAdd = 0;
+  int ClsDel = 0;
+  int ClsChanged = 0;
+  int MAdd = 0;
+  int MDel = 0;
+  int MBody = 0; ///< methods changed in body only (x of x/y)
+  int MSig = 0;  ///< methods whose signature changed (y of x/y)
+  int FAdd = 0;
+  int FDel = 0;
+};
+
+/// One release in an application's history.
+struct Release {
+  std::string Name;    ///< e.g. "5.1.3"
+  ChangeCounts Target; ///< the table row to reproduce
+  /// Scripted behavioural-core changes applied before filler top-up.
+  std::function<void(ClassSet &)> Scripted;
+
+  // Expected Jvolve behaviour, from the paper's §4 discussion:
+  bool ExpectSupported = true; ///< false for Jetty 5.1.3 and JES 1.3
+  bool NeedsOsr = false;       ///< JES 1.3.2 and 1.3.3
+  bool OnlyWhenIdle = false;   ///< CrossFTP 1.07 -> 1.08
+};
+
+/// A base program plus its generated version stream.
+class AppModel {
+public:
+  /// Builds the version stream. \p FillerPrefix names generated classes
+  /// (e.g. "JFill"); generation aborts if any release diff cannot be made
+  /// to match its table row.
+  AppModel(std::string AppName, ClassSet Base, std::vector<Release> Releases,
+           std::string FillerPrefix);
+
+  const std::string &name() const { return AppName; }
+
+  /// Number of program versions (releases + the base).
+  size_t numVersions() const { return Versions.size(); }
+
+  /// Version \p I; index 0 is the base release.
+  const ClassSet &version(size_t I) const { return Versions.at(I); }
+
+  /// Release metadata for the update *to* version \p I (I >= 1).
+  const Release &release(size_t I) const { return Releases.at(I - 1); }
+
+  size_t numReleases() const { return Releases.size(); }
+
+  /// Human-readable name of version \p I.
+  std::string versionName(size_t I) const;
+
+  /// Creates a filler class with \p NumFields int fields and \p NumMethods
+  /// trivial int methods (shared by the base-program factories).
+  static ClassDef makeFillerClass(const std::string &Name, int NumFields,
+                                  int NumMethods);
+
+private:
+  void generate();
+  /// Applies filler mutations on top of \p Cur so the diff from \p Prev
+  /// matches \p Target. \p ReleaseIndex seeds deterministic rotation.
+  void applyFiller(const ClassSet &Prev, ClassSet &Cur,
+                   const ChangeCounts &Target, size_t ReleaseIndex);
+
+  std::string AppName;
+  ClassSet Base;
+  std::vector<Release> Releases;
+  std::string FillerPrefix;
+  std::vector<ClassSet> Versions;
+  int UniqueCounter = 0; ///< suffix source for generated members/classes
+};
+
+/// \returns true when \p Summary equals \p Target (the table row).
+bool summaryMatches(const UpdateSummary &Summary, const ChangeCounts &Target);
+
+/// Renders counts as a table row fragment for diagnostics.
+std::string describeCounts(const ChangeCounts &C);
+std::string describeSummary(const UpdateSummary &S);
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_APPMODEL_H

@@ -1,0 +1,123 @@
+#include "apps/CrossFtpApp.h"
+
+#include "bytecode/Builder.h"
+#include "support/Error.h"
+#include "vm/VM.h"
+
+using namespace jvolve;
+
+namespace {
+
+void addCrossFtpCore(ClassSet &Set) {
+  {
+    ClassBuilder CB("FtpCommands");
+    CB.staticMethod("execute", "(I)I")
+        .load(0)
+        .iconst(3)
+        .imul()
+        .iconst(200)
+        .iadd()
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    // One handler object per session; handle() runs the whole session.
+    ClassBuilder CB("RequestHandler");
+    CB.field("commandsRun", "I");
+    CB.method("handle", "(I)V")
+        .locals(3)
+        .label("next")
+        .load(1)
+        .intrinsic(IntrinsicId::NetRecv)
+        .store(2)
+        .load(2)
+        .iconst(0)
+        .branch(Opcode::IfICmpLt, "eof")
+        .load(1)
+        .load(2)
+        .invokestatic("FtpCommands", "execute", "(I)I")
+        .intrinsic(IntrinsicId::NetSend)
+        .load(0)
+        .load(0)
+        .getfield("RequestHandler", "commandsRun", "I")
+        .iconst(1)
+        .iadd()
+        .putfield("RequestHandler", "commandsRun", "I")
+        .jump("next")
+        .label("eof")
+        .load(1)
+        .intrinsic(IntrinsicId::NetClose)
+        .ret();
+    Set.add(CB.build());
+  }
+  {
+    // The accept loop. Note handle() is invoked from here and *returns*
+    // between sessions — the paper's per-session RequestHandler threads
+    // behave equivalently for safe-point purposes: when idle no handler
+    // code is on any stack.
+    ClassBuilder CB("FtpServer");
+    CB.staticMethod("run", "(I)V")
+        .locals(3)
+        .label("top")
+        .load(0)
+        .intrinsic(IntrinsicId::NetAccept)
+        .store(1)
+        .newobj("RequestHandler")
+        .store(2)
+        .load(2)
+        .load(1)
+        .invokevirtual("RequestHandler", "handle", "(I)V")
+        .jump("top");
+    Set.add(CB.build());
+  }
+}
+
+/// 1.08 changes RequestHandler.handle — the method that is "essentially
+/// always on stack" while sessions are active (§4.4).
+void script108(ClassSet &Set) {
+  MethodDef *M = Set.find("RequestHandler")->findMethod("handle", "(I)V");
+  if (!M)
+    fatalError("crossftp scripted change: missing RequestHandler.handle");
+  M->Code.push_back({Opcode::Nop, 0, "", "", ""});
+}
+
+} // namespace
+
+AppModel jvolve::makeCrossFtpApp() {
+  ClassSet Base;
+  addCrossFtpCore(Base);
+  // 8 long-lived filler classes plus 2 disposable ones (deleted by 1.06
+  // and 1.08).
+  for (int I = 0; I < 10; ++I)
+    Base.add(AppModel::makeFillerClass("CFill" + std::to_string(I), 6, 8));
+
+  auto Row = [](int ClsAdd, int ClsDel, int ClsChanged, int MAdd, int MDel,
+                int MBody, int MSig, int FAdd, int FDel) {
+    ChangeCounts C;
+    C.ClsAdd = ClsAdd;
+    C.ClsDel = ClsDel;
+    C.ClsChanged = ClsChanged;
+    C.MAdd = MAdd;
+    C.MDel = MDel;
+    C.MBody = MBody;
+    C.MSig = MSig;
+    C.FAdd = FAdd;
+    C.FDel = FDel;
+    return C;
+  };
+
+  std::vector<Release> Releases;
+  Releases.push_back({"1.06", Row(4, 1, 1, 0, 0, 3, 0, 1, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.07", Row(0, 0, 3, 4, 0, 14, 0, 5, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.08", Row(0, 1, 3, 2, 0, 10, 0, 0, 2), script108,
+                      true, false, /*OnlyWhenIdle=*/true});
+
+  return AppModel("crossftp", std::move(Base), std::move(Releases), "CFill");
+}
+
+void jvolve::startCrossFtpThreads(VM &TheVM) {
+  TheVM.spawnThread("FtpServer", "run", "(I)V", {Slot::ofInt(FtpPort)},
+                    "ftp", /*Daemon=*/true);
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CrossFTP server model: versions 1.05 through 1.08 (paper §4.4,
+/// Table 4).
+///
+/// Behavioural core: an FtpServer accept loop that hands each session to a
+/// RequestHandler whose handle() method processes the whole FTP session.
+/// The 1.07 -> 1.08 update changes handle(); with active sessions it is
+/// essentially always on stack (the update times out), but it applies when
+/// the server is relatively idle — exactly the behaviour §4.4 reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_CROSSFTPAPP_H
+#define JVOLVE_APPS_CROSSFTPAPP_H
+
+#include "apps/AppModel.h"
+
+namespace jvolve {
+
+inline constexpr int FtpPort = 21;
+
+/// Builds the CrossFTP version stream: version(0) is 1.05, version(3) is
+/// 1.08, each diff matching Table 4.
+AppModel makeCrossFtpApp();
+
+/// Spawns the FTP accept-loop thread.
+void startCrossFtpThreads(class VM &TheVM);
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_CROSSFTPAPP_H

@@ -1,0 +1,428 @@
+#include "apps/EmailApp.h"
+
+#include "bytecode/Builder.h"
+#include "dsu/Transformers.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+#include "vm/VM.h"
+
+using namespace jvolve;
+
+namespace {
+
+constexpr int SpareFields = 9;
+constexpr int SpareMethods = 9;
+
+/// Adds the sp0..spN spare members scripted releases mutate.
+void addSpares(ClassBuilder &CB, Access FieldAccess = Access::Public) {
+  for (int I = 0; I < SpareFields; ++I)
+    CB.field("sp" + std::to_string(I), "I", FieldAccess);
+  for (int I = 0; I < SpareMethods; ++I)
+    CB.method("sp" + std::to_string(I), "()I").iconst(I).iret();
+}
+
+/// The Figure 2 core, version 1.2.x/1.3.x shape (String[] addresses).
+void addEmailCore(ClassSet &Set) {
+  {
+    // EmailAddress exists from the start (unused until 1.3.2), keeping the
+    // 1.3.2 "classes added" count at the table's 0.
+    ClassBuilder CB("EmailAddress");
+    CB.field("user", "LString;");
+    CB.field("domain", "LString;");
+    CB.method("<init>", "(LString;LString;)V")
+        .load(0)
+        .load(1)
+        .putfield("EmailAddress", "user", "LString;")
+        .load(0)
+        .load(2)
+        .putfield("EmailAddress", "domain", "LString;")
+        .ret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("User");
+    CB.field("username", "LString;", Access::Private, /*IsFinal=*/true);
+    CB.field("domain", "LString;", Access::Private, /*IsFinal=*/true);
+    CB.field("password", "LString;", Access::Private, /*IsFinal=*/true);
+    CB.field("forwardAddresses", "[LString;", Access::Private);
+    CB.method("<init>", "(LString;LString;LString;)V")
+        .load(0)
+        .load(1)
+        .putfield("User", "username", "LString;")
+        .load(0)
+        .load(2)
+        .putfield("User", "domain", "LString;")
+        .load(0)
+        .load(3)
+        .putfield("User", "password", "LString;")
+        .ret();
+    CB.method("setForwardedAddresses", "([LString;)V")
+        .load(0)
+        .load(1)
+        .putfield("User", "forwardAddresses", "[LString;")
+        .ret();
+    // getForwardCount has a stable signature; its *body* changes in 1.3.2
+    // because the field descriptor it names changes.
+    CB.method("getForwardCount", "()I")
+        .locals(2)
+        .load(0)
+        .getfield("User", "forwardAddresses", "[LString;")
+        .store(1)
+        .load(1)
+        .branch(Opcode::IfNull, "none")
+        .load(1)
+        .arraylength()
+        .iret()
+        .label("none")
+        .iconst(0)
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("ConfigurationManager");
+    CB.staticField("admin", "LUser;");
+    // loadUser: the method Figure 2 shows being fixed in 1.3.2.
+    CB.staticMethod("loadUser", "()V")
+        .locals(2)
+        .iconst(1)
+        .newarray("LString;")
+        .store(0)
+        .load(0)
+        .iconst(0)
+        .sconst("alice@example.com")
+        .astore()
+        .newobj("User")
+        .store(1)
+        .load(1)
+        .sconst("alice")
+        .sconst("example.com")
+        .sconst("secret")
+        .invokespecial("User", "<init>", "(LString;LString;LString;)V")
+        .load(1)
+        .load(0)
+        .invokevirtual("User", "setForwardedAddresses", "([LString;)V")
+        .load(1)
+        .putstatic("ConfigurationManager", "admin", "LUser;")
+        .ret();
+    addSpares(CB, Access::Private);
+    Set.add(CB.build());
+  }
+  {
+    // POP3 processing loop: always on stack, references User and
+    // ConfigurationManager (making it category (2) when they update).
+    ClassBuilder CB("Pop3Processor");
+    MethodBuilder &Run = CB.staticMethod("run", "(I)V");
+    Run.locals(4)
+        .label("top")
+        .load(0)
+        .intrinsic(IntrinsicId::NetAccept)
+        .store(1)
+        .label("inner")
+        .load(1)
+        .intrinsic(IntrinsicId::NetRecv)
+        .store(2)
+        .load(2)
+        .iconst(0)
+        .branch(Opcode::IfICmpLt, "eof")
+        .getstatic("ConfigurationManager", "admin", "LUser;")
+        .store(3)
+        .load(3)
+        .branch(Opcode::IfNull, "plain")
+        .load(1)
+        .load(2)
+        .load(3)
+        .invokevirtual("User", "getForwardCount", "()I")
+        .iadd()
+        .intrinsic(IntrinsicId::NetSend)
+        .jump("inner")
+        .label("plain")
+        .load(1)
+        .load(2)
+        .intrinsic(IntrinsicId::NetSend)
+        .jump("inner")
+        .label("eof")
+        .load(1)
+        .intrinsic(IntrinsicId::NetClose)
+        .jump("top");
+    addSpares(CB);
+    Set.add(CB.build());
+  }
+  {
+    // Background SMTP delivery loop, also always on stack and also
+    // touching the User account data.
+    ClassBuilder CB("SMTPSender");
+    MethodBuilder &Run = CB.staticMethod("run", "()V");
+    Run.locals(1)
+        .label("top")
+        .getstatic("ConfigurationManager", "admin", "LUser;")
+        .store(0)
+        .load(0)
+        .branch(Opcode::IfNull, "skip")
+        .load(0)
+        .invokevirtual("User", "getForwardCount", "()I")
+        .pop()
+        .label("skip")
+        .iconst(60)
+        .intrinsic(IntrinsicId::SleepTicks)
+        .jump("top");
+    addSpares(CB);
+    Set.add(CB.build());
+  }
+}
+
+/// Appends a dead trailing instruction: a pure body change.
+void bumpBody(ClassSet &Set, const std::string &Cls,
+              const std::string &Method, const std::string &Sig) {
+  MethodDef *M = Set.find(Cls)->findMethod(Method, Sig);
+  if (!M)
+    fatalError("email scripted change: missing " + Cls + "." + Method);
+  M->Code.push_back({Opcode::Nop, 0, "", "", ""});
+}
+
+void bumpSpareBody(ClassSet &Set, const std::string &Cls, int Index) {
+  MethodDef *M =
+      Set.find(Cls)->findMethod("sp" + std::to_string(Index), "()I");
+  if (!M)
+    fatalError("email scripted change: missing spare method");
+  ++M->Code.front().IVal;
+}
+
+void toggleSpareSig(ClassSet &Set, const std::string &Cls, int Index) {
+  MethodDef *M =
+      Set.find(Cls)->findMethod("sp" + std::to_string(Index));
+  if (!M)
+    fatalError("email scripted change: missing spare method");
+  M->Sig = M->Sig == "()I" ? "(I)I" : "()I";
+  M->NumLocals = std::max<uint16_t>(M->NumLocals, M->numParamSlots());
+}
+
+void addFields(ClassSet &Set, const std::string &Cls, int N,
+               const std::string &Tag) {
+  ClassDef *C = Set.find(Cls);
+  for (int I = 0; I < N; ++I)
+    C->Fields.push_back({"nx" + Tag + std::to_string(I), "I", false, false,
+                         Access::Public});
+}
+
+void removeFieldsNamed(ClassSet &Set, const std::string &Cls,
+                       std::initializer_list<const char *> Names) {
+  ClassDef *C = Set.find(Cls);
+  for (const char *Name : Names)
+    std::erase_if(C->Fields,
+                  [&](const FieldDef &F) { return F.Name == Name; });
+}
+
+void addMethods(ClassSet &Set, const std::string &Cls, int N,
+                const std::string &Tag) {
+  ClassDef *C = Set.find(Cls);
+  for (int I = 0; I < N; ++I) {
+    MethodBuilder MB("nx" + Tag + std::to_string(I), "()I",
+                     /*IsStatic=*/false);
+    MB.iconst(I).iret();
+    C->Methods.push_back(MB.build());
+  }
+}
+
+void removeMethodsNamed(ClassSet &Set, const std::string &Cls,
+                        std::initializer_list<const char *> Names) {
+  ClassDef *C = Set.find(Cls);
+  for (const char *Name : Names)
+    std::erase_if(C->Methods,
+                  [&](const MethodDef &M) { return M.Name == Name; });
+}
+
+/// 1.3: reworks the configuration framework. The run() methods of both
+/// processing threads change, so the update can never be applied (§4.3).
+void script13(ClassSet &Set) {
+  bumpBody(Set, "Pop3Processor", "run", "(I)V");
+  bumpBody(Set, "SMTPSender", "run", "()V");
+  // Configuration rework: heavy member churn on the two processors
+  // (the table's 2 changed classes).
+  bumpSpareBody(Set, "Pop3Processor", 5);
+  bumpSpareBody(Set, "Pop3Processor", 6);
+  bumpSpareBody(Set, "SMTPSender", 5);
+  bumpSpareBody(Set, "SMTPSender", 6);
+  for (int I = 0; I < 5; ++I)
+    toggleSpareSig(Set, "Pop3Processor", I);
+  for (int I = 0; I < 4; ++I)
+    toggleSpareSig(Set, "SMTPSender", I);
+  addMethods(Set, "Pop3Processor", 6, "p");
+  addMethods(Set, "SMTPSender", 5, "s");
+  removeMethodsNamed(Set, "Pop3Processor", {"sp7", "sp8"});
+  removeMethodsNamed(Set, "SMTPSender", {"sp7"});
+  addFields(Set, "Pop3Processor", 6, "p");
+  addFields(Set, "SMTPSender", 6, "s");
+  removeFieldsNamed(Set, "Pop3Processor", {"sp6", "sp7", "sp8"});
+  removeFieldsNamed(Set, "SMTPSender", {"sp7", "sp8"});
+}
+
+/// 1.3.2: the Figure 2 change. forwardAddresses becomes EmailAddress[],
+/// setForwardedAddresses changes signature, loadUser and getForwardCount
+/// change bodies.
+void script132(ClassSet &Set) {
+  ClassDef *User = Set.find("User");
+  for (FieldDef &F : User->Fields)
+    if (F.Name == "forwardAddresses")
+      F.TypeDesc = "[LEmailAddress;";
+  {
+    MethodDef *M = User->findMethod("setForwardedAddresses");
+    MethodBuilder MB("setForwardedAddresses", "([LEmailAddress;)V",
+                     /*IsStatic=*/false);
+    MB.load(0)
+        .load(1)
+        .putfield("User", "forwardAddresses", "[LEmailAddress;")
+        .ret();
+    *M = MB.build();
+  }
+  {
+    MethodDef *M = User->findMethod("getForwardCount", "()I");
+    MethodBuilder MB("getForwardCount", "()I", /*IsStatic=*/false);
+    MB.locals(2)
+        .load(0)
+        .getfield("User", "forwardAddresses", "[LEmailAddress;")
+        .store(1)
+        .load(1)
+        .branch(Opcode::IfNull, "none")
+        .load(1)
+        .arraylength()
+        .iret()
+        .label("none")
+        .iconst(0)
+        .iret();
+    *M = MB.build();
+  }
+  {
+    // loadUser now builds EmailAddress objects directly (the bug fix).
+    MethodDef *M =
+        Set.find("ConfigurationManager")->findMethod("loadUser", "()V");
+    MethodBuilder MB("loadUser", "()V", /*IsStatic=*/true);
+    MB.locals(3)
+        .newobj("EmailAddress")
+        .store(2)
+        .load(2)
+        .sconst("alice")
+        .sconst("example.com")
+        .invokespecial("EmailAddress", "<init>", "(LString;LString;)V")
+        .iconst(1)
+        .newarray("LEmailAddress;")
+        .store(0)
+        .load(0)
+        .iconst(0)
+        .load(2)
+        .astore()
+        .newobj("User")
+        .store(1)
+        .load(1)
+        .sconst("alice")
+        .sconst("example.com")
+        .sconst("secret")
+        .invokespecial("User", "<init>", "(LString;LString;LString;)V")
+        .load(1)
+        .load(0)
+        .invokevirtual("User", "setForwardedAddresses",
+                       "([LEmailAddress;)V")
+        .load(1)
+        .putstatic("ConfigurationManager", "admin", "LUser;")
+        .ret();
+    *M = MB.build();
+  }
+}
+
+/// 1.3.3: a field of ConfigurationManager becomes public — a class update
+/// with no add/del footprint; since run() references the class, reaching a
+/// safe point requires OSR (§4.3).
+void script133(ClassSet &Set) {
+  ClassDef *C = Set.find("ConfigurationManager");
+  for (FieldDef &F : C->Fields)
+    if (F.Name == "sp0")
+      F.Visibility = F.Visibility == Access::Private ? Access::Public
+                                                     : Access::Private;
+}
+
+} // namespace
+
+AppModel jvolve::makeEmailApp() {
+  ClassSet Base;
+  addEmailCore(Base);
+  // 12 long-lived filler classes plus 9 disposable (GUI-ish) ones that the
+  // 1.3 configuration rework deletes.
+  for (int I = 0; I < 21; ++I)
+    Base.add(AppModel::makeFillerClass("EFill" + std::to_string(I), 6, 8));
+
+  auto Row = [](int ClsAdd, int ClsDel, int ClsChanged, int MAdd, int MDel,
+                int MBody, int MSig, int FAdd, int FDel) {
+    ChangeCounts C;
+    C.ClsAdd = ClsAdd;
+    C.ClsDel = ClsDel;
+    C.ClsChanged = ClsChanged;
+    C.MAdd = MAdd;
+    C.MDel = MDel;
+    C.MBody = MBody;
+    C.MSig = MSig;
+    C.FAdd = FAdd;
+    C.FDel = FDel;
+    return C;
+  };
+
+  std::vector<Release> Releases;
+  Releases.push_back({"1.2.2", Row(0, 0, 3, 0, 0, 3, 0, 0, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.2.3", Row(0, 0, 7, 0, 0, 14, 2, 12, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.2.4", Row(0, 0, 2, 0, 0, 4, 0, 0, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.3", Row(4, 9, 2, 11, 3, 6, 9, 12, 5), script13,
+                      /*ExpectSupported=*/false, false, false});
+  Releases.push_back({"1.3.1", Row(0, 0, 2, 0, 0, 4, 0, 0, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.3.2", Row(0, 0, 8, 4, 2, 4, 2, 3, 1), script132,
+                      true, /*NeedsOsr=*/true, false});
+  Releases.push_back({"1.3.3", Row(0, 0, 4, 0, 0, 3, 0, 0, 0), script133,
+                      true, /*NeedsOsr=*/true, false});
+  Releases.push_back({"1.3.4", Row(0, 0, 6, 2, 0, 6, 0, 2, 0), nullptr,
+                      true, false, false});
+  Releases.push_back({"1.4", Row(0, 0, 7, 6, 1, 4, 1, 6, 0), nullptr,
+                      true, false, false});
+
+  return AppModel("javaemailserver", std::move(Base), std::move(Releases),
+                  "EFill");
+}
+
+void jvolve::startEmailThreads(VM &TheVM) {
+  TheVM.callStatic("ConfigurationManager", "loadUser", "()V");
+  TheVM.spawnThread("Pop3Processor", "run", "(I)V",
+                    {Slot::ofInt(Pop3Port)}, "pop3", /*Daemon=*/true);
+  TheVM.spawnThread("SMTPSender", "run", "()V", {}, "smtp",
+                    /*Daemon=*/true);
+}
+
+void jvolve::registerEmailTransformers(UpdateBundle &B, const AppModel &App,
+                                       size_t VersionIndex) {
+  if (App.release(VersionIndex).Name != "1.3.2")
+    return;
+  // Figure 3: jvolveObject(User to, v131_User from). Copies the immutable
+  // account strings and converts each "user@domain" string into an
+  // EmailAddress — where the default transformer would leave null.
+  B.ObjectTransformers["User"] = [](TransformCtx &Ctx, Ref To, Ref From) {
+    Ctx.setRef(To, "username", Ctx.getRef(From, "username"));
+    Ctx.setRef(To, "domain", Ctx.getRef(From, "domain"));
+    Ctx.setRef(To, "password", Ctx.getRef(From, "password"));
+    Ref OldArr = Ctx.getRef(From, "forwardAddresses");
+    if (!OldArr) {
+      Ctx.setRef(To, "forwardAddresses", nullptr);
+      return;
+    }
+    int64_t Len = Ctx.arrayLength(OldArr);
+    Ref NewArr = Ctx.allocateArray("LEmailAddress;", Len);
+    Ctx.setRef(To, "forwardAddresses", NewArr);
+    for (int64_t I = 0; I < Len; ++I) {
+      std::string Addr = Ctx.stringValue(Ctx.getElemRef(OldArr, I));
+      std::vector<std::string> Parts = splitString(Addr, '@', 2);
+      Ref Email = Ctx.allocate("EmailAddress");
+      Ctx.setRef(Email, "user", Ctx.newString(Parts[0]));
+      Ctx.setRef(Email, "domain",
+                 Ctx.newString(Parts.size() > 1 ? Parts[1] : ""));
+      Ctx.setElemRef(NewArr, I, Email);
+    }
+  };
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JavaEmailServer model: versions 1.2.1 through 1.4 (paper §4.3,
+/// Table 3, and the running example of Figures 2 and 3).
+///
+/// Behavioural core: the User / EmailAddress / ConfigurationManager classes
+/// of Figure 2, plus the Pop3Processor.run and SMTPSender.run infinite
+/// processing loops. The 1.3 release changes those run() methods (so the
+/// update can never reach a safe point); 1.3.2 performs the Figure 2 field
+/// type change (String[] -> EmailAddress[]) whose custom object transformer
+/// is Figure 3, and — because run() references the updated classes — both
+/// 1.3.2 and 1.3.3 require on-stack replacement, as the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_EMAILAPP_H
+#define JVOLVE_APPS_EMAILAPP_H
+
+#include "apps/AppModel.h"
+#include "dsu/UpdateBundle.h"
+
+namespace jvolve {
+
+inline constexpr int Pop3Port = 110;
+
+/// Builds the JES version stream: version(0) is 1.2.1, version(9) is 1.4,
+/// each diff matching Table 3.
+AppModel makeEmailApp();
+
+/// Runs ConfigurationManager.loadUser (populates the admin account) and
+/// spawns the POP3 and SMTP threads.
+void startEmailThreads(class VM &TheVM);
+
+/// Registers the developer-supplied transformers for the update *to*
+/// version index \p VersionIndex (1-based like AppModel::version). Only
+/// 1.3.2 (the Figure 3 User transformer) installs anything.
+void registerEmailTransformers(UpdateBundle &B, const AppModel &App,
+                               size_t VersionIndex);
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_EMAILAPP_H

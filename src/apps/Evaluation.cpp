@@ -1,0 +1,100 @@
+#include "apps/Evaluation.h"
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/JettyApp.h"
+#include "apps/Workload.h"
+#include "dsu/EcUpdater.h"
+#include "dsu/Upt.h"
+#include "support/Error.h"
+
+using namespace jvolve;
+
+namespace {
+
+VM::Config evalConfig() {
+  VM::Config C;
+  C.HeapSpaceBytes = 16u << 20;
+  return C;
+}
+
+/// Boots \p App's version \p V on a fresh VM, starts its threads, and
+/// (unless \p Idle) applies a representative load.
+std::unique_ptr<VM> bootApp(const AppModel &App, size_t V, bool Idle) {
+  auto TheVM = std::make_unique<VM>(evalConfig());
+  TheVM->loadProgram(App.version(V));
+
+  if (App.name() == "jetty") {
+    startJettyThreads(*TheVM);
+    if (!Idle) {
+      LoadDriver::Options LO;
+      LO.Port = JettyPort;
+      LoadDriver(*TheVM, LO).runWithLoad(5'000);
+    }
+  } else if (App.name() == "javaemailserver") {
+    startEmailThreads(*TheVM);
+    if (!Idle) {
+      TheVM->injectConnection(Pop3Port, {1, 2, 3, 4, 5},
+                              /*InterArrival=*/200);
+      TheVM->run(2'000);
+    }
+  } else if (App.name() == "crossftp") {
+    startCrossFtpThreads(*TheVM);
+    if (!Idle) {
+      // Long FTP sessions with think time keep handle() on stack.
+      std::vector<int64_t> Session(500, 1);
+      TheVM->injectConnection(FtpPort, Session, /*InterArrival=*/250);
+      TheVM->injectConnection(FtpPort, Session, /*InterArrival=*/250);
+      TheVM->run(2'000);
+    }
+  } else {
+    fatalError("unknown app '" + App.name() + "'");
+  }
+  return TheVM;
+}
+
+UpdateResult applyTo(VM &TheVM, const AppModel &App, size_t V,
+                     uint64_t TimeoutTicks) {
+  UpdateBundle B = Upt::prepare(App.version(V - 1), App.version(V),
+                                "v" + std::to_string(V - 1));
+  if (App.name() == "javaemailserver")
+    registerEmailTransformers(B, App, V);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = TimeoutTicks;
+  Updater U(TheVM);
+  return U.applyNow(std::move(B), Opts, /*MaxDriveTicks=*/TimeoutTicks * 4);
+}
+
+} // namespace
+
+ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
+                                       uint64_t TimeoutTicks) {
+  ReleaseOutcome Out;
+  Out.Version = App.release(V).Name;
+  Out.Summary =
+      Upt::computeSpec(App.version(V - 1), App.version(V)).Summary;
+  Out.EcSupported = EcUpdater::supports(Out.Summary);
+
+  {
+    std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/false);
+    Out.Result = applyTo(*TheVM, App, V, TimeoutTicks);
+  }
+
+  // The paper applied CrossFTP 1.07 -> 1.08 "when the server was
+  // relatively idle"; retry any busy-failure on an idle server.
+  if (Out.Result.Status == UpdateStatus::TimedOut) {
+    std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/true);
+    TheVM->run(2'000);
+    UpdateResult IdleResult = applyTo(*TheVM, App, V, TimeoutTicks);
+    Out.AppliedWhenIdle = IdleResult.Status == UpdateStatus::Applied;
+  }
+  return Out;
+}
+
+std::vector<ReleaseOutcome> jvolve::evaluateApp(const AppModel &App,
+                                                uint64_t TimeoutTicks) {
+  std::vector<ReleaseOutcome> Out;
+  for (size_t V = 1; V < App.numVersions(); ++V)
+    Out.push_back(evaluateRelease(App, V, TimeoutTicks));
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live evaluation of an application's update stream: for each release,
+/// boot a fresh VM on the previous version, put it under load, and apply
+/// the dynamic update — reproducing the per-release experiments behind
+/// Tables 2-4 and the paper's 20-of-22 flexibility headline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_EVALUATION_H
+#define JVOLVE_APPS_EVALUATION_H
+
+#include "apps/AppModel.h"
+#include "dsu/Updater.h"
+
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Result of applying one release's update to a live, loaded server.
+struct ReleaseOutcome {
+  std::string Version;
+  UpdateSummary Summary;   ///< the UPT diff (one table row)
+  UpdateResult Result;     ///< Jvolve outcome under load
+  bool EcSupported = false; ///< the method-body-only baseline's verdict
+  /// For updates that fail under load: did a retry on an idle server
+  /// succeed (CrossFTP 1.07 -> 1.08, §4.4)?
+  bool AppliedWhenIdle = false;
+
+  bool supported() const {
+    return Result.Status == UpdateStatus::Applied || AppliedWhenIdle;
+  }
+};
+
+/// Applies the update to version \p V of \p App on a freshly booted VM
+/// running version V-1 under load. \p TimeoutTicks bounds the safe-point
+/// search (kept small so the two impossible updates fail quickly).
+ReleaseOutcome evaluateRelease(const AppModel &App, size_t V,
+                               uint64_t TimeoutTicks = 120'000);
+
+/// Evaluates every release of \p App.
+std::vector<ReleaseOutcome> evaluateApp(const AppModel &App,
+                                        uint64_t TimeoutTicks = 120'000);
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_EVALUATION_H

@@ -1,0 +1,230 @@
+#include "apps/JettyApp.h"
+
+#include "bytecode/Builder.h"
+#include "support/Error.h"
+#include "vm/VM.h"
+
+using namespace jvolve;
+
+namespace {
+
+/// Version-dependent constant compiled into HttpResponse.make; bumping it
+/// is the scripted "method body change" most releases carry.
+constexpr int64_t BaseResponseSalt = 100;
+
+/// The handwritten behavioural core of the Jetty model.
+void addJettyCore(ClassSet &Set) {
+  {
+    // Per-request scratch buffer: exists so request handling allocates and
+    // the heap sees churn, like a real server.
+    ClassBuilder CB("Buffer");
+    CB.field("size", "I");
+    CB.field("used", "I");
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Stats");
+    CB.staticField("served", "I");
+    CB.staticMethod("bump", "()V")
+        .getstatic("Stats", "served", "I")
+        .iconst(1)
+        .iadd()
+        .putstatic("Stats", "served", "I")
+        .ret();
+    CB.staticMethod("served", "()I")
+        .getstatic("Stats", "served", "I")
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    // acceptSocket blocks waiting for a client, like the real
+    // ThreadedServer.acceptSocket the 5.1.3 release modifies.
+    ClassBuilder CB("ThreadedServer");
+    CB.staticMethod("acceptSocket", "(I)I")
+        .load(0)
+        .intrinsic(IntrinsicId::NetAccept)
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("HttpResponse");
+    CB.staticMethod("make", "(I)I")
+        .locals(2)
+        // Buffer b = new Buffer; b.size = req;
+        .newobj("Buffer")
+        .store(1)
+        .load(1)
+        .load(0)
+        .putfield("Buffer", "size", "I")
+        .load(1)
+        .load(0)
+        .iconst(2)
+        .imul()
+        .putfield("Buffer", "used", "I")
+        // return req * 2 + SALT
+        .load(1)
+        .getfield("Buffer", "used", "I")
+        .iconst(BaseResponseSalt)
+        .iadd()
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    // Serves one connection: five-ish serial requests, like the httperf
+    // workload in Figure 5.
+    ClassBuilder CB("HttpHandler");
+    CB.staticMethod("handle", "(I)V")
+        .locals(2)
+        .label("next")
+        .load(0)
+        .intrinsic(IntrinsicId::NetRecv)
+        .store(1)
+        .load(1)
+        .iconst(0)
+        .branch(Opcode::IfICmpLt, "eof")
+        .load(0)
+        .load(1)
+        .invokestatic("HttpResponse", "make", "(I)I")
+        .intrinsic(IntrinsicId::NetSend)
+        .invokestatic("Stats", "bump", "()V")
+        .jump("next")
+        .label("eof")
+        .load(0)
+        .intrinsic(IntrinsicId::NetClose)
+        .ret();
+    Set.add(CB.build());
+  }
+  {
+    // The pool-thread accept loop: runs forever, so it must never be a
+    // changed method in a supportable update.
+    ClassBuilder CB("PoolThread");
+    CB.staticMethod("run", "(I)V")
+        .locals(2)
+        .label("top")
+        .load(0)
+        .invokestatic("ThreadedServer", "acceptSocket", "(I)I")
+        .store(1)
+        .load(1)
+        .invokestatic("HttpHandler", "handle", "(I)V")
+        .jump("top");
+    Set.add(CB.build());
+  }
+}
+
+/// Bumps the scripted salt constant in a core method body.
+void bumpConstIn(ClassSet &Set, const std::string &Cls,
+                 const std::string &Method, int64_t MinValue) {
+  MethodDef *M = Set.find(Cls)->findMethod(Method);
+  if (!M)
+    fatalError("jetty scripted change: missing " + Cls + "." + Method);
+  for (Instr &I : M->Code)
+    if (I.Op == Opcode::IConst && I.IVal >= MinValue) {
+      ++I.IVal;
+      return;
+    }
+  fatalError("jetty scripted change: no salt constant in " + Cls + "." +
+             Method);
+}
+
+/// The 5.1.3 change: modify both always-on-stack methods.
+void script513(ClassSet &Set) {
+  // acceptSocket: post-process the accepted id (body change).
+  MethodDef *Accept =
+      Set.find("ThreadedServer")->findMethod("acceptSocket", "(I)I");
+  Accept->Code = {};
+  MethodBuilder MB("acceptSocket", "(I)I", /*IsStatic=*/true);
+  MB.load(0)
+      .intrinsic(IntrinsicId::NetAccept)
+      .iconst(0)
+      .iadd() // changed implementation (same behaviour, new bytecode)
+      .iret();
+  *Accept = MB.build();
+
+  // PoolThread.run: restructured loop (body change on the infinite loop).
+  MethodDef *Run = Set.find("PoolThread")->findMethod("run", "(I)V");
+  MethodBuilder RB("run", "(I)V", /*IsStatic=*/true);
+  RB.locals(2)
+      .label("top")
+      .load(0)
+      .invokestatic("ThreadedServer", "acceptSocket", "(I)I")
+      .store(1)
+      .load(1)
+      .iconst(0)
+      .branch(Opcode::IfICmpLt, "top") // new: guard against bad sockets
+      .load(1)
+      .invokestatic("HttpHandler", "handle", "(I)V")
+      .jump("top");
+  *Run = RB.build();
+}
+
+} // namespace
+
+AppModel jvolve::makeJettyApp() {
+  ClassSet Base;
+  addJettyCore(Base);
+  for (int I = 0; I < 60; ++I)
+    Base.add(AppModel::makeFillerClass("JFill" + std::to_string(I), 6, 8));
+
+  std::vector<Release> Releases;
+  auto Row = [](int ClsAdd, int ClsChanged, int MAdd, int MDel, int MBody,
+                int MSig, int FAdd, int FDel) {
+    ChangeCounts C;
+    C.ClsAdd = ClsAdd;
+    C.ClsChanged = ClsChanged;
+    C.MAdd = MAdd;
+    C.MDel = MDel;
+    C.MBody = MBody;
+    C.MSig = MSig;
+    C.FAdd = FAdd;
+    C.FDel = FDel;
+    return C;
+  };
+  auto BumpMake = [](ClassSet &Set) {
+    bumpConstIn(Set, "HttpResponse", "make", BaseResponseSalt);
+  };
+  auto BumpHandle = [](ClassSet &Set) {
+    // handle() gains a (dead) trailing instruction: a pure body change
+    // that leaves behaviour and branch targets intact.
+    MethodDef *M = Set.find("HttpHandler")->findMethod("handle", "(I)V");
+    M->Code.push_back({Opcode::Nop, 0, "", "", ""});
+  };
+
+  // Table 2 rows: {cls add, cls changed, m add, m del, m body/m sig,
+  // f add, f del}.
+  Releases.push_back({"5.1.1", Row(0, 14, 4, 1, 38, 0, 0, 0), BumpMake,
+                      true, false, false});
+  Releases.push_back({"5.1.2", Row(1, 5, 0, 0, 12, 1, 0, 0), BumpHandle,
+                      true, false, false});
+  Releases.push_back({"5.1.3", Row(3, 15, 19, 2, 59, 0, 10, 1), script513,
+                      /*ExpectSupported=*/false, false, false});
+  Releases.push_back({"5.1.4", Row(0, 6, 0, 4, 9, 6, 0, 2), BumpMake, true,
+                      false, false});
+  Releases.push_back({"5.1.5", Row(0, 54, 21, 4, 112, 8, 5, 0),
+                      [](ClassSet &S) {
+                        bumpConstIn(S, "HttpResponse", "make",
+                                    BaseResponseSalt);
+                        MethodDef *M = S.find("HttpHandler")
+                                           ->findMethod("handle", "(I)V");
+                        M->Code.push_back({Opcode::Nop, 0, "", "", ""});
+                      },
+                      true, false, false});
+  Releases.push_back({"5.1.6", Row(0, 4, 0, 0, 20, 0, 5, 6), BumpMake, true,
+                      false, false});
+  Releases.push_back({"5.1.7", Row(0, 7, 8, 0, 11, 2, 9, 3), BumpHandle,
+                      true, false, false});
+  Releases.push_back({"5.1.8", Row(0, 1, 0, 0, 1, 0, 0, 0), BumpMake, true,
+                      false, false});
+  Releases.push_back({"5.1.9", Row(0, 1, 0, 0, 1, 0, 0, 0), BumpMake, true,
+                      false, false});
+  Releases.push_back({"5.1.10", Row(0, 4, 0, 0, 4, 0, 0, 0), BumpMake, true,
+                      false, false});
+
+  return AppModel("jetty", std::move(Base), std::move(Releases), "JFill");
+}
+
+void jvolve::startJettyThreads(VM &TheVM) {
+  for (int I = 0; I < JettyPoolThreads; ++I)
+    TheVM.spawnThread("PoolThread", "run", "(I)V",
+                      {Slot::ofInt(JettyPort)},
+                      "pool-" + std::to_string(I), /*Daemon=*/true);
+}

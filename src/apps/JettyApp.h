@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jetty webserver model: versions 5.1.0 through 5.1.10 (paper §4.2,
+/// Table 2).
+///
+/// Behavioural core: a ThreadedServer.acceptSocket that blocks for
+/// connections, PoolThread.run loops that accept and serve, an HttpHandler
+/// request loop, and an HttpResponse generator — enough structure that the
+/// update to 5.1.3 (which changes acceptSocket and PoolThread.run, both
+/// always on stack) can never reach a DSU safe point, while every other
+/// release applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_JETTYAPP_H
+#define JVOLVE_APPS_JETTYAPP_H
+
+#include "apps/AppModel.h"
+
+namespace jvolve {
+
+/// TCP port the model serves (the workload driver injects here).
+inline constexpr int JettyPort = 80;
+
+/// Number of pool threads accepting connections.
+inline constexpr int JettyPoolThreads = 2;
+
+/// Builds the Jetty version stream: version(0) is 5.1.0, version(10) is
+/// 5.1.10, with each diff matching Table 2.
+AppModel makeJettyApp();
+
+/// Spawns the server's pool threads on \p TheVM (which must have a Jetty
+/// version loaded).
+void startJettyThreads(class VM &TheVM);
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_JETTYAPP_H

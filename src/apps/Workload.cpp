@@ -1,0 +1,52 @@
+#include "apps/Workload.h"
+
+using namespace jvolve;
+
+LoadResult LoadDriver::drive(uint64_t Ticks) {
+  LoadResult Result;
+  uint64_t Start = TheVM.scheduler().ticks();
+  uint64_t End = Start + Ticks;
+  uint64_t ResponsesBefore = TheVM.net().totalResponses();
+  std::vector<double> Latencies;
+
+  while (TheVM.scheduler().ticks() < End) {
+    for (int C = 0; C < Opts.ConnectionsPerBatch; ++C) {
+      std::vector<int64_t> Requests;
+      for (int R = 0; R < Opts.RequestsPerConnection; ++R)
+        Requests.push_back(NextRequestValue++);
+      uint64_t Gap = Opts.InterArrival;
+      if (Opts.JitterTicks > 0)
+        Gap += Jitter.nextBelow(Opts.JitterTicks + 1);
+      TheVM.injectConnection(Opts.Port, Requests, Gap);
+    }
+    uint64_t Chunk =
+        std::min<uint64_t>(Opts.BatchInterval, End - TheVM.scheduler().ticks());
+    uint64_t BatchEnd = TheVM.scheduler().ticks() + Chunk;
+    TheVM.run(Chunk);
+    // Open-loop load: the next batch arrives on schedule even if the
+    // server drained early and the VM went idle.
+    TheVM.fastForwardTo(BatchEnd);
+    for (double L : TheVM.net().drainLatencies())
+      Latencies.push_back(L);
+    TheVM.net().drainResponses();
+  }
+
+  Result.Ticks = TheVM.scheduler().ticks() - Start;
+  Result.Responses = TheVM.net().totalResponses() - ResponsesBefore;
+  if (Result.Ticks > 0)
+    Result.Throughput = 1000.0 * static_cast<double>(Result.Responses) /
+                        static_cast<double>(Result.Ticks);
+  Result.LatencyTicks = summarizeQuartiles(std::move(Latencies));
+  return Result;
+}
+
+void LoadDriver::runIdle(uint64_t Ticks) {
+  uint64_t End = TheVM.scheduler().ticks() + Ticks;
+  while (TheVM.scheduler().ticks() < End) {
+    VM::RunResult R = TheVM.run(End - TheVM.scheduler().ticks());
+    TheVM.net().drainLatencies();
+    TheVM.net().drainResponses();
+    if (R.Idle)
+      break;
+  }
+}

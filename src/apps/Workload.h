@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic load generation, standing in for the paper's httperf runs and
+/// mail/FTP client sessions (§4.1): injects connections carrying
+/// timestamped requests at a configurable rate while the VM runs, and
+/// collects throughput and per-request latency in virtual time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_APPS_WORKLOAD_H
+#define JVOLVE_APPS_WORKLOAD_H
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "vm/VM.h"
+
+#include <cstdint>
+
+namespace jvolve {
+
+/// Measurements over one load interval.
+struct LoadResult {
+  uint64_t Responses = 0;
+  uint64_t Ticks = 0;
+  /// Responses per 1000 virtual ticks.
+  double Throughput = 0;
+  /// Per-request latency (send tick minus request arrival tick).
+  QuartileSummary LatencyTicks;
+};
+
+/// Drives connections into one port of a running VM.
+class LoadDriver {
+public:
+  struct Options {
+    int Port = 80;
+    /// Connections opened per batch.
+    int ConnectionsPerBatch = 2;
+    /// Serial requests per connection (httperf used 5).
+    int RequestsPerConnection = 5;
+    /// Virtual ticks between consecutive requests of one connection.
+    uint64_t InterArrival = 30;
+    /// Virtual ticks between batches.
+    uint64_t BatchInterval = 150;
+    /// Uniform jitter (0..JitterTicks) added to each connection's
+    /// inter-arrival gap, making runs vary like real client traffic.
+    uint64_t JitterTicks = 0;
+    /// Seed for the jitter stream.
+    uint64_t Seed = 1;
+  };
+
+  LoadDriver(VM &TheVM, Options Opts)
+      : TheVM(TheVM), Opts(Opts), Jitter(Opts.Seed) {}
+
+  /// Keeps the server under load for \p Ticks virtual ticks (injecting
+  /// batches and running the VM) without recording statistics.
+  void runWithLoad(uint64_t Ticks) { (void)drive(Ticks); }
+
+  /// Runs under load for \p Ticks and returns throughput/latency.
+  LoadResult measure(uint64_t Ticks) { return drive(Ticks); }
+
+  /// Runs the VM for \p Ticks with no new load (drains existing sessions).
+  void runIdle(uint64_t Ticks);
+
+private:
+  LoadResult drive(uint64_t Ticks);
+
+  VM &TheVM;
+  Options Opts;
+  Rng Jitter;
+  int64_t NextRequestValue = 1;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_APPS_WORKLOAD_H

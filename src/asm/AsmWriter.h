@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes class sets back to MiniVM assembly text. The output parses
+/// back to an equivalent program (round-trip clean), which the tests
+/// verify over the full application models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_ASM_ASMWRITER_H
+#define JVOLVE_ASM_ASMWRITER_H
+
+#include "bytecode/ClassDef.h"
+
+#include <string>
+
+namespace jvolve {
+
+/// Renders one class in parseable form.
+std::string writeClassAsm(const ClassDef &Cls);
+
+/// Renders a whole program (built-in classes are skipped — the parser's
+/// consumers re-add them via ensureBuiltins).
+std::string writeProgramAsm(const ClassSet &Set);
+
+} // namespace jvolve
+
+#endif // JVOLVE_ASM_ASMWRITER_H

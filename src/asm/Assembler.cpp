@@ -1,0 +1,521 @@
+#include "asm/Assembler.h"
+
+#include "bytecode/Builder.h"
+#include "bytecode/Type.h"
+#include "support/Error.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace jvolve;
+
+namespace {
+
+/// One whitespace-separated token with its source line.
+struct Token {
+  std::string Text;
+  int Line;
+  bool IsString = false; ///< came from a quoted literal
+};
+
+/// Splits \p Text into tokens: whitespace-separated words, standalone
+/// '{' / '}', quoted strings with \" and \\ escapes, and '//' or '#'
+/// comments to end of line.
+bool tokenize(const std::string &Text, std::vector<Token> &Out,
+              std::vector<AsmError> &Errors) {
+  int Line = 1;
+  size_t I = 0;
+  while (I < Text.size()) {
+    char C = Text[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < Text.size() && Text[I + 1] == '/') {
+      while (I < Text.size() && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '#') {
+      while (I < Text.size() && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '{' || C == '}') {
+      Out.push_back({std::string(1, C), Line, false});
+      ++I;
+      continue;
+    }
+    if (C == '"') {
+      std::string Lit;
+      ++I;
+      bool Closed = false;
+      while (I < Text.size()) {
+        char D = Text[I];
+        if (D == '\\' && I + 1 < Text.size()) {
+          char E = Text[I + 1];
+          Lit += E == 'n' ? '\n' : E == 't' ? '\t' : E;
+          I += 2;
+          continue;
+        }
+        if (D == '"') {
+          Closed = true;
+          ++I;
+          break;
+        }
+        if (D == '\n') {
+          break;
+        }
+        Lit += D;
+        ++I;
+      }
+      if (!Closed) {
+        Errors.push_back({Line, "unterminated string literal"});
+        return false;
+      }
+      Out.push_back({Lit, Line, true});
+      continue;
+    }
+    // A plain word: everything up to whitespace or a brace.
+    std::string Word;
+    while (I < Text.size() && !std::isspace(static_cast<unsigned char>(
+                                  Text[I])) &&
+           Text[I] != '{' && Text[I] != '}')
+      Word += Text[I++];
+    Out.push_back({Word, Line, false});
+  }
+  return true;
+}
+
+/// Reverse lookup of intrinsic symbolic names.
+std::optional<IntrinsicId> intrinsicByName(const std::string &Name) {
+  for (int64_t I = static_cast<int64_t>(IntrinsicId::PrintInt);
+       I <= static_cast<int64_t>(IntrinsicId::Rand); ++I) {
+    IntrinsicId Id = static_cast<IntrinsicId>(I);
+    if (intrinsicName(Id) == Name)
+      return Id;
+  }
+  return std::nullopt;
+}
+
+/// Conditional-branch mnemonics.
+const std::map<std::string, Opcode> &branchMnemonics() {
+  static const std::map<std::string, Opcode> M = {
+      {"ifeq", Opcode::IfEq},           {"ifne", Opcode::IfNe},
+      {"iflt", Opcode::IfLt},           {"ifge", Opcode::IfGe},
+      {"ifgt", Opcode::IfGt},           {"ifle", Opcode::IfLe},
+      {"if_icmpeq", Opcode::IfICmpEq},  {"if_icmpne", Opcode::IfICmpNe},
+      {"if_icmplt", Opcode::IfICmpLt},  {"if_icmpge", Opcode::IfICmpGe},
+      {"if_icmpgt", Opcode::IfICmpGt},  {"if_icmple", Opcode::IfICmpLe},
+      {"ifnull", Opcode::IfNull},       {"ifnonnull", Opcode::IfNonNull},
+      {"if_acmpeq", Opcode::IfACmpEq},  {"if_acmpne", Opcode::IfACmpNe},
+  };
+  return M;
+}
+
+/// Zero-operand mnemonics.
+const std::map<std::string, Opcode> &simpleMnemonics() {
+  static const std::map<std::string, Opcode> M = {
+      {"nop", Opcode::Nop},       {"nullconst", Opcode::NullConst},
+      {"iadd", Opcode::IAdd},     {"isub", Opcode::ISub},
+      {"imul", Opcode::IMul},     {"idiv", Opcode::IDiv},
+      {"irem", Opcode::IRem},     {"ineg", Opcode::INeg},
+      {"dup", Opcode::Dup},       {"pop", Opcode::Pop},
+      {"aload", Opcode::ALoad},   {"astore", Opcode::AStore},
+      {"arraylength", Opcode::ArrayLength},
+      {"ret", Opcode::Return},    {"ireturn", Opcode::IReturn},
+      {"iret", Opcode::IReturn},  {"areturn", Opcode::AReturn},
+      {"aret", Opcode::AReturn},
+  };
+  return M;
+}
+
+/// Stream over the token vector with error reporting.
+class TokenStream {
+public:
+  TokenStream(std::vector<Token> Tokens, std::vector<AsmError> &Errors)
+      : Tokens(std::move(Tokens)), Errors(Errors) {}
+
+  bool atEnd() const { return Pos >= Tokens.size(); }
+  const Token &peek() const { return Tokens[Pos]; }
+  Token next() { return Tokens[Pos++]; }
+  int line() const {
+    return atEnd() ? (Tokens.empty() ? 1 : Tokens.back().Line)
+                   : Tokens[Pos].Line;
+  }
+
+  bool expect(const std::string &What) {
+    if (!atEnd() && peek().Text == What && !peek().IsString) {
+      ++Pos;
+      return true;
+    }
+    error("expected '" + What + "'" +
+          (atEnd() ? " at end of input" : ", found '" + peek().Text + "'"));
+    return false;
+  }
+
+  void error(const std::string &Message) {
+    Errors.push_back({line(), Message});
+  }
+
+  void errorAt(int AtLine, const std::string &Message) {
+    Errors.push_back({AtLine, Message});
+  }
+
+private:
+  std::vector<Token> Tokens;
+  std::vector<AsmError> &Errors;
+  size_t Pos = 0;
+};
+
+/// Parses one method body (tokens between '{' and '}').
+bool parseMethodBody(TokenStream &TS, MethodBuilder &MB) {
+  // Collected first as (mnemonic, operands); labels bind through the
+  // MethodBuilder's label mechanism directly.
+  while (!TS.atEnd() && TS.peek().Text != "}") {
+    Token T = TS.next();
+    const std::string &Word = T.Text;
+
+    if (!T.IsString && Word.size() > 1 && Word.back() == ':') {
+      MB.label(Word.substr(0, Word.size() - 1));
+      continue;
+    }
+
+    auto NeedOperand = [&](const char *What) -> std::optional<Token> {
+      if (TS.atEnd() || TS.peek().Text == "}") {
+        TS.error(std::string("'") + Word + "' needs " + What);
+        return std::nullopt;
+      }
+      return TS.next();
+    };
+    auto NeedInt = [&](const char *What) -> std::optional<int64_t> {
+      std::optional<Token> Op = NeedOperand(What);
+      if (!Op)
+        return std::nullopt;
+      try {
+        size_t Used = 0;
+        int64_t V = std::stoll(Op->Text, &Used);
+        if (Used != Op->Text.size())
+          throw std::invalid_argument("trailing");
+        return V;
+      } catch (...) {
+        TS.error("'" + Op->Text + "' is not an integer");
+        return std::nullopt;
+      }
+    };
+    /// Splits "Class.member" into its parts.
+    auto SplitMember =
+        [&](const std::string &Sym) -> std::optional<std::pair<std::string,
+                                                               std::string>> {
+      size_t Dot = Sym.find('.');
+      if (Dot == std::string::npos || Dot == 0 || Dot + 1 == Sym.size()) {
+        TS.error("expected Class.member, found '" + Sym + "'");
+        return std::nullopt;
+      }
+      return std::make_pair(Sym.substr(0, Dot), Sym.substr(Dot + 1));
+    };
+    /// Splits "Class.method(SIG)RET" into (class, method, signature).
+    auto SplitCall = [&](const std::string &Sym)
+        -> std::optional<std::tuple<std::string, std::string, std::string>> {
+      size_t Paren = Sym.find('(');
+      if (Paren == std::string::npos) {
+        TS.error("expected Class.method(sig), found '" + Sym + "'");
+        return std::nullopt;
+      }
+      std::string Member = Sym.substr(0, Paren);
+      std::string Sig = Sym.substr(Paren);
+      auto Parts = SplitMember(Member);
+      if (!Parts)
+        return std::nullopt;
+      if (!MethodSignature::isValidSignature(Sig)) {
+        TS.error("malformed signature '" + Sig + "'");
+        return std::nullopt;
+      }
+      return std::make_tuple(Parts->first, Parts->second, Sig);
+    };
+
+    if (auto It = simpleMnemonics().find(Word);
+        It != simpleMnemonics().end()) {
+      MB.raw({It->second, 0, "", "", ""});
+      continue;
+    }
+    if (auto It = branchMnemonics().find(Word);
+        It != branchMnemonics().end()) {
+      std::optional<Token> Label = NeedOperand("a label");
+      if (!Label)
+        return false;
+      MB.branch(It->second, Label->Text);
+      continue;
+    }
+    if (Word == "goto") {
+      std::optional<Token> Label = NeedOperand("a label");
+      if (!Label)
+        return false;
+      MB.jump(Label->Text);
+      continue;
+    }
+    if (Word == "iconst") {
+      std::optional<int64_t> V = NeedInt("an integer");
+      if (!V)
+        return false;
+      MB.iconst(*V);
+      continue;
+    }
+    if (Word == "sconst") {
+      std::optional<Token> Lit = NeedOperand("a string literal");
+      if (!Lit)
+        return false;
+      if (!Lit->IsString) {
+        TS.error("sconst needs a quoted string");
+        return false;
+      }
+      MB.sconst(Lit->Text);
+      continue;
+    }
+    if (Word == "load" || Word == "store") {
+      std::optional<int64_t> Slot = NeedInt("a slot number");
+      if (!Slot)
+        return false;
+      if (Word == "load")
+        MB.load(static_cast<uint16_t>(*Slot));
+      else
+        MB.store(static_cast<uint16_t>(*Slot));
+      continue;
+    }
+    if (Word == "new" || Word == "instanceof" || Word == "checkcast") {
+      std::optional<Token> Cls = NeedOperand("a class name");
+      if (!Cls)
+        return false;
+      if (Word == "new")
+        MB.newobj(Cls->Text);
+      else if (Word == "instanceof")
+        MB.instanceofOp(Cls->Text);
+      else
+        MB.checkcast(Cls->Text);
+      continue;
+    }
+    if (Word == "newarray") {
+      std::optional<Token> Desc = NeedOperand("an element type");
+      if (!Desc)
+        return false;
+      if (!Type::isValidDescriptor(Desc->Text) || Desc->Text == "V") {
+        TS.error("invalid element type '" + Desc->Text + "'");
+        return false;
+      }
+      MB.newarray(Desc->Text);
+      continue;
+    }
+    if (Word == "getfield" || Word == "putfield" || Word == "getstatic" ||
+        Word == "putstatic") {
+      std::optional<Token> Sym = NeedOperand("Class.field");
+      std::optional<Token> Desc =
+          Sym ? NeedOperand("a type descriptor") : std::nullopt;
+      if (!Sym || !Desc)
+        return false;
+      auto Parts = SplitMember(Sym->Text);
+      if (!Parts)
+        return false;
+      if (!Type::isValidDescriptor(Desc->Text)) {
+        TS.error("invalid type descriptor '" + Desc->Text + "'");
+        return false;
+      }
+      if (Word == "getfield")
+        MB.getfield(Parts->first, Parts->second, Desc->Text);
+      else if (Word == "putfield")
+        MB.putfield(Parts->first, Parts->second, Desc->Text);
+      else if (Word == "getstatic")
+        MB.getstatic(Parts->first, Parts->second, Desc->Text);
+      else
+        MB.putstatic(Parts->first, Parts->second, Desc->Text);
+      continue;
+    }
+    if (Word == "invokevirtual" || Word == "invokestatic" ||
+        Word == "invokespecial") {
+      std::optional<Token> Sym = NeedOperand("Class.method(sig)");
+      if (!Sym)
+        return false;
+      auto Call = SplitCall(Sym->Text);
+      if (!Call)
+        return false;
+      const auto &[Cls, Name, Sig] = *Call;
+      if (Word == "invokevirtual")
+        MB.invokevirtual(Cls, Name, Sig);
+      else if (Word == "invokestatic")
+        MB.invokestatic(Cls, Name, Sig);
+      else
+        MB.invokespecial(Cls, Name, Sig);
+      continue;
+    }
+    if (Word == "intrinsic") {
+      std::optional<Token> Name = NeedOperand("an intrinsic name");
+      if (!Name)
+        return false;
+      std::optional<IntrinsicId> Id = intrinsicByName(Name->Text);
+      if (!Id) {
+        TS.error("unknown intrinsic '" + Name->Text + "'");
+        return false;
+      }
+      MB.intrinsic(*Id);
+      continue;
+    }
+
+    TS.error("unknown instruction '" + Word + "'");
+    return false;
+  }
+  return TS.expect("}");
+}
+
+/// Parses one class body.
+bool parseClass(TokenStream &TS, ClassSet &Set) {
+  Token Name = TS.next();
+  std::string Super = "Object";
+  if (!TS.atEnd() && TS.peek().Text == "extends") {
+    TS.next();
+    if (TS.atEnd()) {
+      TS.error("expected superclass name");
+      return false;
+    }
+    Super = TS.next().Text;
+  }
+  ClassBuilder CB(Name.Text, Super);
+  if (!TS.expect("{"))
+    return false;
+
+  while (!TS.atEnd() && TS.peek().Text != "}") {
+    bool IsStatic = false, IsFinal = false;
+    Access Vis = Access::Public;
+    // Modifier words in any order before 'field'/'method'.
+    while (!TS.atEnd()) {
+      const std::string &W = TS.peek().Text;
+      if (W == "static") {
+        IsStatic = true;
+        TS.next();
+      } else if (W == "final") {
+        IsFinal = true;
+        TS.next();
+      } else if (W == "public") {
+        Vis = Access::Public;
+        TS.next();
+      } else if (W == "private") {
+        Vis = Access::Private;
+        TS.next();
+      } else if (W == "protected") {
+        Vis = Access::Protected;
+        TS.next();
+      } else {
+        break;
+      }
+    }
+    if (TS.atEnd()) {
+      TS.error("unexpected end of class body");
+      return false;
+    }
+    Token Kind = TS.next();
+    if (Kind.Text == "field") {
+      if (TS.atEnd()) {
+        TS.error("field needs a name");
+        return false;
+      }
+      Token FName = TS.next();
+      if (TS.atEnd()) {
+        TS.error("field needs a type descriptor");
+        return false;
+      }
+      Token Desc = TS.next();
+      if (!Type::isValidDescriptor(Desc.Text) || Desc.Text == "V") {
+        TS.error("invalid field type '" + Desc.Text + "'");
+        return false;
+      }
+      if (IsStatic)
+        CB.staticField(FName.Text, Desc.Text, Vis);
+      else
+        CB.field(FName.Text, Desc.Text, Vis, IsFinal);
+      continue;
+    }
+    if (Kind.Text == "method") {
+      if (TS.atEnd()) {
+        TS.error("method needs name(sig)");
+        return false;
+      }
+      Token NameSig = TS.next();
+      size_t Paren = NameSig.Text.find('(');
+      if (Paren == std::string::npos) {
+        TS.error("expected name(sig), found '" + NameSig.Text + "'");
+        return false;
+      }
+      std::string MName = NameSig.Text.substr(0, Paren);
+      std::string Sig = NameSig.Text.substr(Paren);
+      if (!MethodSignature::isValidSignature(Sig)) {
+        TS.error("malformed signature '" + Sig + "'");
+        return false;
+      }
+      MethodBuilder &MB =
+          IsStatic ? CB.staticMethod(MName, Sig) : CB.method(MName, Sig);
+      MB.access(Vis);
+      if (!TS.atEnd() && TS.peek().Text == "locals") {
+        TS.next();
+        Token N = TS.next();
+        MB.locals(static_cast<uint16_t>(std::atoi(N.Text.c_str())));
+      }
+      if (!TS.expect("{"))
+        return false;
+      if (!parseMethodBody(TS, MB))
+        return false;
+      continue;
+    }
+    TS.errorAt(Kind.Line,
+               "expected 'field' or 'method', found '" + Kind.Text + "'");
+    return false;
+  }
+  if (!TS.expect("}"))
+    return false;
+  if (Set.contains(Name.Text)) {
+    TS.error("duplicate class '" + Name.Text + "'");
+    return false;
+  }
+  Set.add(CB.build());
+  return true;
+}
+
+} // namespace
+
+std::optional<ClassSet> jvolve::parseProgram(const std::string &Text,
+                                             std::vector<AsmError> &Errors) {
+  std::vector<Token> Tokens;
+  if (!tokenize(Text, Tokens, Errors))
+    return std::nullopt;
+  TokenStream TS(std::move(Tokens), Errors);
+
+  ClassSet Set;
+  while (!TS.atEnd()) {
+    if (!TS.expect("class"))
+      return std::nullopt;
+    if (TS.atEnd()) {
+      TS.error("expected class name");
+      return std::nullopt;
+    }
+    if (!parseClass(TS, Set))
+      return std::nullopt;
+  }
+  if (!Errors.empty())
+    return std::nullopt;
+  return Set;
+}
+
+ClassSet jvolve::parseProgramOrDie(const std::string &Text) {
+  std::vector<AsmError> Errors;
+  std::optional<ClassSet> Set = parseProgram(Text, Errors);
+  if (!Set) {
+    std::string Msg = "assembly failed:";
+    for (const AsmError &E : Errors)
+      Msg += "\n  " + E.str();
+    fatalError(Msg);
+  }
+  return *Set;
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM textual assembly front end.
+///
+/// Programs can be written as `.mvm` text instead of C++ builder calls —
+/// the form the command-line tools (tools/) consume and the form the
+/// writer (AsmWriter.h) emits, round-trip clean. Example:
+///
+/// \code
+///   class User extends Object {
+///     private final field username LString;
+///     method getUsername()LString; {
+///       load 0
+///       getfield User.username LString;
+///       aret
+///     }
+///     static method main()V {
+///     top:
+///       sconst "hello"
+///       intrinsic print_str
+///       ret
+///     }
+///   }
+/// \endcode
+///
+/// Branches name labels ("goto top", "if_icmpge done"); "intrinsic" takes
+/// the intrinsic's symbolic name (see intrinsicName). Comments start with
+/// "//" or "#".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_ASM_ASSEMBLER_H
+#define JVOLVE_ASM_ASSEMBLER_H
+
+#include "bytecode/ClassDef.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// One assembler diagnostic.
+struct AsmError {
+  int Line = 0;
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Parses \p Text into a class set (without built-ins). \returns nullopt
+/// and fills \p Errors on any syntax problem; the result is *not*
+/// verified — run the Verifier for semantic checks.
+std::optional<ClassSet> parseProgram(const std::string &Text,
+                                     std::vector<AsmError> &Errors);
+
+/// Convenience: parse-or-abort (tests, tools with their own reporting).
+ClassSet parseProgramOrDie(const std::string &Text);
+
+} // namespace jvolve
+
+#endif // JVOLVE_ASM_ASSEMBLER_H

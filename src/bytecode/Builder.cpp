@@ -1,0 +1,227 @@
+#include "bytecode/Builder.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace jvolve;
+
+MethodBuilder::MethodBuilder(std::string Name, std::string Sig,
+                             bool IsStatic) {
+  Def.Name = std::move(Name);
+  Def.Sig = std::move(Sig);
+  Def.IsStatic = IsStatic;
+}
+
+MethodBuilder &MethodBuilder::emit(Instr I) {
+  assert(!Built && "emitting into a finished method");
+  Def.Code.push_back(std::move(I));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::locals(uint16_t NumLocals) {
+  Def.NumLocals = NumLocals;
+  LocalsExplicit = true;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::access(Access A) {
+  Def.Visibility = A;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::iconst(int64_t Value) {
+  return emit({Opcode::IConst, Value, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::sconst(const std::string &Literal) {
+  return emit({Opcode::SConst, 0, "", "", Literal});
+}
+
+MethodBuilder &MethodBuilder::nullconst() {
+  return emit({Opcode::NullConst, 0, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::load(uint16_t Slot) {
+  MaxSlotTouched = std::max<uint16_t>(MaxSlotTouched, Slot);
+  return emit({Opcode::Load, Slot, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::store(uint16_t Slot) {
+  MaxSlotTouched = std::max<uint16_t>(MaxSlotTouched, Slot);
+  return emit({Opcode::Store, Slot, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::iadd() { return emit({Opcode::IAdd, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::isub() { return emit({Opcode::ISub, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::imul() { return emit({Opcode::IMul, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::idiv() { return emit({Opcode::IDiv, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::irem() { return emit({Opcode::IRem, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::ineg() { return emit({Opcode::INeg, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::dup() { return emit({Opcode::Dup, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::pop() { return emit({Opcode::Pop, 0, "", "", ""}); }
+
+MethodBuilder &MethodBuilder::label(const std::string &Name) {
+  if (Labels.count(Name))
+    fatalError("duplicate label '" + Name + "' in method " + Def.Name);
+  Labels[Name] = Def.Code.size();
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::jump(const std::string &Target) {
+  Fixups.emplace_back(Def.Code.size(), Target);
+  return emit({Opcode::Goto, -1, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::branch(Opcode ConditionalOp,
+                                     const std::string &Target) {
+  switch (ConditionalOp) {
+  case Opcode::IfEq: case Opcode::IfNe: case Opcode::IfLt: case Opcode::IfGe:
+  case Opcode::IfGt: case Opcode::IfLe: case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe: case Opcode::IfICmpLt: case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt: case Opcode::IfICmpLe: case Opcode::IfNull:
+  case Opcode::IfNonNull: case Opcode::IfACmpEq: case Opcode::IfACmpNe:
+    break;
+  default:
+    fatalError("branch() requires a conditional opcode");
+  }
+  Fixups.emplace_back(Def.Code.size(), Target);
+  return emit({ConditionalOp, -1, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::newobj(const std::string &ClassName) {
+  return emit({Opcode::New, 0, ClassName, "", ""});
+}
+
+MethodBuilder &MethodBuilder::getfield(const std::string &ClassName,
+                                       const std::string &Field,
+                                       const std::string &Desc) {
+  return emit({Opcode::GetField, 0, ClassName + "." + Field, Desc, ""});
+}
+
+MethodBuilder &MethodBuilder::putfield(const std::string &ClassName,
+                                       const std::string &Field,
+                                       const std::string &Desc) {
+  return emit({Opcode::PutField, 0, ClassName + "." + Field, Desc, ""});
+}
+
+MethodBuilder &MethodBuilder::getstatic(const std::string &ClassName,
+                                        const std::string &Field,
+                                        const std::string &Desc) {
+  return emit({Opcode::GetStatic, 0, ClassName + "." + Field, Desc, ""});
+}
+
+MethodBuilder &MethodBuilder::putstatic(const std::string &ClassName,
+                                        const std::string &Field,
+                                        const std::string &Desc) {
+  return emit({Opcode::PutStatic, 0, ClassName + "." + Field, Desc, ""});
+}
+
+MethodBuilder &MethodBuilder::instanceofOp(const std::string &ClassName) {
+  return emit({Opcode::InstanceOf, 0, ClassName, "", ""});
+}
+
+MethodBuilder &MethodBuilder::checkcast(const std::string &ClassName) {
+  return emit({Opcode::CheckCast, 0, ClassName, "", ""});
+}
+
+MethodBuilder &MethodBuilder::invokevirtual(const std::string &ClassName,
+                                            const std::string &Method,
+                                            const std::string &MethodSig) {
+  return emit({Opcode::InvokeVirtual, 0, ClassName + "." + Method, MethodSig,
+               ""});
+}
+
+MethodBuilder &MethodBuilder::invokestatic(const std::string &ClassName,
+                                           const std::string &Method,
+                                           const std::string &MethodSig) {
+  return emit({Opcode::InvokeStatic, 0, ClassName + "." + Method, MethodSig,
+               ""});
+}
+
+MethodBuilder &MethodBuilder::invokespecial(const std::string &ClassName,
+                                            const std::string &Method,
+                                            const std::string &MethodSig) {
+  return emit({Opcode::InvokeSpecial, 0, ClassName + "." + Method, MethodSig,
+               ""});
+}
+
+MethodBuilder &MethodBuilder::newarray(const std::string &ElemDesc) {
+  return emit({Opcode::NewArray, 0, "", ElemDesc, ""});
+}
+
+MethodBuilder &MethodBuilder::aload() { return emit({Opcode::ALoad, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::astore() { return emit({Opcode::AStore, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::arraylength() {
+  return emit({Opcode::ArrayLength, 0, "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::ret() { return emit({Opcode::Return, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::iret() { return emit({Opcode::IReturn, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::aret() { return emit({Opcode::AReturn, 0, "", "", ""}); }
+MethodBuilder &MethodBuilder::nop() { return emit({Opcode::Nop, 0, "", "", ""}); }
+
+MethodBuilder &MethodBuilder::intrinsic(IntrinsicId Id) {
+  return emit({Opcode::Intrinsic, static_cast<int64_t>(Id), "", "", ""});
+}
+
+MethodBuilder &MethodBuilder::raw(Instr I) { return emit(std::move(I)); }
+
+MethodDef MethodBuilder::build() {
+  assert(!Built && "method built twice");
+  Built = true;
+  for (const auto &[Index, Label] : Fixups) {
+    auto It = Labels.find(Label);
+    if (It == Labels.end())
+      fatalError("unbound label '" + Label + "' in method " + Def.Name);
+    Def.Code[Index].IVal = static_cast<int64_t>(It->second);
+  }
+  if (!LocalsExplicit) {
+    uint16_t ParamSlots = Def.numParamSlots();
+    uint16_t Needed = Def.Code.empty() && MaxSlotTouched == 0
+                          ? ParamSlots
+                          : static_cast<uint16_t>(MaxSlotTouched + 1);
+    Def.NumLocals = std::max(ParamSlots, Needed);
+  }
+  return Def;
+}
+
+ClassBuilder::ClassBuilder(std::string Name, std::string Super) {
+  Def.Name = std::move(Name);
+  Def.Super = std::move(Super);
+}
+
+ClassBuilder &ClassBuilder::field(const std::string &Name,
+                                  const std::string &Desc, Access A,
+                                  bool IsFinal) {
+  Def.Fields.push_back({Name, Desc, /*IsStatic=*/false, IsFinal, A});
+  return *this;
+}
+
+ClassBuilder &ClassBuilder::staticField(const std::string &Name,
+                                        const std::string &Desc, Access A) {
+  Def.Fields.push_back({Name, Desc, /*IsStatic=*/true, /*IsFinal=*/false, A});
+  return *this;
+}
+
+MethodBuilder &ClassBuilder::method(const std::string &Name,
+                                    const std::string &Sig) {
+  Methods.push_back(
+      std::make_unique<MethodBuilder>(Name, Sig, /*IsStatic=*/false));
+  return *Methods.back();
+}
+
+MethodBuilder &ClassBuilder::staticMethod(const std::string &Name,
+                                          const std::string &Sig) {
+  Methods.push_back(
+      std::make_unique<MethodBuilder>(Name, Sig, /*IsStatic=*/true));
+  return *Methods.back();
+}
+
+ClassDef ClassBuilder::build() {
+  assert(!Built && "class built twice");
+  Built = true;
+  for (auto &MB : Methods)
+    Def.Methods.push_back(MB->build());
+  return Def;
+}

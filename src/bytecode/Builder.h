@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent assembler for MiniVM bytecode.
+///
+/// The application models (src/apps) and tests construct program versions
+/// with this builder instead of hand-writing Instr vectors. Branch targets
+/// are symbolic labels resolved when the method is finished.
+///
+/// \code
+///   ClassBuilder CB("User", "Object");
+///   CB.field("age", "I");
+///   MethodBuilder &M = CB.method("getAge", "()I");
+///   M.load(0).getfield("User", "age", "I").iret();
+///   ClassDef Def = CB.build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BYTECODE_BUILDER_H
+#define JVOLVE_BYTECODE_BUILDER_H
+
+#include "bytecode/ClassDef.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Builds the bytecode body of one method.
+class MethodBuilder {
+public:
+  MethodBuilder(std::string Name, std::string Sig, bool IsStatic);
+
+  /// Declares the total number of local slots (>= parameter slots). When not
+  /// called, the builder uses the highest slot touched by load/store plus
+  /// the parameter count.
+  MethodBuilder &locals(uint16_t NumLocals);
+
+  MethodBuilder &access(Access A);
+
+  // --- Constants and locals -------------------------------------------------
+  MethodBuilder &iconst(int64_t Value);
+  MethodBuilder &sconst(const std::string &Literal);
+  MethodBuilder &nullconst();
+  MethodBuilder &load(uint16_t Slot);
+  MethodBuilder &store(uint16_t Slot);
+
+  // --- Arithmetic and stack -------------------------------------------------
+  MethodBuilder &iadd();
+  MethodBuilder &isub();
+  MethodBuilder &imul();
+  MethodBuilder &idiv();
+  MethodBuilder &irem();
+  MethodBuilder &ineg();
+  MethodBuilder &dup();
+  MethodBuilder &pop();
+
+  // --- Control flow ---------------------------------------------------------
+  /// Binds \p Name to the next emitted instruction.
+  MethodBuilder &label(const std::string &Name);
+  MethodBuilder &jump(const std::string &Target);
+  MethodBuilder &branch(Opcode ConditionalOp, const std::string &Target);
+
+  // --- Objects --------------------------------------------------------------
+  MethodBuilder &newobj(const std::string &ClassName);
+  MethodBuilder &getfield(const std::string &ClassName,
+                          const std::string &Field, const std::string &Desc);
+  MethodBuilder &putfield(const std::string &ClassName,
+                          const std::string &Field, const std::string &Desc);
+  MethodBuilder &getstatic(const std::string &ClassName,
+                           const std::string &Field, const std::string &Desc);
+  MethodBuilder &putstatic(const std::string &ClassName,
+                           const std::string &Field, const std::string &Desc);
+  MethodBuilder &instanceofOp(const std::string &ClassName);
+  MethodBuilder &checkcast(const std::string &ClassName);
+
+  // --- Calls ----------------------------------------------------------------
+  MethodBuilder &invokevirtual(const std::string &ClassName,
+                               const std::string &Method,
+                               const std::string &MethodSig);
+  MethodBuilder &invokestatic(const std::string &ClassName,
+                              const std::string &Method,
+                              const std::string &MethodSig);
+  MethodBuilder &invokespecial(const std::string &ClassName,
+                               const std::string &Method,
+                               const std::string &MethodSig);
+
+  // --- Arrays ---------------------------------------------------------------
+  MethodBuilder &newarray(const std::string &ElemDesc);
+  MethodBuilder &aload();
+  MethodBuilder &astore();
+  MethodBuilder &arraylength();
+
+  // --- Returns and misc -----------------------------------------------------
+  MethodBuilder &ret();
+  MethodBuilder &iret();
+  MethodBuilder &aret();
+  MethodBuilder &nop();
+  MethodBuilder &intrinsic(IntrinsicId Id);
+
+  /// Appends a raw instruction (escape hatch for tests).
+  MethodBuilder &raw(Instr I);
+
+  /// Resolves labels and returns the finished method. Aborts on an unbound
+  /// label. May be called once.
+  MethodDef build();
+
+private:
+  MethodBuilder &emit(Instr I);
+
+  MethodDef Def;
+  std::map<std::string, size_t> Labels;
+  std::vector<std::pair<size_t, std::string>> Fixups; ///< (instr, label)
+  uint16_t MaxSlotTouched = 0;
+  bool LocalsExplicit = false;
+  bool Built = false;
+};
+
+/// Builds one class.
+class ClassBuilder {
+public:
+  explicit ClassBuilder(std::string Name, std::string Super = "Object");
+
+  /// Adds an instance field.
+  ClassBuilder &field(const std::string &Name, const std::string &Desc,
+                      Access A = Access::Public, bool IsFinal = false);
+
+  /// Adds a static field.
+  ClassBuilder &staticField(const std::string &Name, const std::string &Desc,
+                            Access A = Access::Public);
+
+  /// Starts an instance method; the returned builder stays owned by this
+  /// class builder and is finished by build().
+  MethodBuilder &method(const std::string &Name, const std::string &Sig);
+
+  /// Starts a static method.
+  MethodBuilder &staticMethod(const std::string &Name, const std::string &Sig);
+
+  /// Finishes every method and returns the class. May be called once.
+  ClassDef build();
+
+private:
+  ClassDef Def;
+  std::vector<std::unique_ptr<MethodBuilder>> Methods;
+  bool Built = false;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_BYTECODE_BUILDER_H

@@ -1,0 +1,42 @@
+#include "bytecode/Builtins.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+void jvolve::ensureBuiltins(ClassSet &Set) {
+  if (!Set.contains(ObjectClassName)) {
+    ClassDef Object(ObjectClassName, "");
+    Set.add(std::move(Object));
+  }
+  if (!Set.contains(StringClassName)) {
+    ClassDef Str(StringClassName, ObjectClassName);
+    Str.Fields.push_back({StringIdField, "I", /*IsStatic=*/false,
+                          /*IsFinal=*/true, Access::Private});
+    Set.add(std::move(Str));
+  }
+}
+
+bool jvolve::isBuiltinClass(const std::string &Name) {
+  return Name == ObjectClassName || Name == StringClassName;
+}
+
+std::string jvolve::intrinsicSignature(IntrinsicId Id) {
+  switch (Id) {
+  case IntrinsicId::PrintInt: return "(I)V";
+  case IntrinsicId::PrintStr: return "(LString;)V";
+  case IntrinsicId::CurrentTicks: return "()I";
+  case IntrinsicId::SleepTicks: return "(I)V";
+  case IntrinsicId::NetAccept: return "(I)I";
+  case IntrinsicId::NetTryAccept: return "(I)I";
+  case IntrinsicId::NetRecv: return "(I)I";
+  case IntrinsicId::NetSend: return "(II)V";
+  case IntrinsicId::NetClose: return "(I)V";
+  case IntrinsicId::StrEquals: return "(LString;LString;)I";
+  case IntrinsicId::StrLength: return "(LString;)I";
+  case IntrinsicId::StrConcat: return "(LString;LString;)LString;";
+  case IntrinsicId::StrIndexOf: return "(LString;I)I";
+  case IntrinsicId::Rand: return "(I)I";
+  }
+  unreachable("unknown intrinsic");
+}

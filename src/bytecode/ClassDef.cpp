@@ -1,0 +1,113 @@
+#include "bytecode/ClassDef.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+const FieldDef *ClassDef::findField(const std::string &FieldName) const {
+  for (const FieldDef &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const MethodDef *ClassDef::findMethod(const std::string &MethodName,
+                                      const std::string &MethodSig) const {
+  for (const MethodDef &M : Methods)
+    if (M.Name == MethodName && (MethodSig.empty() || M.Sig == MethodSig))
+      return &M;
+  return nullptr;
+}
+
+MethodDef *ClassDef::findMethod(const std::string &MethodName,
+                                const std::string &MethodSig) {
+  for (MethodDef &M : Methods)
+    if (M.Name == MethodName && (MethodSig.empty() || M.Sig == MethodSig))
+      return &M;
+  return nullptr;
+}
+
+void ClassSet::add(ClassDef Def) {
+  if (Classes.count(Def.Name))
+    fatalError("duplicate class '" + Def.Name + "' in class set");
+  std::string Name = Def.Name;
+  Classes.emplace(std::move(Name), std::move(Def));
+}
+
+void ClassSet::replace(ClassDef Def) {
+  std::string Name = Def.Name;
+  Classes[Name] = std::move(Def);
+}
+
+void ClassSet::remove(const std::string &Name) {
+  if (!Classes.erase(Name))
+    fatalError("removing unknown class '" + Name + "'");
+}
+
+const ClassDef *ClassSet::find(const std::string &Name) const {
+  auto It = Classes.find(Name);
+  return It == Classes.end() ? nullptr : &It->second;
+}
+
+ClassDef *ClassSet::find(const std::string &Name) {
+  auto It = Classes.find(Name);
+  return It == Classes.end() ? nullptr : &It->second;
+}
+
+const FieldDef *ClassSet::resolveField(const std::string &Name,
+                                       const std::string &FieldName,
+                                       std::string *DeclaringClass) const {
+  for (const std::string &C : superChain(Name)) {
+    const ClassDef *Def = find(C);
+    if (!Def)
+      break;
+    if (const FieldDef *F = Def->findField(FieldName)) {
+      if (DeclaringClass)
+        *DeclaringClass = C;
+      return F;
+    }
+  }
+  return nullptr;
+}
+
+const MethodDef *ClassSet::resolveMethod(const std::string &Name,
+                                         const std::string &MethodName,
+                                         const std::string &MethodSig,
+                                         std::string *DeclaringClass) const {
+  for (const std::string &C : superChain(Name)) {
+    const ClassDef *Def = find(C);
+    if (!Def)
+      break;
+    if (const MethodDef *M = Def->findMethod(MethodName, MethodSig)) {
+      if (DeclaringClass)
+        *DeclaringClass = C;
+      return M;
+    }
+  }
+  return nullptr;
+}
+
+bool ClassSet::isSubclassOf(const std::string &Sub,
+                            const std::string &Super) const {
+  for (const std::string &C : superChain(Sub))
+    if (C == Super)
+      return true;
+  return false;
+}
+
+std::vector<std::string> ClassSet::superChain(const std::string &Name) const {
+  std::vector<std::string> Chain;
+  std::string Cur = Name;
+  while (!Cur.empty()) {
+    // Guard against supers cycles; the verifier reports them properly.
+    for (const std::string &Seen : Chain)
+      if (Seen == Cur)
+        return Chain;
+    Chain.push_back(Cur);
+    const ClassDef *Def = find(Cur);
+    if (!Def)
+      break;
+    Cur = Def->Super;
+  }
+  return Chain;
+}

@@ -1,0 +1,80 @@
+#include "bytecode/Instruction.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+const char *jvolve::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop: return "nop";
+  case Opcode::IConst: return "iconst";
+  case Opcode::SConst: return "sconst";
+  case Opcode::NullConst: return "nullconst";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::IAdd: return "iadd";
+  case Opcode::ISub: return "isub";
+  case Opcode::IMul: return "imul";
+  case Opcode::IDiv: return "idiv";
+  case Opcode::IRem: return "irem";
+  case Opcode::INeg: return "ineg";
+  case Opcode::Dup: return "dup";
+  case Opcode::Pop: return "pop";
+  case Opcode::Goto: return "goto";
+  case Opcode::IfEq: return "ifeq";
+  case Opcode::IfNe: return "ifne";
+  case Opcode::IfLt: return "iflt";
+  case Opcode::IfGe: return "ifge";
+  case Opcode::IfGt: return "ifgt";
+  case Opcode::IfLe: return "ifle";
+  case Opcode::IfICmpEq: return "if_icmpeq";
+  case Opcode::IfICmpNe: return "if_icmpne";
+  case Opcode::IfICmpLt: return "if_icmplt";
+  case Opcode::IfICmpGe: return "if_icmpge";
+  case Opcode::IfICmpGt: return "if_icmpgt";
+  case Opcode::IfICmpLe: return "if_icmple";
+  case Opcode::IfNull: return "ifnull";
+  case Opcode::IfNonNull: return "ifnonnull";
+  case Opcode::IfACmpEq: return "if_acmpeq";
+  case Opcode::IfACmpNe: return "if_acmpne";
+  case Opcode::New: return "new";
+  case Opcode::GetField: return "getfield";
+  case Opcode::PutField: return "putfield";
+  case Opcode::GetStatic: return "getstatic";
+  case Opcode::PutStatic: return "putstatic";
+  case Opcode::InstanceOf: return "instanceof";
+  case Opcode::CheckCast: return "checkcast";
+  case Opcode::InvokeVirtual: return "invokevirtual";
+  case Opcode::InvokeStatic: return "invokestatic";
+  case Opcode::InvokeSpecial: return "invokespecial";
+  case Opcode::NewArray: return "newarray";
+  case Opcode::ALoad: return "aload";
+  case Opcode::AStore: return "astore";
+  case Opcode::ArrayLength: return "arraylength";
+  case Opcode::Return: return "return";
+  case Opcode::IReturn: return "ireturn";
+  case Opcode::AReturn: return "areturn";
+  case Opcode::Intrinsic: return "intrinsic";
+  }
+  unreachable("unknown opcode");
+}
+
+const char *jvolve::intrinsicName(IntrinsicId Id) {
+  switch (Id) {
+  case IntrinsicId::PrintInt: return "print_int";
+  case IntrinsicId::PrintStr: return "print_str";
+  case IntrinsicId::CurrentTicks: return "current_ticks";
+  case IntrinsicId::SleepTicks: return "sleep_ticks";
+  case IntrinsicId::NetAccept: return "net_accept";
+  case IntrinsicId::NetTryAccept: return "net_try_accept";
+  case IntrinsicId::NetRecv: return "net_recv";
+  case IntrinsicId::NetSend: return "net_send";
+  case IntrinsicId::NetClose: return "net_close";
+  case IntrinsicId::StrEquals: return "str_equals";
+  case IntrinsicId::StrLength: return "str_length";
+  case IntrinsicId::StrConcat: return "str_concat";
+  case IntrinsicId::StrIndexOf: return "str_index_of";
+  case IntrinsicId::Rand: return "rand";
+  }
+  unreachable("unknown intrinsic");
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM bytecode instruction set.
+///
+/// A typed stack machine in the style of JVM bytecode. Field and method
+/// references are symbolic ("Class.member" plus a descriptor); the
+/// quickening compiler in src/exec resolves them to numeric offsets, vtable
+/// slots, and method ids — the hard-coded offsets that make category-(2)
+/// "indirect method updates" necessary (paper §3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BYTECODE_INSTRUCTION_H
+#define JVOLVE_BYTECODE_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace jvolve {
+
+/// Bytecode opcodes.
+enum class Opcode : uint8_t {
+  Nop,
+  // Constants.
+  IConst,    ///< push IVal
+  SConst,    ///< push interned String object for Str
+  NullConst, ///< push null reference
+  // Locals.
+  Load,  ///< push local slot IVal
+  Store, ///< pop into local slot IVal
+  // Integer arithmetic (pop 2 / push 1, except INeg).
+  IAdd, ISub, IMul, IDiv, IRem, INeg,
+  // Stack manipulation.
+  Dup, Pop,
+  // Control flow; IVal is the bytecode target index.
+  Goto,
+  IfEq, IfNe, IfLt, IfGe, IfGt, IfLe,             ///< pop int, compare to 0
+  IfICmpEq, IfICmpNe, IfICmpLt, IfICmpGe, IfICmpGt, IfICmpLe, ///< pop 2 ints
+  IfNull, IfNonNull,                              ///< pop ref
+  IfACmpEq, IfACmpNe,                             ///< pop 2 refs
+  // Objects. Sym names the class or "Class.field"; Sig is a type descriptor.
+  New,       ///< allocate instance of class Sym; push ref
+  GetField,  ///< pop ref, push field Sym (declared type Sig)
+  PutField,  ///< pop value, pop ref, store into field Sym
+  GetStatic, ///< push static field Sym
+  PutStatic, ///< pop value into static field Sym
+  InstanceOf, ///< pop ref, push 1 if instance of class Sym else 0
+  CheckCast,  ///< pop ref, push it back; runtime type must conform to Sym
+  // Calls. Sym is "Class.method", Sig the method signature.
+  InvokeVirtual, ///< dynamic dispatch through the receiver's TIB
+  InvokeStatic,  ///< direct call of a static method
+  InvokeSpecial, ///< direct call of an instance method (constructors)
+  // Arrays. Sig is the element type descriptor for NewArray.
+  NewArray,    ///< pop length, push new array
+  ALoad,       ///< pop index, pop array, push element
+  AStore,      ///< pop value, pop index, pop array, store element
+  ArrayLength, ///< pop array, push length
+  // Returns.
+  Return,  ///< return void
+  IReturn, ///< return int
+  AReturn, ///< return reference
+  // VM services. IVal selects the intrinsic (see IntrinsicId).
+  Intrinsic,
+};
+
+/// Built-in VM services callable from bytecode. These stand in for the
+/// native I/O the real server applications perform (sockets, logging) and
+/// for scheduling hooks (sleep).
+enum class IntrinsicId : int64_t {
+  PrintInt,     ///< (I)V: print an int to the VM log
+  PrintStr,     ///< (LString;)V: print a string to the VM log
+  CurrentTicks, ///< ()I: current virtual clock
+  SleepTicks,   ///< (I)V: block the thread for IVal virtual ticks
+  NetAccept,    ///< (I)I: block until a connection arrives on port; conn id
+  NetTryAccept, ///< (I)I: non-blocking accept; -1 when no connection waits
+  NetRecv,      ///< (I)I: block for the next request on a connection; -1=EOF
+  NetSend,      ///< (II)V: send a response value on a connection
+  NetClose,     ///< (I)V: close a connection
+  StrEquals,    ///< (LString;LString;)I
+  StrLength,    ///< (LString;)I
+  StrConcat,    ///< (LString;LString;)LString;
+  StrIndexOf,   ///< (LString;I)I: index of char code, -1 if absent
+  Rand,         ///< (I)I: deterministic pseudo-random value in [0, bound)
+};
+
+/// One bytecode instruction. Operand use depends on the opcode; unused
+/// operands stay at their defaults and compare equal in method diffs.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  int64_t IVal = 0;  ///< constant / local slot / branch target / intrinsic
+  std::string Sym;   ///< "Class" or "Class.member" symbolic reference
+  std::string Sig;   ///< type or method descriptor
+  std::string Str;   ///< string literal (SConst)
+
+  bool operator==(const Instr &Other) const = default;
+};
+
+/// \returns a human-readable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// \returns a human-readable name for \p Id.
+const char *intrinsicName(IntrinsicId Id);
+
+} // namespace jvolve
+
+#endif // JVOLVE_BYTECODE_INSTRUCTION_H

@@ -1,0 +1,92 @@
+#include "bytecode/Printer.h"
+
+#include <cstdio>
+
+using namespace jvolve;
+
+std::string jvolve::printInstr(const Instr &I) {
+  std::string Out = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::Load:
+  case Opcode::Store:
+    Out += " " + std::to_string(I.IVal);
+    break;
+  case Opcode::SConst:
+    Out += " \"" + I.Str + "\"";
+    break;
+  case Opcode::Goto:
+  case Opcode::IfEq: case Opcode::IfNe: case Opcode::IfLt: case Opcode::IfGe:
+  case Opcode::IfGt: case Opcode::IfLe: case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe: case Opcode::IfICmpLt: case Opcode::IfICmpGe:
+  case Opcode::IfICmpGt: case Opcode::IfICmpLe: case Opcode::IfNull:
+  case Opcode::IfNonNull: case Opcode::IfACmpEq: case Opcode::IfACmpNe:
+    Out += " @" + std::to_string(I.IVal);
+    break;
+  case Opcode::New:
+  case Opcode::InstanceOf:
+  case Opcode::CheckCast:
+    Out += " " + I.Sym;
+    break;
+  case Opcode::GetField: case Opcode::PutField:
+  case Opcode::GetStatic: case Opcode::PutStatic:
+    Out += " " + I.Sym + " " + I.Sig;
+    break;
+  case Opcode::InvokeVirtual: case Opcode::InvokeStatic:
+  case Opcode::InvokeSpecial:
+    Out += " " + I.Sym + I.Sig;
+    break;
+  case Opcode::NewArray:
+    Out += " " + I.Sig;
+    break;
+  case Opcode::Intrinsic:
+    Out += std::string(" ") +
+           intrinsicName(static_cast<IntrinsicId>(I.IVal));
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+std::string jvolve::printMethod(const MethodDef &M) {
+  std::string Out;
+  Out += M.IsStatic ? "static " : "";
+  Out += M.Name + M.Sig + " locals=" + std::to_string(M.NumLocals) + " {\n";
+  for (size_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "  %4zu: ", Pc);
+    Out += Buf;
+    Out += printInstr(M.Code[Pc]);
+    Out += '\n';
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string jvolve::printClass(const ClassDef &C) {
+  std::string Out = "class " + C.Name;
+  if (!C.Super.empty())
+    Out += " extends " + C.Super;
+  Out += " {\n";
+  for (const FieldDef &F : C.Fields) {
+    Out += "  ";
+    if (F.IsStatic)
+      Out += "static ";
+    if (F.IsFinal)
+      Out += "final ";
+    Out += F.TypeDesc + " " + F.Name + ";\n";
+  }
+  for (const MethodDef &M : C.Methods) {
+    std::string Body = printMethod(M);
+    // Indent the method block by two spaces.
+    Out += "  ";
+    for (size_t I = 0; I < Body.size(); ++I) {
+      Out += Body[I];
+      if (Body[I] == '\n' && I + 1 != Body.size())
+        Out += "  ";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

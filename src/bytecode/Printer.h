@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disassembler for MiniVM bytecode, used in diagnostics and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BYTECODE_PRINTER_H
+#define JVOLVE_BYTECODE_PRINTER_H
+
+#include "bytecode/ClassDef.h"
+
+#include <string>
+
+namespace jvolve {
+
+/// Renders one instruction, e.g. "getfield User.age I".
+std::string printInstr(const Instr &I);
+
+/// Renders a method header and numbered body.
+std::string printMethod(const MethodDef &M);
+
+/// Renders a whole class: fields then methods.
+std::string printClass(const ClassDef &C);
+
+} // namespace jvolve
+
+#endif // JVOLVE_BYTECODE_PRINTER_H

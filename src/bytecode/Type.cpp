@@ -1,0 +1,111 @@
+#include "bytecode/Type.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace jvolve;
+
+/// Parses one type descriptor starting at \p Pos in \p S. On success,
+/// advances \p Pos past the descriptor and returns true.
+static bool consumeDescriptor(const std::string &S, size_t &Pos) {
+  if (Pos >= S.size())
+    return false;
+  switch (S[Pos]) {
+  case 'V':
+  case 'I':
+    ++Pos;
+    return true;
+  case 'L': {
+    size_t End = S.find(';', Pos);
+    if (End == std::string::npos || End == Pos + 1)
+      return false;
+    Pos = End + 1;
+    return true;
+  }
+  case '[':
+    ++Pos;
+    // Void cannot be an element type.
+    if (Pos < S.size() && S[Pos] == 'V')
+      return false;
+    return consumeDescriptor(S, Pos);
+  default:
+    return false;
+  }
+}
+
+bool Type::isValidDescriptor(const std::string &Descriptor) {
+  size_t Pos = 0;
+  return consumeDescriptor(Descriptor, Pos) && Pos == Descriptor.size();
+}
+
+Type Type::parse(const std::string &Descriptor) {
+  if (!isValidDescriptor(Descriptor))
+    fatalError("malformed type descriptor: '" + Descriptor + "'");
+  switch (Descriptor[0]) {
+  case 'V':
+    return Type(Kind::Void, Descriptor);
+  case 'I':
+    return Type(Kind::Int, Descriptor);
+  case 'L':
+    return Type(Kind::Ref, Descriptor);
+  case '[':
+    return Type(Kind::Array, Descriptor);
+  default:
+    unreachable("descriptor validated but unparseable");
+  }
+}
+
+std::string Type::className() const {
+  assert(isRef() && "className() requires a Ref type");
+  return Desc.substr(1, Desc.size() - 2);
+}
+
+Type Type::elementType() const {
+  assert(isArray() && "elementType() requires an Array type");
+  return Type::parse(Desc.substr(1));
+}
+
+bool MethodSignature::isValidSignature(const std::string &Descriptor) {
+  if (Descriptor.empty() || Descriptor[0] != '(')
+    return false;
+  size_t Pos = 1;
+  while (Pos < Descriptor.size() && Descriptor[Pos] != ')') {
+    // Parameters may not be void.
+    if (Descriptor[Pos] == 'V')
+      return false;
+    if (!consumeDescriptor(Descriptor, Pos))
+      return false;
+  }
+  if (Pos >= Descriptor.size() || Descriptor[Pos] != ')')
+    return false;
+  ++Pos;
+  size_t RetStart = Pos;
+  if (!consumeDescriptor(Descriptor, Pos) || Pos != Descriptor.size())
+    return false;
+  (void)RetStart;
+  return true;
+}
+
+MethodSignature MethodSignature::parse(const std::string &Descriptor) {
+  if (!isValidSignature(Descriptor))
+    fatalError("malformed method signature: '" + Descriptor + "'");
+  MethodSignature Sig;
+  size_t Pos = 1;
+  while (Descriptor[Pos] != ')') {
+    size_t Start = Pos;
+    consumeDescriptor(Descriptor, Pos);
+    Sig.Params.push_back(Type::parse(Descriptor.substr(Start, Pos - Start)));
+  }
+  Sig.Return = Type::parse(Descriptor.substr(Pos + 1));
+  return Sig;
+}
+
+std::string MethodSignature::descriptor() const {
+  std::string Out = "(";
+  for (const Type &P : Params)
+    Out += P.descriptor();
+  Out += ")";
+  Out += Return.descriptor();
+  return Out;
+}

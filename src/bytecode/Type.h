@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type descriptors for MiniVM bytecode.
+///
+/// MiniVM uses JVM-style descriptor strings: "I" (int), "V" (void),
+/// "LUser;" (reference to class User), "[I" / "[LUser;" (arrays). Method
+/// signatures look like "(ILUser;)V". The descriptor form keeps class
+/// references symbolic, which is what the Update Preparation Tool diffs and
+/// what the verifier resolves against a ClassSet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BYTECODE_TYPE_H
+#define JVOLVE_BYTECODE_TYPE_H
+
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// An immutable type descriptor.
+class Type {
+public:
+  enum class Kind { Void, Int, Ref, Array };
+
+  Type() : TheKind(Kind::Void), Desc("V") {}
+
+  /// Parses \p Descriptor ("I", "V", "LName;", "[...") into a Type.
+  /// Aborts on a malformed descriptor; use isValidDescriptor to pre-check.
+  static Type parse(const std::string &Descriptor);
+
+  /// \returns true if \p Descriptor is a well-formed type descriptor.
+  static bool isValidDescriptor(const std::string &Descriptor);
+
+  static Type voidTy() { return Type(Kind::Void, "V"); }
+  static Type intTy() { return Type(Kind::Int, "I"); }
+  static Type refTy(const std::string &ClassName) {
+    return Type(Kind::Ref, "L" + ClassName + ";");
+  }
+  static Type arrayOf(const Type &Elem) {
+    return Type(Kind::Array, "[" + Elem.descriptor());
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isRef() const { return TheKind == Kind::Ref; }
+  bool isArray() const { return TheKind == Kind::Array; }
+
+  /// \returns true for types stored as heap references (classes and arrays).
+  bool isReferenceLike() const { return isRef() || isArray(); }
+
+  /// Class name of a Ref type ("User" for "LUser;"). Aborts otherwise.
+  std::string className() const;
+
+  /// Element type of an Array type. Aborts otherwise.
+  Type elementType() const;
+
+  /// The canonical descriptor string.
+  const std::string &descriptor() const { return Desc; }
+
+  bool operator==(const Type &Other) const { return Desc == Other.Desc; }
+  bool operator!=(const Type &Other) const { return Desc != Other.Desc; }
+
+private:
+  Type(Kind K, std::string D) : TheKind(K), Desc(std::move(D)) {}
+
+  Kind TheKind;
+  std::string Desc;
+};
+
+/// A parsed method signature: parameter types and return type.
+struct MethodSignature {
+  std::vector<Type> Params;
+  Type Return;
+
+  /// Parses "(<param descriptors>)<return descriptor>". Aborts if malformed.
+  static MethodSignature parse(const std::string &Descriptor);
+
+  /// \returns true if \p Descriptor is a well-formed method signature.
+  static bool isValidSignature(const std::string &Descriptor);
+
+  /// Renders back to descriptor form.
+  std::string descriptor() const;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_BYTECODE_TYPE_H

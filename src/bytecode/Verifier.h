@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM bytecode verifier.
+///
+/// Jvolve "relies on bytecode verification to statically type-check updated
+/// classes" (paper §1): an update is only type-safe because the *entire new
+/// program version* verifies before it is installed. This verifier performs
+/// abstract interpretation over a type lattice per method and whole-program
+/// resolution checks (superclasses exist, no hierarchy cycles, every
+/// symbolic field/method reference resolves with matching types and
+/// accessibility).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BYTECODE_VERIFIER_H
+#define JVOLVE_BYTECODE_VERIFIER_H
+
+#include "bytecode/ClassDef.h"
+
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// One verification diagnostic.
+struct VerifyError {
+  std::string ClassName;
+  std::string MethodName; ///< empty for class-level errors
+  int Pc = -1;            ///< bytecode index, -1 for non-code errors
+  std::string Message;
+
+  /// Renders "Class.method@pc: message".
+  std::string str() const;
+};
+
+/// Verifies complete program versions (ClassSets).
+class Verifier {
+public:
+  /// \p Set must already contain the built-in classes (ensureBuiltins).
+  explicit Verifier(const ClassSet &Set) : Set(Set) {}
+
+  /// Verifies every class; returns all diagnostics (empty means the program
+  /// is type-correct and safe to load).
+  std::vector<VerifyError> verifyAll() const;
+
+  /// Verifies a single class (hierarchy + every method body).
+  void verifyClass(const ClassDef &Cls, std::vector<VerifyError> &Errs) const;
+
+  /// Verifies a single method body in the context of its class.
+  void verifyMethod(const ClassDef &Cls, const MethodDef &M,
+                    std::vector<VerifyError> &Errs) const;
+
+private:
+  const ClassSet &Set;
+};
+
+/// Convenience: true if \p Set verifies with no errors. \p Set must contain
+/// the built-ins.
+bool verifies(const ClassSet &Set);
+
+} // namespace jvolve
+
+#endif // JVOLVE_BYTECODE_VERIFIER_H

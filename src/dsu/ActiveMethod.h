@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Active-method updates: the paper's §3.5 future-work extension,
+/// implemented.
+///
+/// "For changed methods the user wishes to update while they run, she must
+/// additionally provide a mapping between the yield points in the old
+/// method to similar points in the new method ... The user would also have
+/// to provide the analogue of an object transformer for initializing the
+/// contents of the new method's stack frame" — exactly the support UpStare
+/// provides for C. With a mapping registered, a *changed* method that
+/// never leaves the stack (the failure mode of Jetty 5.1.3 and
+/// JavaEmailServer 1.3) can be replaced on-stack: the frame's program
+/// counter is translated through the PC map, locals are carried over (or
+/// rebuilt by the frame transformer), and the operand stack is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_ACTIVEMETHOD_H
+#define JVOLVE_DSU_ACTIVEMETHOD_H
+
+#include "bytecode/ClassDef.h"
+#include "dsu/UpdateSpec.h"
+#include "runtime/Slot.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace jvolve {
+
+class TransformCtx;
+
+/// Rebuilds the new frame's locals from the old frame's locals (the stack
+/// analogue of jvolveObject). When absent, locals are copied by slot
+/// index.
+using FrameTransformer = std::function<void(
+    TransformCtx &, const std::vector<Slot> &OldLocals,
+    std::vector<Slot> &NewLocals)>;
+
+/// A user-supplied recipe for updating one changed method while it is on
+/// the stack.
+struct ActiveMethodMapping {
+  /// The method, named as in the *old* version.
+  MethodRef Method;
+
+  /// Old bytecode index -> new bytecode index, for every program counter
+  /// the thread may be parked at (yield points, sleep-resume points, and
+  /// blocking intrinsics). A frame parked at an unmapped pc stays
+  /// restricted.
+  std::map<uint32_t, uint32_t> PcMap;
+
+  /// Optional locals rebuild; identity-by-slot when absent.
+  FrameTransformer Frame;
+
+  /// Identity mapping pc -> pc covering 0 .. NewCodeLen-1. Correct
+  /// whenever the new body only *appends* code (or is pc-compatible).
+  static ActiveMethodMapping identity(MethodRef M, size_t NewCodeLen) {
+    ActiveMethodMapping Out;
+    Out.Method = std::move(M);
+    for (size_t Pc = 0; Pc < NewCodeLen; ++Pc)
+      Out.PcMap[static_cast<uint32_t>(Pc)] = static_cast<uint32_t>(Pc);
+    return Out;
+  }
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_ACTIVEMETHOD_H

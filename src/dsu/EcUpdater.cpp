@@ -1,0 +1,59 @@
+#include "dsu/EcUpdater.h"
+
+#include "bytecode/Builtins.h"
+#include "bytecode/Verifier.h"
+
+#include <cassert>
+
+using namespace jvolve;
+
+bool EcUpdater::apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
+                      std::string *WhyNot) {
+  auto Fail = [&](const std::string &Msg) {
+    if (WhyNot)
+      *WhyNot = Msg;
+    return false;
+  };
+
+  if (!Spec.ClassUpdates.empty())
+    return Fail("class signature changes are not supported");
+  if (!Spec.AddedClasses.empty() || !Spec.DeletedClasses.empty())
+    return Fail("class additions/deletions are not supported");
+
+  ClassSet Program = NewProgram;
+  ensureBuiltins(Program);
+  if (!verifies(Program))
+    return Fail("new version fails verification");
+
+  ClassRegistry &Reg = TheVM.registry();
+  for (const MethodRef &R : Spec.MethodBodyUpdates) {
+    ClassId Cls = Reg.idOf(R.ClassName);
+    assert(Cls != InvalidClassId && "body update on unknown class");
+    MethodId Id = Reg.resolveMethod(Cls, R.Name, R.Sig);
+    assert(Id != InvalidMethodId && "body update on unknown method");
+    const ClassDef *NewCls = Program.find(R.ClassName);
+    const MethodDef *NewBody = NewCls->findMethod(R.Name, R.Sig);
+    assert(NewBody && "method missing from new version");
+    Reg.setMethodBody(Id, *NewBody);
+  }
+
+  // HotSwap-style: callers that inlined an updated body must recompile.
+  std::set<MethodId> Changed;
+  for (const MethodRef &R : Spec.MethodBodyUpdates) {
+    ClassId Cls = Reg.idOf(R.ClassName);
+    Changed.insert(Reg.resolveMethod(Cls, R.Name, R.Sig));
+  }
+  for (MethodId Id = 0; Id < Reg.numMethods(); ++Id) {
+    RtMethod &M = Reg.method(Id);
+    if (!M.Code)
+      continue;
+    for (MethodId Inl : M.Code->Inlined)
+      if (Changed.count(Inl)) {
+        Reg.invalidateCode(Id);
+        break;
+      }
+  }
+
+  TheVM.setProgram(Program);
+  return true;
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-and-continue baseline (paper §5, "Edit and continue").
+///
+/// Systems like Sun's HotSwap and .NET E&C restrict updates to code changes
+/// that leave every class signature intact: no field additions/deletions/
+/// type changes and no method signature changes. This module reproduces
+/// both halves of the paper's comparison: the support *decision* used for
+/// the "method-body-only systems support 9 of the 22 updates" headline, and
+/// an actual body-swapping updater for the updates it does support.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_ECUPDATER_H
+#define JVOLVE_DSU_ECUPDATER_H
+
+#include "dsu/UpdateSpec.h"
+#include "vm/VM.h"
+
+#include <string>
+
+namespace jvolve {
+
+/// Method-body-only dynamic updating.
+class EcUpdater {
+public:
+  explicit EcUpdater(VM &TheVM) : TheVM(TheVM) {}
+
+  /// The paper's support criterion for method-body-only systems: an update
+  /// is unsupported as soon as it "changes method signatures and/or adds or
+  /// deletes fields" (§4.2).
+  static bool supports(const UpdateSummary &Summary) {
+    return Summary.FieldsAdded == 0 && Summary.FieldsDeleted == 0 &&
+           Summary.MethodsSigChanged == 0;
+  }
+
+  /// Applies a strictly body-only update (no class-signature changes at
+  /// all): swaps bytecode and invalidates compiled code, HotSwap-style.
+  /// Active invocations keep running the old bodies. \returns false (with
+  /// \p WhyNot) when the spec is outside even this restricted model.
+  bool apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
+             std::string *WhyNot = nullptr);
+
+private:
+  VM &TheVM;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_ECUPDATER_H

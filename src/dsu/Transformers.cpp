@@ -1,0 +1,220 @@
+#include "dsu/Transformers.h"
+
+#include "runtime/ObjectModel.h"
+#include "support/Error.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+
+using namespace jvolve;
+
+const RtField *TransformCtx::fieldOf(Ref Obj,
+                                     const std::string &Field) const {
+  assert(Obj && "field access on null in transformer");
+  const RtClass &C = TheVM.registry().cls(classOf(Obj));
+  const RtField *F = C.findInstanceField(Field);
+  if (!F)
+    fatalError("transformer: class " + C.Name + " has no field '" + Field +
+               "'");
+  return F;
+}
+
+int64_t TransformCtx::getInt(Ref Obj, const std::string &Field) const {
+  return getIntAt(Obj, fieldOf(Obj, Field)->Offset);
+}
+
+Ref TransformCtx::getRef(Ref Obj, const std::string &Field) const {
+  return getRefAt(Obj, fieldOf(Obj, Field)->Offset);
+}
+
+void TransformCtx::setInt(Ref Obj, const std::string &Field, int64_t Value) {
+  setIntAt(Obj, fieldOf(Obj, Field)->Offset, Value);
+}
+
+void TransformCtx::setRef(Ref Obj, const std::string &Field, Ref Value) {
+  setRefAt(Obj, fieldOf(Obj, Field)->Offset, Value);
+}
+
+static Slot *staticSlot(VM &TheVM, const std::string &Cls,
+                        const std::string &Field) {
+  ClassId Id = TheVM.registry().idOf(Cls);
+  if (Id == InvalidClassId)
+    fatalError("transformer: unknown class '" + Cls + "'");
+  ClassId Declaring = InvalidClassId;
+  RtField *F = TheVM.registry().resolveStaticField(Id, Field, &Declaring);
+  if (!F)
+    fatalError("transformer: class " + Cls + " has no static '" + Field +
+               "'");
+  return &TheVM.registry().cls(Declaring).Statics[F->Offset];
+}
+
+int64_t TransformCtx::getStaticInt(const std::string &Cls,
+                                   const std::string &Field) const {
+  return staticSlot(TheVM, Cls, Field)->IntVal;
+}
+
+Ref TransformCtx::getStaticRef(const std::string &Cls,
+                               const std::string &Field) const {
+  return staticSlot(TheVM, Cls, Field)->RefVal;
+}
+
+void TransformCtx::setStaticInt(const std::string &Cls,
+                                const std::string &Field, int64_t Value) {
+  Slot *S = staticSlot(TheVM, Cls, Field);
+  S->IntVal = Value;
+  S->IsRef = false;
+}
+
+void TransformCtx::setStaticRef(const std::string &Cls,
+                                const std::string &Field, Ref Value) {
+  Slot *S = staticSlot(TheVM, Cls, Field);
+  S->RefVal = Value;
+  S->IsRef = true;
+}
+
+Ref TransformCtx::allocate(const std::string &ClassName) {
+  ClassId Id = TheVM.registry().idOf(ClassName);
+  if (Id == InvalidClassId)
+    fatalError("transformer: unknown class '" + ClassName + "'");
+  return TheVM.allocateObject(Id);
+}
+
+Ref TransformCtx::allocateArray(const std::string &ElemDesc, int64_t Length) {
+  ClassId ArrId = TheVM.registry().arrayClassOf(Type::parse(ElemDesc));
+  return TheVM.allocateArray(ArrId, Length);
+}
+
+Ref TransformCtx::newString(const std::string &Payload) {
+  return TheVM.newString(Payload);
+}
+
+std::string TransformCtx::stringValue(Ref Str) const {
+  return TheVM.stringValue(Str);
+}
+
+int64_t TransformCtx::arrayLength(Ref Arr) const {
+  assert(Arr && "null array in transformer");
+  return jvolve::arrayLength(Arr);
+}
+
+Ref TransformCtx::getElemRef(Ref Arr, int64_t Index) const {
+  assert(Index >= 0 && Index < jvolve::arrayLength(Arr));
+  return getRefAt(Arr, arrayElemOffset(Index));
+}
+
+int64_t TransformCtx::getElemInt(Ref Arr, int64_t Index) const {
+  assert(Index >= 0 && Index < jvolve::arrayLength(Arr));
+  return getIntAt(Arr, arrayElemOffset(Index));
+}
+
+void TransformCtx::setElemRef(Ref Arr, int64_t Index, Ref Value) {
+  assert(Index >= 0 && Index < jvolve::arrayLength(Arr));
+  setRefAt(Arr, arrayElemOffset(Index), Value);
+}
+
+void TransformCtx::setElemInt(Ref Arr, int64_t Index, int64_t Value) {
+  assert(Index >= 0 && Index < jvolve::arrayLength(Arr));
+  setIntAt(Arr, arrayElemOffset(Index), Value);
+}
+
+void TransformCtx::ensureTransformed(Ref Obj) {
+  if (Runner && Obj)
+    Runner->ensureTransformed(Obj);
+}
+
+TransformerRunner::TransformerRunner(
+    VM &TheVM, const UpdateBundle &Bundle,
+    std::vector<UpdateLogEntry> &UpdateLog,
+    std::unordered_map<Ref, size_t> &NewToLogIndex)
+    : TheVM(TheVM), Bundle(Bundle), UpdateLog(UpdateLog),
+      NewToLogIndex(NewToLogIndex) {}
+
+void TransformerRunner::applyDefaultObjectTransform(VM &TheVM, Ref To,
+                                                    Ref From) {
+  ClassRegistry &Reg = TheVM.registry();
+  const RtClass &NewCls = Reg.cls(classOf(To));
+  const RtClass &OldCls = Reg.cls(classOf(From));
+  for (const RtField &NF : NewCls.InstanceFields) {
+    const RtField *OF = OldCls.findInstanceField(NF.Name);
+    if (!OF || OF->Ty != NF.Ty)
+      continue; // new or retyped: keep the default value
+    if (NF.IsRef)
+      setRefAt(To, NF.Offset, getRefAt(From, OF->Offset));
+    else
+      setIntAt(To, NF.Offset, getIntAt(From, OF->Offset));
+  }
+}
+
+void TransformerRunner::applyDefaultClassTransform(
+    VM &TheVM, const std::string &NewClass, const std::string &OldClass) {
+  ClassRegistry &Reg = TheVM.registry();
+  ClassId NewId = Reg.idOf(NewClass);
+  ClassId OldId = Reg.idOf(OldClass);
+  if (NewId == InvalidClassId || OldId == InvalidClassId)
+    return;
+  RtClass &New = Reg.cls(NewId);
+  RtClass &Old = Reg.cls(OldId);
+  for (const RtField &NF : New.StaticFields) {
+    const RtField *OF = Old.findStaticField(NF.Name);
+    if (!OF || OF->Ty != NF.Ty)
+      continue;
+    New.Statics[NF.Offset] = Old.Statics[OF->Offset];
+  }
+}
+
+void TransformerRunner::transformEntry(size_t Index) {
+  UpdateLogEntry &E = UpdateLog[Index];
+  switch (E.St) {
+  case UpdateLogEntry::State::Done:
+    return;
+  case UpdateLogEntry::State::InProgress:
+    // A cycle of jvolveObject calls constitutes one or more ill-defined
+    // transformer functions (paper §3.4); the update cannot proceed.
+    fatalError("transformer cycle detected while updating " +
+               TheVM.registry().cls(classOf(E.NewObj)).Name);
+  case UpdateLogEntry::State::Pending:
+    break;
+  }
+  E.St = UpdateLogEntry::State::InProgress;
+
+  const std::string &ClassName = TheVM.registry().cls(classOf(E.NewObj)).Name;
+  TransformCtx Ctx(TheVM, this);
+  auto It = Bundle.ObjectTransformers.find(ClassName);
+  if (It != Bundle.ObjectTransformers.end())
+    It->second(Ctx, E.NewObj, E.OldCopy);
+  else
+    applyDefaultObjectTransform(TheVM, E.NewObj, E.OldCopy);
+
+  header(E.NewObj)->Flags &= ~FlagUninitialized;
+  E.St = UpdateLogEntry::State::Done;
+  ++NumTransformed;
+}
+
+void TransformerRunner::ensureTransformed(Ref NewObj) {
+  auto It = NewToLogIndex.find(NewObj);
+  if (It == NewToLogIndex.end())
+    return; // not a pending new-version object
+  transformEntry(It->second);
+}
+
+double TransformerRunner::runAll() {
+  Stopwatch Timer;
+  TheVM.setTransformationInProgress(true);
+
+  // Class transformers first (paper §3.4), defaults for the rest.
+  TransformCtx Ctx(TheVM, this);
+  for (const std::string &Name : Bundle.Spec.ClassUpdates) {
+    auto It = Bundle.ClassTransformers.find(Name);
+    if (It != Bundle.ClassTransformers.end())
+      It->second(Ctx);
+    else
+      applyDefaultClassTransform(TheVM, Name, Bundle.renamedOldClass(Name));
+  }
+
+  // Then object transformers over the whole update log.
+  for (size_t I = 0; I < UpdateLog.size(); ++I)
+    transformEntry(I);
+
+  TheVM.setTransformationInProgress(false);
+  return Timer.elapsedMs();
+}

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformer runtime (paper §2.3, §3.4).
+///
+/// TransformCtx is the privileged interface transformer bodies run against:
+/// it reads and writes object fields *by name*, bypassing access modifiers
+/// and final-ness (the role of the paper's JastAdd compiler extension), can
+/// allocate new objects/arrays/strings, and exposes the special VM function
+/// that forces a referenced object to be transformed before its fields are
+/// read (with cycle detection).
+///
+/// TransformerRunner executes, after a DSU collection, first every class
+/// transformer and then every object transformer over the update log,
+/// falling back to the UPT-generated default (copy members with matching
+/// name and type; default-initialize the rest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_TRANSFORMERS_H
+#define JVOLVE_DSU_TRANSFORMERS_H
+
+#include "dsu/UpdateBundle.h"
+#include "heap/Collector.h"
+#include "vm/VM.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jvolve {
+
+/// Privileged accessor passed to transformer bodies.
+class TransformCtx {
+public:
+  TransformCtx(VM &TheVM, class TransformerRunner *Runner)
+      : TheVM(TheVM), Runner(Runner) {}
+
+  //===--- Instance fields (by name; access modifiers are bypassed) -------===//
+  int64_t getInt(Ref Obj, const std::string &Field) const;
+  Ref getRef(Ref Obj, const std::string &Field) const;
+  void setInt(Ref Obj, const std::string &Field, int64_t Value);
+  void setRef(Ref Obj, const std::string &Field, Ref Value);
+
+  //===--- Statics (works on renamed obsolete classes too) ----------------===//
+  int64_t getStaticInt(const std::string &Cls, const std::string &Field) const;
+  Ref getStaticRef(const std::string &Cls, const std::string &Field) const;
+  void setStaticInt(const std::string &Cls, const std::string &Field,
+                    int64_t Value);
+  void setStaticRef(const std::string &Cls, const std::string &Field,
+                    Ref Value);
+
+  //===--- Allocation ------------------------------------------------------===//
+  Ref allocate(const std::string &ClassName);
+  Ref allocateArray(const std::string &ElemDesc, int64_t Length);
+  Ref newString(const std::string &Payload);
+  std::string stringValue(Ref Str) const;
+
+  //===--- Arrays -----------------------------------------------------------===//
+  int64_t arrayLength(Ref Arr) const;
+  Ref getElemRef(Ref Arr, int64_t Index) const;
+  int64_t getElemInt(Ref Arr, int64_t Index) const;
+  void setElemRef(Ref Arr, int64_t Index, Ref Value);
+  void setElemInt(Ref Arr, int64_t Index, int64_t Value);
+
+  /// The paper's special VM function: if \p Obj is a new-version object
+  /// whose transformer has not run yet, run it now. Aborts the VM on a
+  /// transformer cycle (an ill-defined transformer set).
+  void ensureTransformed(Ref Obj);
+
+  VM &vm() { return TheVM; }
+
+private:
+  const RtField *fieldOf(Ref Obj, const std::string &Field) const;
+
+  VM &TheVM;
+  class TransformerRunner *Runner;
+};
+
+/// Runs class and object transformers after a DSU collection.
+class TransformerRunner {
+public:
+  TransformerRunner(VM &TheVM, const UpdateBundle &Bundle,
+                    std::vector<UpdateLogEntry> &UpdateLog,
+                    std::unordered_map<Ref, size_t> &NewToLogIndex);
+
+  /// Executes all class transformers, then all object transformers.
+  /// \returns wall-clock milliseconds spent.
+  double runAll();
+
+  /// Force-transforms the log entry for \p NewObj (no-op when \p NewObj is
+  /// not a pending new-version object).
+  void ensureTransformed(Ref NewObj);
+
+  uint64_t objectsTransformed() const { return NumTransformed; }
+
+  /// Copies members with matching name and type from \p From (old layout)
+  /// to \p To (new layout); everything else keeps its default value.
+  static void applyDefaultObjectTransform(VM &TheVM, Ref To, Ref From);
+
+  /// Same-name same-type static copy from the renamed old class to the new
+  /// one. Missing old classes (pure additions) are a no-op.
+  static void applyDefaultClassTransform(VM &TheVM,
+                                         const std::string &NewClass,
+                                         const std::string &OldClass);
+
+private:
+  void transformEntry(size_t Index);
+
+  VM &TheVM;
+  const UpdateBundle &Bundle;
+  std::vector<UpdateLogEntry> &UpdateLog;
+  std::unordered_map<Ref, size_t> &NewToLogIndex;
+  uint64_t NumTransformed = 0;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_TRANSFORMERS_H

@@ -1,0 +1,42 @@
+#include "dsu/UpdateTrace.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+const char *jvolve::updateEventKindName(UpdateEventKind K) {
+  switch (K) {
+  case UpdateEventKind::Scheduled: return "scheduled";
+  case UpdateEventKind::Rejected: return "rejected";
+  case UpdateEventKind::SafePointAttempt: return "safe-point-attempt";
+  case UpdateEventKind::BarrierArmed: return "barrier-armed";
+  case UpdateEventKind::BarrierFired: return "barrier-fired";
+  case UpdateEventKind::OsrReplaced: return "osr-replaced";
+  case UpdateEventKind::ActiveRemapped: return "active-remapped";
+  case UpdateEventKind::ClassesInstalled: return "classes-installed";
+  case UpdateEventKind::GcCompleted: return "gc-completed";
+  case UpdateEventKind::Transformed: return "transformed";
+  case UpdateEventKind::Applied: return "applied";
+  case UpdateEventKind::TimedOut: return "timed-out";
+  }
+  unreachable("bad update event kind");
+}
+
+std::string UpdateEvent::str() const {
+  std::string Out =
+      "[" + std::to_string(Tick) + "] " + updateEventKindName(Kind);
+  if (Value != 0)
+    Out += " (" + std::to_string(Value) + ")";
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  return Out;
+}
+
+std::string UpdateTrace::str() const {
+  std::string Out;
+  for (const UpdateEvent &E : Events) {
+    Out += E.str();
+    Out += '\n';
+  }
+  return Out;
+}

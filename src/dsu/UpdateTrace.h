@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Update tracing: a structured event log of one update's lifecycle.
+///
+/// The paper narrates updates in prose ("we installed a return barrier on
+/// PoolThread.run(), but this barrier is never triggered…", §4.2); a
+/// production DSU VM needs that narrative as data. The updater appends an
+/// event per protocol step — schedule, safe-point attempt, frame
+/// classification counts, barrier arm/fire, OSR, active-frame remap,
+/// install phases with timings, transformation totals, and the final
+/// outcome — and exposes the trace in UpdateResult for logging, tests,
+/// and the pause-breakdown bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_UPDATETRACE_H
+#define JVOLVE_DSU_UPDATETRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Kinds of update-lifecycle events.
+enum class UpdateEventKind : uint8_t {
+  Scheduled,        ///< update signaled to the VM
+  Rejected,         ///< failed validation (verification / hierarchy)
+  SafePointAttempt, ///< all threads parked; stacks scanned
+  BarrierArmed,     ///< return barrier installed on a restricted frame
+  BarrierFired,     ///< a barriered frame returned; protocol restarts
+  OsrReplaced,      ///< category-(2) frame replaced on-stack
+  ActiveRemapped,   ///< changed frame replaced via an ActiveMethodMapping
+  ClassesInstalled, ///< rename + load + invalidate finished
+  GcCompleted,      ///< DSU collection finished
+  Transformed,      ///< class + object transformers finished
+  Applied,          ///< update complete
+  TimedOut,         ///< safe point never reached
+};
+
+const char *updateEventKindName(UpdateEventKind K);
+
+/// One trace event.
+struct UpdateEvent {
+  UpdateEventKind Kind;
+  uint64_t Tick = 0;   ///< virtual time of the event
+  int64_t Value = 0;   ///< kind-specific count (frames, objects, ...)
+  std::string Detail;  ///< kind-specific text (method name, message)
+
+  std::string str() const;
+};
+
+/// The whole trace of one update.
+class UpdateTrace {
+public:
+  void record(UpdateEventKind Kind, uint64_t Tick, int64_t Value = 0,
+              std::string Detail = "") {
+    Events.push_back({Kind, Tick, Value, std::move(Detail)});
+  }
+
+  const std::vector<UpdateEvent> &events() const { return Events; }
+
+  /// Number of events of kind \p K.
+  int count(UpdateEventKind K) const {
+    int N = 0;
+    for (const UpdateEvent &E : Events)
+      N += E.Kind == K;
+    return N;
+  }
+
+  /// Renders the trace, one event per line.
+  std::string str() const;
+
+  void clear() { Events.clear(); }
+
+private:
+  std::vector<UpdateEvent> Events;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_UPDATETRACE_H

@@ -1,0 +1,477 @@
+#include "dsu/Updater.h"
+
+#include "bytecode/Builtins.h"
+#include "bytecode/Verifier.h"
+#include "dsu/Transformers.h"
+#include "support/Error.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace jvolve;
+
+const char *jvolve::updateStatusName(UpdateStatus S) {
+  switch (S) {
+  case UpdateStatus::None: return "none";
+  case UpdateStatus::Pending: return "pending";
+  case UpdateStatus::Applied: return "applied";
+  case UpdateStatus::TimedOut: return "timed-out";
+  case UpdateStatus::RejectedNotVerifiable: return "rejected (verification)";
+  case UpdateStatus::RejectedHierarchy: return "rejected (hierarchy)";
+  }
+  unreachable("bad update status");
+}
+
+Updater::~Updater() {
+  // Never leave dangling callbacks into a destroyed updater.
+  TheVM.setSafePointCallback(nullptr);
+  TheVM.setTickCallback(nullptr);
+  TheVM.setReturnBarrierCallback(nullptr);
+}
+
+/// Detects class-hierarchy permutations (e.g. reversing a superclass
+/// relationship), which Jvolve does not support (§2.2).
+static bool hierarchyPermuted(const ClassSet &Old, const ClassSet &New) {
+  for (const auto &[Name, Cls] : New.classes()) {
+    if (isBuiltinClass(Name) || !Old.contains(Name))
+      continue;
+    for (const std::string &NewAncestor : New.superChain(Name)) {
+      if (NewAncestor == Name || isBuiltinClass(NewAncestor))
+        continue;
+      // Name extends NewAncestor in the new version; if the old version
+      // had the opposite relationship, the update permutes the hierarchy.
+      if (Old.contains(NewAncestor) && Old.isSubclassOf(NewAncestor, Name))
+        return true;
+    }
+  }
+  return false;
+}
+
+void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
+  if (pending())
+    fatalError("an update is already pending");
+  Bundle = std::move(InBundle);
+  Opts = InOpts;
+  Result = UpdateResult();
+  ensureBuiltins(Bundle.NewProgram);
+
+  // Safety gate 1: the complete new program version must verify (§2.2).
+  std::vector<VerifyError> Errs = Verifier(Bundle.NewProgram).verifyAll();
+  if (!Errs.empty()) {
+    std::string Msg = "new version fails verification: " + Errs.front().str();
+    Result.Trace.record(UpdateEventKind::Rejected,
+                        TheVM.scheduler().ticks(), 0, Msg);
+    finish(UpdateStatus::RejectedNotVerifiable, Msg);
+    return;
+  }
+  // Safety gate 2: no hierarchy permutations.
+  if (hierarchyPermuted(TheVM.program(), Bundle.NewProgram)) {
+    Result.Trace.record(UpdateEventKind::Rejected,
+                        TheVM.scheduler().ticks(), 0,
+                        "hierarchy permutation");
+    finish(UpdateStatus::RejectedHierarchy,
+           "update permutes the class hierarchy");
+    return;
+  }
+
+  Result.Status = UpdateStatus::Pending;
+  ScheduleTick = TheVM.scheduler().ticks();
+  DeadlineTick = ScheduleTick + Opts.TimeoutTicks;
+  Result.Trace.record(UpdateEventKind::Scheduled, ScheduleTick, 0,
+                      "timeout in " + std::to_string(Opts.TimeoutTicks) +
+                          " ticks");
+
+  resolveIdSets();
+
+  TheVM.setSafePointCallback([this] { onSafePoint(); });
+  TheVM.setTickCallback([this](uint64_t Now) { onTick(Now); });
+  TheVM.setReturnBarrierCallback([this](VMThread &T) { onReturnBarrier(T); });
+  TheVM.requestYield();
+}
+
+void Updater::resolveIdSets() {
+  ClassRegistry &Reg = TheVM.registry();
+  RestrictedMethodIds.clear();
+  IndirectMethodIds.clear();
+  UpdatedOldClassIds.clear();
+
+  auto ResolveRef = [&Reg](const MethodRef &R) -> MethodId {
+    ClassId Cls = Reg.idOf(R.ClassName);
+    if (Cls == InvalidClassId)
+      return InvalidMethodId;
+    return Reg.resolveMethod(Cls, R.Name, R.Sig);
+  };
+
+  for (const MethodRef &R : Bundle.Spec.MethodBodyUpdates)
+    if (MethodId Id = ResolveRef(R); Id != InvalidMethodId)
+      RestrictedMethodIds.insert(Id);
+  for (const MethodRef &R : Bundle.Spec.RemovedMethods)
+    if (MethodId Id = ResolveRef(R); Id != InvalidMethodId)
+      RestrictedMethodIds.insert(Id);
+  for (const MethodRef &R : Bundle.Spec.Blacklist)
+    if (MethodId Id = ResolveRef(R); Id != InvalidMethodId)
+      RestrictedMethodIds.insert(Id);
+  for (const MethodRef &R : Bundle.Spec.IndirectMethods)
+    if (MethodId Id = ResolveRef(R); Id != InvalidMethodId)
+      IndirectMethodIds.insert(Id);
+
+  for (const std::string &Name : Bundle.Spec.ClassUpdates)
+    if (ClassId Id = Reg.idOf(Name); Id != InvalidClassId)
+      UpdatedOldClassIds.insert(Id);
+  for (const std::string &Name : Bundle.Spec.DeletedClasses)
+    if (ClassId Id = Reg.idOf(Name); Id != InvalidClassId)
+      UpdatedOldClassIds.insert(Id);
+}
+
+const ActiveMethodMapping *Updater::mappingFor(const Frame &F) const {
+  if (Bundle.ActiveMappings.empty())
+    return nullptr;
+  // Active replacement needs the 1:1 pc mapping of baseline code.
+  if (F.Code->T != Tier::Baseline || !F.Code->Inlined.empty())
+    return nullptr;
+  const RtMethod &M = TheVM.registry().method(F.Method);
+  MethodRef Ref{TheVM.registry().cls(M.Owner).Name, M.Name, M.Sig};
+  auto It = Bundle.ActiveMappings.find(Ref.key());
+  if (It == Bundle.ActiveMappings.end())
+    return nullptr;
+  // The thread must be parked at a mapped program counter.
+  if (!It->second.PcMap.count(F.Pc))
+    return nullptr;
+  return &It->second;
+}
+
+Updater::FrameKind Updater::classifyFrame(const Frame &F) const {
+  if (RestrictedMethodIds.count(F.Method))
+    return mappingFor(F) ? FrameKind::MappedOsr : FrameKind::Restricted;
+
+  const CompiledMethod &Code = *F.Code;
+  // Inlining closure: code that inlined a restricted method must be
+  // restricted too, or old bodies would keep running after the update.
+  for (MethodId Inl : Code.Inlined)
+    if (RestrictedMethodIds.count(Inl))
+      return FrameKind::Restricted;
+
+  bool RefsUpdated = false;
+  for (ClassId C : Code.ReferencedClasses)
+    if (UpdatedOldClassIds.count(C)) {
+      RefsUpdated = true;
+      break;
+    }
+  if (!RefsUpdated)
+    return FrameKind::Free;
+
+  // Category (2). OSR applies only to base-compiled code with no inlined
+  // bodies (paper §3.2); everything else waits behind a return barrier.
+  if (Opts.EnableOsr && Code.T == Tier::Baseline && Code.Inlined.empty())
+    return FrameKind::OsrNeeded;
+  return FrameKind::Restricted;
+}
+
+void Updater::onTick(uint64_t Now) {
+  if (pending() && Now >= DeadlineTick)
+    abortUpdate(UpdateStatus::TimedOut,
+                "no DSU safe point reached within the timeout");
+}
+
+void Updater::onReturnBarrier(VMThread &T) {
+  if (!pending())
+    return;
+  Result.Trace.record(UpdateEventKind::BarrierFired,
+                      TheVM.scheduler().ticks(), 0, "thread " + T.Name);
+  TheVM.requestYield(); // restart the update process (paper §3.2)
+}
+
+void Updater::onSafePoint() {
+  if (!pending()) {
+    // A stale yield request (e.g. raced with an abort): just resume.
+    TheVM.resumeAfterYield();
+    return;
+  }
+  attempt();
+}
+
+void Updater::attempt() {
+  ++Result.SafePointAttempts;
+  int RestrictedFrames = 0;
+
+  bool AnyRestricted = false;
+  std::vector<Frame *> OsrFrames;
+  std::vector<MappedFrame> MappedFrames;
+
+  for (auto &T : TheVM.scheduler().threads()) {
+    if (T->stopped())
+      continue;
+    Frame *TopRestricted = nullptr;
+    for (Frame &F : T->Frames) { // bottom to top; last hit is topmost
+      switch (classifyFrame(F)) {
+      case FrameKind::Free:
+        break;
+      case FrameKind::OsrNeeded:
+        OsrFrames.push_back(&F);
+        break;
+      case FrameKind::MappedOsr:
+        MappedFrames.emplace_back(&F, mappingFor(F));
+        break;
+      case FrameKind::Restricted:
+        TopRestricted = &F;
+        ++RestrictedFrames;
+        break;
+      }
+    }
+    if (TopRestricted) {
+      AnyRestricted = true;
+      if (!TopRestricted->ReturnBarrier) {
+        TopRestricted->ReturnBarrier = true;
+        ++Result.ReturnBarriersInstalled;
+        Result.Trace.record(
+            UpdateEventKind::BarrierArmed, TheVM.scheduler().ticks(), 0,
+            TheVM.registry().method(TopRestricted->Method).qualifiedName() +
+                " on thread " + T->Name);
+      }
+    }
+  }
+  Result.Trace.record(UpdateEventKind::SafePointAttempt,
+                      TheVM.scheduler().ticks(), RestrictedFrames,
+                      std::to_string(OsrFrames.size()) + " OSR, " +
+                          std::to_string(MappedFrames.size()) +
+                          " mapped frame(s)");
+
+  if (AnyRestricted) {
+    // Defer: resume the application and retry when a barrier fires.
+    TheVM.resumeAfterYield();
+    return;
+  }
+
+  install(OsrFrames, MappedFrames);
+}
+
+void Updater::install(const std::vector<Frame *> &OsrFrames,
+                      const std::vector<MappedFrame> &MappedFrames) {
+  Stopwatch TotalTimer;
+  Stopwatch PhaseTimer;
+  ClassRegistry &Reg = TheVM.registry();
+
+  // --- Step 4a: rename old versions of updated and deleted classes. ------
+  std::unordered_map<ClassId, std::string> OldIdToName;
+  auto RenameOld = [&](const std::string &Name) {
+    ClassId Id = Reg.idOf(Name);
+    if (Id == InvalidClassId)
+      return;
+    OldIdToName[Id] = Name;
+    Reg.renameClassForUpdate(Id, Bundle.renamedOldClass(Name));
+  };
+  for (const std::string &Name : Bundle.Spec.ClassUpdates)
+    RenameOld(Name);
+  for (const std::string &Name : Bundle.Spec.DeletedClasses)
+    RenameOld(Name);
+
+  // --- Step 4b: load added and replacement classes. ----------------------
+  for (const auto &[Name, Def] : Bundle.NewProgram.classes())
+    if (Reg.idOf(Name) == InvalidClassId)
+      Reg.loadClass(Def, Bundle.NewProgram);
+
+  // --- Step 4c: method-body updates on otherwise-unchanged classes. ------
+  std::set<MethodId> BodyChangedIds;
+  for (const MethodRef &R : Bundle.Spec.MethodBodyUpdates) {
+    if (Bundle.Spec.isClassUpdated(R.ClassName))
+      continue; // the freshly loaded replacement class already has it
+    ClassId Cls = Reg.idOf(R.ClassName);
+    assert(Cls != InvalidClassId && "body update on unknown class");
+    MethodId Id = Reg.resolveMethod(Cls, R.Name, R.Sig);
+    assert(Id != InvalidMethodId && "body update on unknown method");
+    const ClassDef *NewCls = Bundle.NewProgram.find(R.ClassName);
+    const MethodDef *NewBody = NewCls->findMethod(R.Name, R.Sig);
+    assert(NewBody && "spec references a method missing from new version");
+    Reg.setMethodBody(Id, *NewBody);
+    BodyChangedIds.insert(Id);
+  }
+
+  // --- Step 4d: invalidate compiled code that hard-codes stale state. ----
+  for (MethodId Id = 0; Id < Reg.numMethods(); ++Id) {
+    RtMethod &M = Reg.method(Id);
+    if (M.Obsolete || !M.Code)
+      continue;
+    bool Invalidate = false;
+    for (ClassId C : M.Code->ReferencedClasses)
+      if (UpdatedOldClassIds.count(C)) {
+        Invalidate = true;
+        break;
+      }
+    if (!Invalidate)
+      for (MethodId Inl : M.Code->Inlined)
+        if (BodyChangedIds.count(Inl) || Reg.method(Inl).Obsolete) {
+          Invalidate = true;
+          break;
+        }
+    if (Invalidate)
+      Reg.invalidateCode(Id);
+  }
+  Result.ClassLoadMs = PhaseTimer.elapsedMs();
+  Result.Trace.record(UpdateEventKind::ClassesInstalled,
+                      TheVM.scheduler().ticks(),
+                      static_cast<int64_t>(OldIdToName.size()),
+                      std::to_string(Result.ClassLoadMs) + " ms");
+
+  // --- Step 4e: on-stack replacement of base-compiled category-(2)
+  // frames, now that the new metadata is installed (paper §3.2). ----------
+  for (Frame *F : OsrFrames) {
+    MethodId NewId = F->Method;
+    RtMethod &M = Reg.method(F->Method);
+    if (M.Obsolete) {
+      // The owner class itself was updated; the unchanged method lives in
+      // the replacement class under the original name.
+      auto It = OldIdToName.find(M.Owner);
+      assert(It != OldIdToName.end() && "obsolete method of unrenamed class");
+      ClassId NewCls = Reg.idOf(It->second);
+      assert(NewCls != InvalidClassId);
+      NewId = Reg.resolveMethod(NewCls, M.Name, M.Sig);
+      assert(NewId != InvalidMethodId &&
+             "OSR method vanished from the new class version");
+    }
+    RtMethod &NM = Reg.method(NewId);
+    if (!NM.Code || NM.Code->T != Tier::Baseline)
+      NM.Code = TheVM.compiler().compile(NewId, Tier::Baseline);
+    assert(NM.Code->Code.size() == F->Code->Code.size() &&
+           "OSR requires identical bytecode (1:1 pc mapping)");
+    F->Method = NewId;
+    F->Code = NM.Code;
+    ++Result.OsrReplacements;
+    Result.Trace.record(UpdateEventKind::OsrReplaced,
+                        TheVM.scheduler().ticks(), 0,
+                        Reg.method(NewId).qualifiedName());
+  }
+
+  // --- Step 4f (§3.5 extension): replace *changed* methods on-stack via
+  // the user-supplied pc map and frame transformer (UpStare-style). ------
+  for (const auto &[F, Mapping] : MappedFrames) {
+    RtMethod &M = Reg.method(F->Method);
+    ClassId NewCls;
+    if (M.Obsolete) {
+      auto It = OldIdToName.find(M.Owner);
+      assert(It != OldIdToName.end() && "obsolete method of unrenamed class");
+      NewCls = Reg.idOf(It->second);
+    } else {
+      NewCls = M.Owner;
+    }
+    assert(NewCls != InvalidClassId);
+    MethodId NewId = Reg.resolveMethod(NewCls, M.Name, M.Sig);
+    assert(NewId != InvalidMethodId &&
+           "active mapping for a method absent from the new version");
+    RtMethod &NM = Reg.method(NewId);
+    if (!NM.Code || NM.Code->T != Tier::Baseline)
+      NM.Code = TheVM.compiler().compile(NewId, Tier::Baseline);
+
+    uint32_t NewPc = Mapping->PcMap.at(F->Pc);
+    assert(NewPc < NM.Code->Code.size() && "pc map leaves the new body");
+
+    std::vector<Slot> NewLocals(NM.Code->NumLocals);
+    if (Mapping->Frame) {
+      TransformCtx Ctx(TheVM, nullptr);
+      Mapping->Frame(Ctx, F->Locals, NewLocals);
+    } else {
+      // Default frame transformer: carry locals over by slot index.
+      for (size_t I = 0; I < std::min(F->Locals.size(), NewLocals.size());
+           ++I)
+        NewLocals[I] = F->Locals[I];
+    }
+
+    F->Method = NewId;
+    F->Code = NM.Code;
+    F->Pc = NewPc;
+    F->Locals = std::move(NewLocals);
+    // The operand stack is preserved as-is (the mapping's author asserts
+    // pc compatibility, as in UpStare's stack reconstruction).
+    ++Result.ActiveFramesRemapped;
+    Result.Trace.record(UpdateEventKind::ActiveRemapped,
+                        TheVM.scheduler().ticks(), 0,
+                        Reg.method(NewId).qualifiedName());
+  }
+
+  // --- Step 5: DSU collection + transformers (§3.4). ---------------------
+  DsuRemap Remap;
+  for (const auto &[OldId, Name] : OldIdToName) {
+    if (!Bundle.Spec.isClassUpdated(Name))
+      continue; // deleted classes keep their (obsolete) identity
+    ClassId NewId = Reg.idOf(Name);
+    assert(NewId != InvalidClassId && "updated class failed to load");
+    Remap.OldToNew[OldId] = NewId;
+  }
+
+  if (!Remap.OldToNew.empty()) {
+    Remap.OldCopiesInSeparateSpace = Opts.UseOldCopySpace;
+    std::vector<UpdateLogEntry> UpdateLog;
+    std::unordered_map<Ref, size_t> NewToLogIndex;
+    Result.Gc = TheVM.collectGarbage(&Remap, &UpdateLog, &NewToLogIndex);
+    Result.GcMs = Result.Gc.GcMs;
+    Result.Trace.record(UpdateEventKind::GcCompleted,
+                        TheVM.scheduler().ticks(),
+                        static_cast<int64_t>(Result.Gc.ObjectsRemapped),
+                        std::to_string(Result.GcMs) + " ms");
+
+    TransformerRunner Runner(TheVM, Bundle, UpdateLog, NewToLogIndex);
+    Result.TransformMs = Runner.runAll();
+    Result.ObjectsTransformed = Runner.objectsTransformed();
+    Result.Trace.record(UpdateEventKind::Transformed,
+                        TheVM.scheduler().ticks(),
+                        static_cast<int64_t>(Result.ObjectsTransformed),
+                        std::to_string(Result.TransformMs) + " ms");
+
+    // Dropping the log makes the duplicate old versions unreachable: in
+    // the default configuration the next collection reclaims them, while
+    // the §3.5 old-copy space is released right now. Obsolete statics go
+    // too, so dead program state cannot keep objects alive.
+    Reg.dropObsoleteStatics();
+    if (Opts.UseOldCopySpace)
+      TheVM.heap().releaseOldCopySpace();
+  }
+
+  TheVM.setProgram(Bundle.NewProgram);
+  Result.TotalPauseMs = TotalTimer.elapsedMs();
+  Result.TicksToSafePoint = TheVM.scheduler().ticks() - ScheduleTick;
+  Result.Trace.record(UpdateEventKind::Applied, TheVM.scheduler().ticks(),
+                      0,
+                      std::to_string(Result.TotalPauseMs) + " ms total pause");
+  finish(UpdateStatus::Applied, "update applied");
+  TheVM.resumeAfterYield();
+}
+
+void Updater::abortUpdate(UpdateStatus Status, const std::string &Message) {
+  // Uninstall any armed return barriers; nothing else was changed yet.
+  for (auto &T : TheVM.scheduler().threads())
+    for (Frame &F : T->Frames)
+      F.ReturnBarrier = false;
+  if (Status == UpdateStatus::TimedOut)
+    Result.Trace.record(UpdateEventKind::TimedOut,
+                        TheVM.scheduler().ticks(), 0, Message);
+  finish(Status, Message);
+  TheVM.resumeAfterYield();
+}
+
+void Updater::finish(UpdateStatus Status, const std::string &Message) {
+  Result.Status = Status;
+  Result.Message = Message;
+  TheVM.setSafePointCallback(nullptr);
+  TheVM.setTickCallback(nullptr);
+  TheVM.setReturnBarrierCallback(nullptr);
+}
+
+UpdateResult Updater::applyNow(UpdateBundle InBundle, UpdateOptions InOpts,
+                               uint64_t MaxDriveTicks) {
+  schedule(std::move(InBundle), InOpts);
+  uint64_t Driven = 0;
+  while (pending() && Driven < MaxDriveTicks) {
+    uint64_t Chunk = std::min<uint64_t>(MaxDriveTicks - Driven, 1u << 18);
+    VM::RunResult R = TheVM.run(Chunk);
+    Driven += Chunk;
+    if (R.Idle && pending()) {
+      // Every thread is blocked for good below an armed barrier; no safe
+      // point can ever be reached.
+      abortUpdate(UpdateStatus::TimedOut,
+                  "VM idle with restricted methods still on stack");
+    }
+  }
+  if (pending())
+    abortUpdate(UpdateStatus::TimedOut, "drive budget exhausted");
+  return Result;
+}

@@ -1,0 +1,154 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jvolve updater: applies an UpdateBundle to a running VM.
+///
+/// The five-step process of paper §3: (1) the UPT prepared the bundle;
+/// (2) the user signals the VM (schedule()); (3) the VM stops threads at a
+/// DSU safe point — yield flag, stack scans for restricted methods, return
+/// barriers on the topmost restricted frame of each thread, on-stack
+/// replacement for base-compiled category-(2) methods, and a configurable
+/// timeout (the paper uses 15 seconds); (4) modified classes are loaded and
+/// installed (old versions renamed with the version prefix, stale compiled
+/// code invalidated); (5) a DSU-extended whole-heap collection finds every
+/// instance of an updated class and the class/object transformers
+/// initialize the new versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_UPDATER_H
+#define JVOLVE_DSU_UPDATER_H
+
+#include "dsu/UpdateBundle.h"
+#include "dsu/UpdateTrace.h"
+#include "heap/Collector.h"
+#include "vm/VM.h"
+
+#include <set>
+#include <string>
+
+namespace jvolve {
+
+/// Outcome of an update request.
+enum class UpdateStatus {
+  None,
+  Pending,               ///< scheduled, waiting for a DSU safe point
+  Applied,               ///< installed successfully
+  TimedOut,              ///< no DSU safe point within the timeout
+  RejectedNotVerifiable, ///< the new program version fails verification
+  RejectedHierarchy,     ///< class hierarchy permutation (unsupported, §2.2)
+};
+
+const char *updateStatusName(UpdateStatus S);
+
+/// Updater knobs.
+struct UpdateOptions {
+  /// Virtual-tick budget for reaching a DSU safe point (the paper's
+  /// configurable 15-second timeout).
+  uint64_t TimeoutTicks = 2'000'000;
+  /// Use on-stack replacement to lift category-(2) restrictions for
+  /// base-compiled methods (paper §3.2). Off = return barriers only.
+  bool EnableOsr = true;
+  /// §3.5 optimization: place old-version duplicates in a dedicated block
+  /// reclaimed right after transformation instead of to-space (where the
+  /// next collection would reclaim them).
+  bool UseOldCopySpace = false;
+};
+
+/// Everything measured while applying one update.
+struct UpdateResult {
+  UpdateStatus Status = UpdateStatus::None;
+  std::string Message;
+
+  int SafePointAttempts = 0;
+  int ReturnBarriersInstalled = 0;
+  int OsrReplacements = 0;
+  /// §3.5 extension: changed methods replaced while running via a
+  /// user-supplied ActiveMethodMapping.
+  int ActiveFramesRemapped = 0;
+  uint64_t TicksToSafePoint = 0;
+
+  double ClassLoadMs = 0;  ///< rename + metadata install + invalidation
+  double GcMs = 0;         ///< DSU collection (copying phase)
+  double TransformMs = 0;  ///< running class + object transformers
+  double TotalPauseMs = 0; ///< full disruption: install + GC + transform
+  uint64_t ObjectsTransformed = 0;
+  CollectionStats Gc;
+
+  /// Structured event log of the whole update lifecycle.
+  UpdateTrace Trace;
+};
+
+/// Applies dynamic updates to one VM.
+class Updater {
+public:
+  explicit Updater(VM &TheVM) : TheVM(TheVM) {}
+  ~Updater();
+
+  /// Signals the VM that an update is available. Validation failures
+  /// resolve immediately (result() holds the rejection); otherwise the
+  /// update is applied during subsequent VM execution.
+  void schedule(UpdateBundle Bundle, UpdateOptions Opts);
+  void schedule(UpdateBundle Bundle) { schedule(std::move(Bundle), UpdateOptions()); }
+
+  bool pending() const { return Result.Status == UpdateStatus::Pending; }
+  const UpdateResult &result() const { return Result; }
+
+  /// schedule() plus driving the VM until the update resolves. Application
+  /// threads keep processing their work while the safe point is sought. If
+  /// the VM goes idle with barriers still armed, the update times out.
+  UpdateResult applyNow(UpdateBundle Bundle, UpdateOptions Opts,
+                        uint64_t MaxDriveTicks = 50'000'000);
+  UpdateResult applyNow(UpdateBundle Bundle) {
+    return applyNow(std::move(Bundle), UpdateOptions());
+  }
+
+private:
+  /// Frame classification relative to the pending update.
+  enum class FrameKind {
+    Free,       ///< may keep running its current compiled code
+    OsrNeeded,  ///< base-compiled category (2): replace on stack
+    MappedOsr,  ///< changed method with an ActiveMethodMapping (§3.5)
+    Restricted, ///< category (1)/(3), inlined restricted code, or
+                ///< opt-compiled category (2)
+  };
+  FrameKind classifyFrame(const Frame &F) const;
+
+  /// \returns the mapping applicable to \p F, or nullptr.
+  const ActiveMethodMapping *mappingFor(const Frame &F) const;
+
+  void onSafePoint();
+  void onTick(uint64_t Now);
+  void onReturnBarrier(VMThread &T);
+
+  /// One DSU-safe-point attempt with every thread parked.
+  void attempt();
+  /// Full installation (all stacks clear modulo OSR-able frames).
+  /// Mapped frames carry the ActiveMethodMapping resolved at scan time
+  /// (the owner class name changes during installation).
+  using MappedFrame = std::pair<Frame *, const ActiveMethodMapping *>;
+  void install(const std::vector<Frame *> &OsrFrames,
+               const std::vector<MappedFrame> &MappedFrames);
+  void abortUpdate(UpdateStatus Status, const std::string &Message);
+  void finish(UpdateStatus Status, const std::string &Message);
+
+  /// Re-resolves name-level restriction sets to current method/class ids.
+  void resolveIdSets();
+
+  VM &TheVM;
+  UpdateBundle Bundle;
+  UpdateOptions Opts;
+  UpdateResult Result;
+
+  uint64_t ScheduleTick = 0;
+  uint64_t DeadlineTick = 0;
+
+  // Id-level views of the spec, resolved against the current registry.
+  std::set<MethodId> RestrictedMethodIds; ///< categories (1) and (3)
+  std::set<MethodId> IndirectMethodIds;   ///< category (2)
+  std::set<ClassId> UpdatedOldClassIds;   ///< class updates + deletions
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_UPDATER_H

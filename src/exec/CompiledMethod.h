@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "machine code" of MiniVM: quickened instruction arrays.
+///
+/// The compiler resolves every symbolic reference in bytecode to a numeric
+/// value: field accesses to hard-coded byte offsets, static accesses to
+/// (class id, slot) pairs, virtual calls to TIB slots, direct calls to
+/// method ids. This mirrors how the Jikes RVM JIT hard-codes offsets into
+/// machine code (paper §3.1) — and it is precisely why a class update must
+/// invalidate compiled methods that reference the updated class (category
+/// (2), "indirect method updates"), even when their bytecode is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_EXEC_COMPILEDMETHOD_H
+#define JVOLVE_EXEC_COMPILEDMETHOD_H
+
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jvolve {
+
+/// Resolved ("quickened") opcodes.
+enum class ROp : uint8_t {
+  NopOp,
+  ConstI,    ///< push A
+  ConstStr,  ///< push new String for string-table id A
+  ConstNull, ///< push null
+  LoadSlot,  ///< push local A
+  StoreSlot, ///< pop into local A
+  IAdd, ISub, IMul, IDiv, IRem, INeg,
+  Dup, Pop,
+  Jump, ///< A = resolved target index
+  BrEqZ, BrNeZ, BrLtZ, BrGeZ, BrGtZ, BrLeZ,
+  BrICmpEq, BrICmpNe, BrICmpLt, BrICmpGe, BrICmpGt, BrICmpLe,
+  BrNull, BrNonNull, BrAEq, BrANe,
+  NewObj,     ///< A = class id
+  GetFieldI,  ///< A = byte offset
+  GetFieldR,  ///< A = byte offset
+  PutFieldI,  ///< A = byte offset
+  PutFieldR,  ///< A = byte offset
+  GetStaticI, ///< A = class id, B = statics slot
+  GetStaticR,
+  PutStaticI,
+  PutStaticR,
+  InstanceOfOp, ///< A = class id
+  CheckCastOp,  ///< A = class id
+  CallVirt,     ///< A = TIB slot, B = arg count including receiver
+  CallStatic,   ///< A = method id, B = arg count
+  CallSpecial,  ///< A = method id, B = arg count including receiver
+  NewArr,       ///< A = array class id
+  ALoadElem, AStoreElem, ArrLen,
+  RetVoid, RetI, RetA,
+  Intr, ///< A = intrinsic id
+};
+
+/// One resolved instruction.
+struct RInstr {
+  ROp Op;
+  int64_t A = 0;
+  int32_t B = 0;
+  /// Originating bytecode index in the *top-level* method, used by on-stack
+  /// replacement. In baseline code this equals the instruction index (the
+  /// translation is 1:1); inside inlined regions it is the call-site index.
+  int32_t Bc = 0;
+};
+
+/// Compilation tiers of the adaptive system.
+enum class Tier : uint8_t {
+  Baseline, ///< 1:1 translation, no inlining; OSR-capable
+  Opt,      ///< inlines small direct calls; not OSR-capable (paper §3.2)
+};
+
+/// A compiled method body plus the dependence metadata DSU needs.
+struct CompiledMethod {
+  MethodId Method = InvalidMethodId;
+  Tier T = Tier::Baseline;
+  std::vector<RInstr> Code;
+  uint16_t NumLocals = 0; ///< caller locals plus inlined callees' locals
+
+  /// Classes whose layout/TIB/statics this code hard-codes. An update to
+  /// any of them invalidates this code.
+  std::vector<ClassId> ReferencedClasses;
+
+  /// Methods whose bodies were inlined here. An update to any of them makes
+  /// this method restricted during an update (paper §3.2).
+  std::vector<MethodId> Inlined;
+
+  /// True when compiled for the JDrums/DVM-style indirection ablation mode:
+  /// every field access performs an extra up-to-dateness check.
+  bool IndirectionChecks = false;
+
+  bool references(ClassId Id) const {
+    for (ClassId C : ReferencedClasses)
+      if (C == Id)
+        return true;
+    return false;
+  }
+
+  bool inlined(MethodId Id) const {
+    for (MethodId M : Inlined)
+      if (M == Id)
+        return true;
+    return false;
+  }
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_EXEC_COMPILEDMETHOD_H

@@ -1,0 +1,146 @@
+#include "heap/Collector.h"
+
+#include "runtime/ObjectModel.h"
+#include "support/Error.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace jvolve;
+
+Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
+                       std::vector<UpdateLogEntry> *UpdateLog,
+                       std::unordered_map<Ref, size_t> *NewToLogIndex,
+                       CollectionStats &Stats) {
+  if (!Obj)
+    return nullptr;
+  ObjectHeader *H = header(Obj);
+  if (H->Flags & FlagForwarded)
+    return H->Forward;
+
+  const RtClass &Cls = Registry.cls(H->Class);
+  size_t Bytes = objectBytes(Cls, Obj);
+
+  if (Remap) {
+    auto It = Remap->OldToNew.find(H->Class);
+    if (It != Remap->OldToNew.end()) {
+      assert(UpdateLog && "DSU collection requires an update log");
+      const RtClass &NewCls = Registry.cls(It->second);
+      assert(!NewCls.IsArray && "array classes are never remapped");
+
+      // Uninitialized new-version object: new class, zeroed fields.
+      Ref NewObj = TheHeap.allocateInOtherSpace(NewCls.InstanceSize);
+      std::memset(NewObj, 0, NewCls.InstanceSize);
+      ObjectHeader *NewH = header(NewObj);
+      NewH->Class = NewCls.Id;
+      NewH->Flags = FlagUninitialized;
+
+      // Duplicate of the old version, scanned like any live object so its
+      // fields get forwarded into to-space. Placement depends on the
+      // §3.5 old-copy-space option.
+      Ref OldCopy = Remap->OldCopiesInSeparateSpace
+                        ? TheHeap.allocateInOldCopySpace(Bytes)
+                        : TheHeap.allocateInOtherSpace(Bytes);
+      std::memcpy(OldCopy, Obj, Bytes);
+      header(OldCopy)->Flags &= ~FlagForwarded;
+
+      H->Flags |= FlagForwarded;
+      H->Forward = NewObj;
+
+      if (NewToLogIndex)
+        NewToLogIndex->emplace(NewObj, UpdateLog->size());
+      UpdateLog->push_back({OldCopy, NewObj, UpdateLogEntry::State::Pending});
+
+      ++Stats.ObjectsRemapped;
+      Stats.ObjectsCopied += 2;
+      Stats.BytesCopied += Bytes + NewCls.InstanceSize;
+      return NewObj;
+    }
+  }
+
+  Ref Copy = TheHeap.allocateInOtherSpace(Bytes);
+  std::memcpy(Copy, Obj, Bytes);
+  H->Flags |= FlagForwarded;
+  H->Forward = Copy;
+  ++Stats.ObjectsCopied;
+  Stats.BytesCopied += Bytes;
+  return Copy;
+}
+
+CollectionStats Collector::collect(
+    const RootEnumerator &EnumerateRoots, const DsuRemap *Remap,
+    std::vector<UpdateLogEntry> *UpdateLog,
+    std::unordered_map<Ref, size_t> *NewToLogIndex) {
+  Stopwatch Timer;
+  CollectionStats Stats;
+
+  assert(TheHeap.otherBytesAllocated() == 0 &&
+         "to-space must be empty at the start of a collection");
+
+  bool UseOldSpace = Remap && Remap->OldCopiesInSeparateSpace;
+  if (UseOldSpace) {
+    // Worst case: every live object is a duplicate candidate.
+    TheHeap.reserveOldCopySpace(TheHeap.bytesAllocated());
+  }
+
+  auto Fwd = [&](Ref &Loc) {
+    Loc = forward(Loc, Remap, UpdateLog, NewToLogIndex, Stats);
+  };
+
+  EnumerateRoots(Fwd);
+
+  /// Forwards every reference field of \p Obj; \returns its aligned size.
+  auto ScanObject = [&](Ref Obj) -> size_t {
+    ObjectHeader *H = header(Obj);
+    const RtClass &Cls = Registry.cls(H->Class);
+    size_t Bytes = objectBytes(Cls, Obj);
+
+    if (H->Flags & FlagUninitialized) {
+      // Fresh new-version object: all fields zero; nothing to scan. The
+      // transformers populate it after the collection ends.
+    } else if (Cls.IsArray) {
+      if (Cls.ElemIsRef) {
+        int64_t Len = arrayLength(Obj);
+        for (int64_t I = 0; I < Len; ++I) {
+          Ref Elem = getRefAt(Obj, arrayElemOffset(I));
+          if (Elem)
+            setRefAt(Obj, arrayElemOffset(I),
+                     forward(Elem, Remap, UpdateLog, NewToLogIndex, Stats));
+        }
+      }
+    } else {
+      for (const RtField &F : Cls.InstanceFields) {
+        if (!F.IsRef)
+          continue;
+        Ref Val = getRefAt(Obj, F.Offset);
+        if (Val)
+          setRefAt(Obj, F.Offset,
+                   forward(Val, Remap, UpdateLog, NewToLogIndex, Stats));
+      }
+    }
+    return (Bytes + 7) & ~size_t(7);
+  };
+
+  // Cheney scan. Copies extend to-space; old duplicates may extend the
+  // old-copy space; both regions are scanned to a joint fixpoint.
+  size_t ScanTo = 0, ScanOld = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    while (ScanTo < TheHeap.otherBytesAllocated()) {
+      ScanTo += ScanObject(TheHeap.otherSpaceStart() + ScanTo);
+      Progress = true;
+    }
+    while (UseOldSpace && ScanOld < TheHeap.oldCopyBytesUsed()) {
+      ScanOld += ScanObject(TheHeap.oldCopyStart() + ScanOld);
+      Progress = true;
+    }
+  }
+
+  if (UseOldSpace)
+    Stats.OldCopySpaceBytes = TheHeap.oldCopyBytesUsed();
+  TheHeap.flip();
+  Stats.GcMs = Timer.elapsedMs();
+  return Stats;
+}

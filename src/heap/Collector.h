@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semi-space copying collector with the Jvolve DSU extension (paper §3.4).
+///
+/// A normal collection performs a Cheney traversal: roots are forwarded
+/// into to-space, then to-space is scanned linearly, forwarding every
+/// reference field.
+///
+/// When a DsuRemap is supplied (during a dynamic update), objects whose
+/// class signature changed are handled specially: the collector allocates
+/// an *uninitialized new-version object* (new class, new size) plus a
+/// *duplicate of the old object* in to-space, installs the forwarding
+/// pointer to the new version, and appends the (old copy, new object) pair
+/// to the update log. The old copy is scanned normally, so its fields end
+/// up pointing at to-space (new-version) objects — exactly the state the
+/// object transformer functions expect. After the collection the DSU layer
+/// runs the transformers over the log; clearing the log makes the old
+/// copies unreachable, so the *next* collection reclaims them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_HEAP_COLLECTOR_H
+#define JVOLVE_HEAP_COLLECTOR_H
+
+#include "heap/Heap.h"
+#include "runtime/ClassRegistry.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace jvolve {
+
+/// Classes whose instances must be transformed: old class id -> new.
+struct DsuRemap {
+  std::unordered_map<ClassId, ClassId> OldToNew;
+
+  /// §3.5 optimization: place the duplicates of old-version objects in a
+  /// dedicated block (Heap's old-copy space) instead of to-space, so the
+  /// DSU layer can reclaim them the moment the transformers finish rather
+  /// than waiting for the next collection.
+  bool OldCopiesInSeparateSpace = false;
+};
+
+/// One pending object transformation recorded during a DSU collection.
+struct UpdateLogEntry {
+  Ref OldCopy = nullptr; ///< duplicate of the old-version object (to-space)
+  Ref NewObj = nullptr;  ///< uninitialized new-version object (to-space)
+
+  /// Transformer progress, used for the recursive force-transform path and
+  /// its cycle detection (paper §3.4).
+  enum class State : uint8_t { Pending, InProgress, Done };
+  State St = State::Pending;
+};
+
+/// Measurements for one collection.
+struct CollectionStats {
+  double GcMs = 0;            ///< wall-clock time of the copying phase
+  uint64_t ObjectsCopied = 0; ///< live objects moved to to-space
+  uint64_t BytesCopied = 0;
+  uint64_t ObjectsRemapped = 0; ///< objects queued for transformation
+  /// Bytes of old-version duplicates placed in the separate old-copy
+  /// space (0 when the default to-space placement was used).
+  uint64_t OldCopySpaceBytes = 0;
+};
+
+/// The collector. Stateless between collections; borrows the heap and
+/// registry.
+class Collector {
+public:
+  Collector(Heap &TheHeap, ClassRegistry &Registry)
+      : TheHeap(TheHeap), Registry(Registry) {}
+
+  /// Enumerator over every root reference location. Implementations call
+  /// the supplied callback once per root slot holding a non-null Ref.
+  using RootEnumerator =
+      std::function<void(const std::function<void(Ref &)> &)>;
+
+  /// Runs one full-heap collection.
+  ///
+  /// \param EnumerateRoots visits statics, thread stacks, and VM handles.
+  /// \param Remap non-null during a dynamic update.
+  /// \param UpdateLog receives (old copy, new object) pairs; required when
+  ///        \p Remap is non-null.
+  /// \param NewToLogIndex receives new-object -> log-index entries so the
+  ///        transformer runtime can force-transform a referenced object in
+  ///        O(1) (the paper caches a pointer to the old version instead of
+  ///        scanning the log).
+  CollectionStats collect(const RootEnumerator &EnumerateRoots,
+                          const DsuRemap *Remap = nullptr,
+                          std::vector<UpdateLogEntry> *UpdateLog = nullptr,
+                          std::unordered_map<Ref, size_t> *NewToLogIndex =
+                              nullptr);
+
+private:
+  Ref forward(Ref Obj, const DsuRemap *Remap,
+              std::vector<UpdateLogEntry> *UpdateLog,
+              std::unordered_map<Ref, size_t> *NewToLogIndex,
+              CollectionStats &Stats);
+
+  Heap &TheHeap;
+  ClassRegistry &Registry;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_HEAP_COLLECTOR_H

@@ -1,0 +1,108 @@
+#include "heap/Heap.h"
+
+#include "runtime/ObjectModel.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace jvolve;
+
+/// Keep every object 8-byte aligned.
+static size_t alignUp(size_t Bytes) { return (Bytes + 7) & ~size_t(7); }
+
+Heap::Heap(size_t Bytes) : SpaceBytes(alignUp(Bytes)) {
+  if (SpaceBytes < 4096)
+    fatalError("heap semi-space too small");
+  // Spaces are never read before being written (objects are zeroed at
+  // allocation), so skip the value-initialization memset.
+  Spaces[0] = std::make_unique_for_overwrite<uint8_t[]>(SpaceBytes);
+  Spaces[1] = std::make_unique_for_overwrite<uint8_t[]>(SpaceBytes);
+}
+
+Ref Heap::allocateRaw(size_t Bytes) {
+  Bytes = alignUp(Bytes);
+  if (Bump[Current] + Bytes > SpaceBytes)
+    return nullptr;
+  Ref Obj = Spaces[Current].get() + Bump[Current];
+  Bump[Current] += Bytes;
+  return Obj;
+}
+
+Ref Heap::allocateInOtherSpace(size_t Bytes) {
+  Bytes = alignUp(Bytes);
+  int Other = 1 - Current;
+  if (Bump[Other] + Bytes > SpaceBytes)
+    fatalError("to-space exhausted during collection; "
+               "enlarge the heap (DSU needs room for duplicate copies)");
+  Ref Obj = Spaces[Other].get() + Bump[Other];
+  Bump[Other] += Bytes;
+  return Obj;
+}
+
+Ref Heap::allocateObject(const RtClass &Cls) {
+  assert(!Cls.IsArray && "use allocateArray for arrays");
+  Ref Obj = allocateRaw(Cls.InstanceSize);
+  if (!Obj)
+    return nullptr;
+  std::memset(Obj, 0, Cls.InstanceSize);
+  ObjectHeader *H = header(Obj);
+  H->Class = Cls.Id;
+  H->Flags = 0;
+  ++NumAllocated;
+  return Obj;
+}
+
+Ref Heap::allocateArray(const RtClass &ArrCls, int64_t Length) {
+  assert(ArrCls.IsArray && "allocateArray requires an array class");
+  assert(Length >= 0 && "negative array length reaches the trap path first");
+  size_t Bytes = arrayBytes(Length);
+  Ref Obj = allocateRaw(Bytes);
+  if (!Obj)
+    return nullptr;
+  std::memset(Obj, 0, Bytes);
+  ObjectHeader *H = header(Obj);
+  H->Class = ArrCls.Id;
+  H->Flags = FlagArray | (ArrCls.ElemIsRef ? FlagRefArray : 0u);
+  setIntAt(Obj, ArrayLengthOffset, Length);
+  ++NumAllocated;
+  return Obj;
+}
+
+void Heap::reserveOldCopySpace(size_t Bytes) {
+  if (OldCopy)
+    fatalError("old-copy space already in use");
+  OldCopyCapacity = alignUp(Bytes);
+  OldCopy = std::make_unique_for_overwrite<uint8_t[]>(OldCopyCapacity);
+  OldCopyBump = 0;
+}
+
+Ref Heap::allocateInOldCopySpace(size_t Bytes) {
+  assert(OldCopy && "old-copy space not reserved");
+  Bytes = alignUp(Bytes);
+  if (OldCopyBump + Bytes > OldCopyCapacity)
+    fatalError("old-copy space exhausted during collection");
+  Ref Obj = OldCopy.get() + OldCopyBump;
+  OldCopyBump += Bytes;
+  return Obj;
+}
+
+void Heap::releaseOldCopySpace() {
+  OldCopy.reset();
+  OldCopyBump = 0;
+  OldCopyCapacity = 0;
+}
+
+void Heap::flip() {
+  Bump[Current] = 0;
+  Current = 1 - Current;
+}
+
+bool Heap::inCurrentSpace(Ref Obj) const {
+  return Obj >= Spaces[Current].get() &&
+         Obj < Spaces[Current].get() + SpaceBytes;
+}
+
+bool Heap::inOtherSpace(Ref Obj) const {
+  return Obj >= Spaces[1 - Current].get() &&
+         Obj < Spaces[1 - Current].get() + SpaceBytes;
+}

@@ -1,0 +1,95 @@
+#include "heap/HeapVerifier.h"
+
+#include "runtime/ObjectModel.h"
+
+#include <set>
+#include <sstream>
+
+using namespace jvolve;
+
+bool HeapVerifier::isValidObjectStart(Ref Obj) const {
+  return Obj >= TheHeap.currentSpaceStart() &&
+         Obj < TheHeap.currentSpaceStart() + TheHeap.bytesAllocated();
+}
+
+std::vector<std::string> HeapVerifier::verify(
+    const std::function<void(const std::function<void(Ref &)> &)>
+        &EnumerateRoots) {
+  std::vector<std::string> Problems;
+  auto Report = [&Problems](const std::string &Msg) {
+    if (Problems.size() < 32) // cap the flood on catastrophic corruption
+      Problems.push_back(Msg);
+  };
+
+  // Pass 1: linear walk; collect valid object starts.
+  std::set<Ref> Starts;
+  uint8_t *Base = TheHeap.currentSpaceStart();
+  size_t Offset = 0;
+  while (Offset < TheHeap.bytesAllocated()) {
+    Ref Obj = Base + Offset;
+    ObjectHeader *H = header(Obj);
+    if (H->Class >= Registry.numClasses()) {
+      Report("object at +" + std::to_string(Offset) +
+             " has invalid class id " + std::to_string(H->Class));
+      break; // cannot size it; the walk is lost
+    }
+    const RtClass &Cls = Registry.cls(H->Class);
+    if (H->Flags & FlagForwarded)
+      Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
+             ") is forwarded outside a collection");
+    if (H->Flags & FlagUninitialized)
+      Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
+             ") is uninitialized outside an update");
+    if (Cls.IsArray != ((H->Flags & FlagArray) != 0))
+      Report("object at +" + std::to_string(Offset) +
+             " array flag disagrees with class " + Cls.Name);
+    if (Cls.IsArray &&
+        Cls.ElemIsRef != ((H->Flags & FlagRefArray) != 0))
+      Report("array at +" + std::to_string(Offset) +
+             " ref-array flag disagrees with element kind of " + Cls.Name);
+
+    size_t Bytes = objectBytes(Cls, Obj);
+    if (Offset + Bytes > TheHeap.bytesAllocated()) {
+      Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
+             ") extends past the allocated heap");
+      break;
+    }
+    Starts.insert(Obj);
+    Offset += (Bytes + 7) & ~size_t(7);
+  }
+
+  auto CheckRef = [&](Ref Val, const std::string &Where) {
+    if (!Val)
+      return;
+    if (!isValidObjectStart(Val))
+      Report(Where + " points outside the live heap");
+    else if (!Starts.count(Val))
+      Report(Where + " points into the middle of an object");
+  };
+
+  // Pass 2: every reference field/element.
+  for (Ref Obj : Starts) {
+    const RtClass &Cls = Registry.cls(classOf(Obj));
+    if (Cls.IsArray) {
+      if (!Cls.ElemIsRef)
+        continue;
+      int64_t Len = arrayLength(Obj);
+      for (int64_t I = 0; I < Len; ++I)
+        CheckRef(getRefAt(Obj, arrayElemOffset(I)),
+                 Cls.Name + "[" + std::to_string(I) + "]");
+    } else {
+      for (const RtField &F : Cls.InstanceFields)
+        if (F.IsRef)
+          CheckRef(getRefAt(Obj, F.Offset), Cls.Name + "." + F.Name);
+    }
+  }
+
+  // Pass 3: roots.
+  size_t RootIndex = 0;
+  EnumerateRoots([&](Ref &R) {
+    CheckRef(R, "root #" + std::to_string(RootIndex));
+    ++RootIndex;
+  });
+
+  return Problems;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap-invariant verifier: a debug pass that walks the live heap and
+/// every root set, checking the invariants the collector and the DSU
+/// update machinery must preserve. Tests run it after collections and
+/// after dynamic updates.
+///
+/// Checked invariants:
+///  * every object header carries a valid, loaded class id;
+///  * no object is marked forwarded or uninitialized outside a collection
+///    (uninitialized objects only exist between the DSU copy phase and
+///    the transformer phase);
+///  * object extents stay inside the current semi-space;
+///  * every reference field/element/root is null or points to the start
+///    of a live object in the current space;
+///  * reference-array flags agree with the array class's element kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_HEAP_HEAPVERIFIER_H
+#define JVOLVE_HEAP_HEAPVERIFIER_H
+
+#include "heap/Heap.h"
+#include "runtime/ClassRegistry.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Walks the heap and roots; returns human-readable invariant violations
+/// (empty = healthy heap).
+class HeapVerifier {
+public:
+  HeapVerifier(Heap &TheHeap, ClassRegistry &Registry)
+      : TheHeap(TheHeap), Registry(Registry) {}
+
+  /// Verifies the linear heap layout and every object's fields.
+  /// \p EnumerateRoots visits every root reference (same contract as the
+  /// collector's root enumerator); pass the VM's enumerator.
+  std::vector<std::string>
+  verify(const std::function<void(const std::function<void(Ref &)> &)>
+             &EnumerateRoots);
+
+private:
+  bool isValidObjectStart(Ref Obj) const;
+
+  Heap &TheHeap;
+  ClassRegistry &Registry;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_HEAP_HEAPVERIFIER_H

@@ -1,0 +1,24 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types for runtime entities (classes, methods, threads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_RUNTIME_IDS_H
+#define JVOLVE_RUNTIME_IDS_H
+
+#include <cstdint>
+
+namespace jvolve {
+
+using ClassId = uint32_t;
+using MethodId = uint32_t;
+using ThreadId = uint32_t;
+
+inline constexpr ClassId InvalidClassId = ~static_cast<ClassId>(0);
+inline constexpr MethodId InvalidMethodId = ~static_cast<MethodId>(0);
+
+} // namespace jvolve
+
+#endif // JVOLVE_RUNTIME_IDS_H

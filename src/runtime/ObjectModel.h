@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Object layout in the MiniVM heap.
+///
+/// Every object starts with an ObjectHeader (class id, status flags, and a
+/// word used as the forwarding pointer during copying collection). Scalar
+/// instances are followed by 8-byte field slots at the offsets recorded in
+/// RtClass::InstanceFields. Arrays are followed by a 64-bit length and then
+/// 8-byte elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_RUNTIME_OBJECTMODEL_H
+#define JVOLVE_RUNTIME_OBJECTMODEL_H
+
+#include "runtime/ClassRegistry.h"
+#include "runtime/Ids.h"
+#include "runtime/Slot.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace jvolve {
+
+/// Header prefix of every heap object.
+struct ObjectHeader {
+  ClassId Class;
+  uint32_t Flags;
+  Ref Forward; ///< forwarding pointer; valid when FlagForwarded is set
+};
+
+/// Object status flags.
+enum : uint32_t {
+  FlagForwarded = 1u << 0, ///< header holds a forwarding pointer
+  FlagArray = 1u << 1,     ///< array layout (length + elements)
+  /// DSU: freshly allocated new-version object whose transformer has not
+  /// run yet; its fields are all zero/null (paper §3.4).
+  FlagUninitialized = 1u << 2,
+  FlagRefArray = 1u << 3, ///< array whose elements are references
+};
+
+inline constexpr size_t ObjectHeaderBytes = sizeof(ObjectHeader);
+inline constexpr size_t SlotBytes = 8;
+/// Array layout: header, 64-bit length, then elements.
+inline constexpr size_t ArrayLengthOffset = ObjectHeaderBytes;
+inline constexpr size_t ArrayElemsOffset = ObjectHeaderBytes + 8;
+
+inline ObjectHeader *header(Ref Obj) {
+  assert(Obj && "null object");
+  return reinterpret_cast<ObjectHeader *>(Obj);
+}
+
+inline ClassId classOf(Ref Obj) { return header(Obj)->Class; }
+
+inline int64_t getIntAt(Ref Obj, uint32_t Offset) {
+  int64_t V;
+  std::memcpy(&V, Obj + Offset, sizeof(V));
+  return V;
+}
+
+inline void setIntAt(Ref Obj, uint32_t Offset, int64_t V) {
+  std::memcpy(Obj + Offset, &V, sizeof(V));
+}
+
+inline Ref getRefAt(Ref Obj, uint32_t Offset) {
+  Ref V;
+  std::memcpy(&V, Obj + Offset, sizeof(V));
+  return V;
+}
+
+inline void setRefAt(Ref Obj, uint32_t Offset, Ref V) {
+  std::memcpy(Obj + Offset, &V, sizeof(V));
+}
+
+inline int64_t arrayLength(Ref Arr) {
+  return getIntAt(Arr, ArrayLengthOffset);
+}
+
+inline uint32_t arrayElemOffset(int64_t Index) {
+  return static_cast<uint32_t>(ArrayElemsOffset +
+                               static_cast<uint64_t>(Index) * SlotBytes);
+}
+
+/// Total byte size of \p Obj given its class \p Cls.
+inline size_t objectBytes(const RtClass &Cls, Ref Obj) {
+  if (!Cls.IsArray)
+    return Cls.InstanceSize;
+  return ArrayElemsOffset +
+         static_cast<size_t>(arrayLength(Obj)) * SlotBytes;
+}
+
+/// Byte size of an array of \p Length elements.
+inline size_t arrayBytes(int64_t Length) {
+  return ArrayElemsOffset + static_cast<size_t>(Length) * SlotBytes;
+}
+
+} // namespace jvolve
+
+#endif // JVOLVE_RUNTIME_OBJECTMODEL_H

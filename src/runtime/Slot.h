@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged value slots.
+///
+/// Every local variable, operand-stack entry, and static field occupies one
+/// Slot. The tag tells the garbage collector which slots hold references —
+/// the runtime equivalent of the stack maps Jikes RVM emits at VM safe
+/// points (paper §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_RUNTIME_SLOT_H
+#define JVOLVE_RUNTIME_SLOT_H
+
+#include <cstdint>
+
+namespace jvolve {
+
+/// A heap reference: raw address of an object's header within the heap, or
+/// nullptr for Java null.
+using Ref = uint8_t *;
+
+/// One tagged value.
+struct Slot {
+  int64_t IntVal = 0;
+  Ref RefVal = nullptr;
+  bool IsRef = false;
+
+  static Slot ofInt(int64_t V) {
+    Slot S;
+    S.IntVal = V;
+    return S;
+  }
+
+  static Slot ofRef(Ref R) {
+    Slot S;
+    S.RefVal = R;
+    S.IsRef = true;
+    return S;
+  }
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_RUNTIME_SLOT_H

@@ -1,0 +1,21 @@
+#include "runtime/StringTable.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+int64_t StringTable::intern(const std::string &Payload) {
+  auto It = Index.find(Payload);
+  if (It != Index.end())
+    return It->second;
+  int64_t Id = static_cast<int64_t>(Payloads.size());
+  Payloads.push_back(Payload);
+  Index.emplace(Payload, Id);
+  return Id;
+}
+
+const std::string &StringTable::payload(int64_t Id) const {
+  if (Id < 0 || static_cast<size_t>(Id) >= Payloads.size())
+    fatalError("invalid string table id " + std::to_string(Id));
+  return Payloads[static_cast<size_t>(Id)];
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM string table. String objects on the heap carry only an index into
+/// this table (the hidden "$id" field); payloads are immutable and
+/// deduplicated here, so the GC never traces character data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_RUNTIME_STRINGTABLE_H
+#define JVOLVE_RUNTIME_STRINGTABLE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jvolve {
+
+/// Interns string payloads and maps ids back to payloads.
+class StringTable {
+public:
+  /// \returns the id of \p Payload, interning it if new.
+  int64_t intern(const std::string &Payload);
+
+  /// \returns the payload for \p Id; aborts on an invalid id.
+  const std::string &payload(int64_t Id) const;
+
+  size_t size() const { return Payloads.size(); }
+
+private:
+  std::vector<std::string> Payloads;
+  std::unordered_map<std::string, int64_t> Index;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_RUNTIME_STRINGTABLE_H

@@ -1,0 +1,16 @@
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jvolve;
+
+void jvolve::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "jvolve fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void jvolve::unreachable(const char *Message) {
+  std::fprintf(stderr, "jvolve unreachable: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and invariant checking used throughout the VM.
+///
+/// MiniVM follows the LLVM convention of treating programmatic errors
+/// (violated invariants) as immediately fatal: we print a diagnostic and
+/// abort. Recoverable conditions (e.g. "this update cannot be applied") are
+/// modeled with explicit result types at the API level instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_ERROR_H
+#define JVOLVE_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace jvolve {
+
+/// Prints \p Message to stderr and aborts the process.
+///
+/// Use for broken invariants that indicate a bug in the VM itself, never for
+/// conditions a caller could reasonably handle.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a code path that must be unreachable if VM invariants hold.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_ERROR_H

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generator (xorshift64*) used by the
+/// workload generators so benchmark runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_RNG_H
+#define JVOLVE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jvolve {
+
+/// Deterministic xorshift64* generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL)
+      : State(Seed ? Seed : 1) {}
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// \returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_RNG_H

@@ -1,0 +1,38 @@
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace jvolve;
+
+/// Linear-interpolated quantile of a sorted sample vector.
+static double quantileOfSorted(const std::vector<double> &Sorted, double Q) {
+  assert(!Sorted.empty() && "quantile of empty sample set");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Pos = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}
+
+QuartileSummary jvolve::summarizeQuartiles(std::vector<double> Samples) {
+  QuartileSummary S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.Median = quantileOfSorted(Samples, 0.5);
+  S.LowerQuartile = quantileOfSorted(Samples, 0.25);
+  S.UpperQuartile = quantileOfSorted(Samples, 0.75);
+  return S;
+}
+
+double jvolve::mean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  return Sum / static_cast<double>(Samples.size());
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Order statistics (median, quartiles) matching the paper's methodology:
+/// "We ran this experiment 21 times and report the median and quartiles...
+/// With 21 runs, the range between the quartiles serves as a 98% confidence
+/// interval."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_STATS_H
+#define JVOLVE_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace jvolve {
+
+/// Median and quartile summary of a sample set.
+struct QuartileSummary {
+  double Median = 0;
+  double LowerQuartile = 0;
+  double UpperQuartile = 0;
+
+  /// Inter-quartile range, the paper's confidence-interval proxy.
+  double iqr() const { return UpperQuartile - LowerQuartile; }
+};
+
+/// Computes median and quartiles of \p Samples (which it copies and sorts).
+/// An empty sample set yields an all-zero summary.
+QuartileSummary summarizeQuartiles(std::vector<double> Samples);
+
+/// Arithmetic mean; 0 for an empty sample set.
+double mean(const std::vector<double> &Samples);
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_STATS_H

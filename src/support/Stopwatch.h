@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny wall-clock stopwatch used by the benchmark harnesses to measure
+/// update pause times (GC phase, transformer phase, total disruption).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_STOPWATCH_H
+#define JVOLVE_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace jvolve {
+
+/// Measures elapsed wall-clock time in milliseconds.
+class Stopwatch {
+public:
+  Stopwatch() { reset(); }
+
+  /// Restarts the measurement from now.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns milliseconds elapsed since construction or the last reset().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_STOPWATCH_H

@@ -1,0 +1,37 @@
+#include "support/StringUtils.h"
+
+using namespace jvolve;
+
+std::vector<std::string> jvolve::splitString(const std::string &Text, char Sep,
+                                             size_t Limit) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (true) {
+    if (Limit != 0 && Parts.size() + 1 == Limit) {
+      Parts.push_back(Text.substr(Pos));
+      return Parts;
+    }
+    size_t Next = Text.find(Sep, Pos);
+    if (Next == std::string::npos) {
+      Parts.push_back(Text.substr(Pos));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+bool jvolve::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string jvolve::joinStrings(const std::vector<std::string> &Parts,
+                                const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

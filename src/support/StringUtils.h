@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the bytecode layer, the UPT, and the
+/// transformer runtime (e.g. the e-mail address split in Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_STRINGUTILS_H
+#define JVOLVE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Splits \p Text on \p Sep into at most \p Limit pieces (0 = unlimited),
+/// mirroring Java's String.split(sep, limit) for literal separators.
+std::vector<std::string> splitString(const std::string &Text, char Sep,
+                                     size_t Limit = 0);
+
+/// \returns true if \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,57 @@
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace jvolve;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::fmt(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::render() const {
+  // Compute per-column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Widen = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      if (Cells[I].size() > Widths[I])
+        Widths[I] = Cells[I].size();
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto Emit = [&Widths](std::string &Out, const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out += Cells[I];
+      if (I + 1 == Cells.size())
+        break;
+      Out.append(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Emit(Out, Header);
+    size_t Total = 0;
+    for (size_t W : Widths)
+      Total += W + 2;
+    Out.append(Total > 2 ? Total - 2 : Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Out, Row);
+  return Out;
+}

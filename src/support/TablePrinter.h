@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table output for the benchmark harnesses, which
+/// regenerate the paper's tables (Figure 5, Table 1, Tables 2-4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_TABLEPRINTER_H
+#define JVOLVE_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have differing cell counts.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to a string, columns separated by two spaces, with a
+  /// dashed rule under the header.
+  std::string render() const;
+
+  /// Formats \p Value with \p Decimals fractional digits.
+  static std::string fmt(double Value, int Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,87 @@
+#include "threads/Scheduler.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace jvolve;
+
+VMThread &Scheduler::spawn(const std::string &Name, bool Daemon) {
+  auto T = std::make_unique<VMThread>();
+  T->Id = NextId++;
+  T->Name = Name;
+  T->Daemon = Daemon;
+  Threads.push_back(std::move(T));
+  return *Threads.back();
+}
+
+VMThread *Scheduler::findThread(ThreadId Id) {
+  for (auto &T : Threads)
+    if (T->Id == Id)
+      return T.get();
+  return nullptr;
+}
+
+void Scheduler::setTicks(uint64_t Tick) {
+  assert(Tick >= Ticks && "virtual time cannot go backwards");
+  Ticks = Tick;
+}
+
+void Scheduler::unparkAll() {
+  for (auto &T : Threads)
+    if (T->State == ThreadState::Parked)
+      T->State = ThreadState::Runnable;
+}
+
+bool Scheduler::allAtSafePoints() const {
+  for (const auto &T : Threads)
+    if (!T->atSafePoint())
+      return false;
+  return true;
+}
+
+bool Scheduler::hasLiveApplicationThreads() const {
+  for (const auto &T : Threads)
+    if (!T->Daemon && !T->stopped())
+      return true;
+  return false;
+}
+
+bool Scheduler::anyRunnable() const {
+  for (const auto &T : Threads)
+    if (T->State == ThreadState::Runnable)
+      return true;
+  return false;
+}
+
+uint64_t Scheduler::nextWakeTick() const {
+  uint64_t Next = std::numeric_limits<uint64_t>::max();
+  for (const auto &T : Threads) {
+    if (T->State == ThreadState::Sleeping ||
+        T->State == ThreadState::BlockedRecv)
+      Next = std::min(Next, T->WakeTick);
+  }
+  return Next;
+}
+
+void Scheduler::wakeReadyThreads() {
+  for (auto &T : Threads) {
+    if ((T->State == ThreadState::Sleeping ||
+         T->State == ThreadState::BlockedRecv) &&
+        T->WakeTick <= Ticks)
+      T->State = ThreadState::Runnable;
+  }
+}
+
+VMThread *Scheduler::pickNext() {
+  if (Threads.empty())
+    return nullptr;
+  for (size_t Tried = 0; Tried < Threads.size(); ++Tried) {
+    VMThread *T = Threads[NextIndex % Threads.size()].get();
+    NextIndex = (NextIndex + 1) % Threads.size();
+    if (T->State == ThreadState::Runnable)
+      return T;
+  }
+  return nullptr;
+}

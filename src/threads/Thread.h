@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Green threads: activation stacks of frames plus scheduling state.
+///
+/// MiniVM threads are cooperative: they run until their quantum expires or
+/// until they block, and they stop at *yield points* (method calls, method
+/// returns, and loop back edges) whenever the VM requests a yield — exactly
+/// the safe-point mechanism Jikes RVM uses for GC and thread scheduling,
+/// which Jvolve piggybacks on (paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_THREADS_THREAD_H
+#define JVOLVE_THREADS_THREAD_H
+
+#include "exec/CompiledMethod.h"
+#include "runtime/Ids.h"
+#include "runtime/Slot.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// One activation record.
+struct Frame {
+  std::shared_ptr<CompiledMethod> Code;
+  MethodId Method = InvalidMethodId;
+  uint32_t Pc = 0;
+  std::vector<Slot> Locals;
+  std::vector<Slot> Stack;
+  /// Set by the DSU layer: when this frame returns, the bridge code fires
+  /// and the update process restarts (paper §3.2, return barriers).
+  bool ReturnBarrier = false;
+};
+
+/// Scheduling state. Every state other than Runnable implies the thread is
+/// stopped at a VM safe point (blocked threads block only inside intrinsic
+/// calls, which sit at yield points).
+enum class ThreadState : uint8_t {
+  Runnable,      ///< ready to execute (possibly mid-quantum)
+  Parked,        ///< stopped at a yield point because a yield was requested
+  Sleeping,      ///< waiting for the virtual clock to reach WakeTick
+  BlockedAccept, ///< waiting for a connection on BlockedPort
+  BlockedRecv,   ///< waiting for the next request on BlockedConn
+  Finished,      ///< outermost frame returned
+  Trapped,       ///< runtime error (null deref, cast failure, OOM, ...)
+};
+
+/// A green thread.
+struct VMThread {
+  ThreadId Id = 0;
+  std::string Name;
+  /// Daemon threads do not keep the VM alive (server accept loops).
+  bool Daemon = false;
+
+  ThreadState State = ThreadState::Runnable;
+  std::vector<Frame> Frames;
+
+  uint64_t WakeTick = 0;  ///< Sleeping / BlockedRecv wake-up time
+  int BlockedPort = -1;   ///< BlockedAccept
+  int BlockedConn = -1;   ///< BlockedRecv
+  std::string TrapMessage;
+
+  /// Value returned by the outermost frame (tests and callStatic use this).
+  Slot ExitValue;
+  bool HasExitValue = false;
+
+  bool stopped() const {
+    return State == ThreadState::Finished || State == ThreadState::Trapped;
+  }
+
+  /// True when the thread is at a VM safe point (not actively running).
+  bool atSafePoint() const { return State != ThreadState::Runnable; }
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_THREADS_THREAD_H

@@ -1,0 +1,592 @@
+#include "vm/Interpreter.h"
+
+#include "bytecode/Builtins.h"
+#include "runtime/ObjectModel.h"
+#include "support/Error.h"
+#include "vm/VM.h"
+
+#include <cassert>
+
+using namespace jvolve;
+
+bool Interpreter::isYieldPoint(const RInstr &I, uint32_t Pc) {
+  switch (I.Op) {
+  case ROp::CallVirt:
+  case ROp::CallStatic:
+  case ROp::CallSpecial:
+  case ROp::RetVoid:
+  case ROp::RetI:
+  case ROp::RetA:
+  case ROp::Intr:
+    return true;
+  case ROp::Jump:
+  case ROp::BrEqZ: case ROp::BrNeZ: case ROp::BrLtZ: case ROp::BrGeZ:
+  case ROp::BrGtZ: case ROp::BrLeZ: case ROp::BrICmpEq: case ROp::BrICmpNe:
+  case ROp::BrICmpLt: case ROp::BrICmpGe: case ROp::BrICmpGt:
+  case ROp::BrICmpLe: case ROp::BrNull: case ROp::BrNonNull:
+  case ROp::BrAEq: case ROp::BrANe:
+    // Loop back edges.
+    return I.A <= static_cast<int64_t>(Pc);
+  default:
+    return false;
+  }
+}
+
+bool Interpreter::doReturn(VMThread &T, bool HasValue) {
+  Frame &F = T.Frames.back();
+  Slot Ret;
+  if (HasValue) {
+    assert(!F.Stack.empty() && "return with empty stack");
+    Ret = F.Stack.back();
+  }
+  bool Barrier = F.ReturnBarrier;
+  T.Frames.pop_back();
+
+  if (T.Frames.empty()) {
+    T.State = ThreadState::Finished;
+    if (HasValue) {
+      T.ExitValue = Ret;
+      T.HasExitValue = true;
+    }
+  } else if (HasValue) {
+    T.Frames.back().Stack.push_back(Ret);
+  }
+
+  if (Barrier) {
+    // The bridge code: notify the DSU layer, then stop the thread at this
+    // (return) yield point so the update attempt can proceed.
+    TheVM.onReturnBarrierFired(T);
+    if (T.State == ThreadState::Runnable)
+      T.State = ThreadState::Parked;
+    return false;
+  }
+  return T.State == ThreadState::Runnable;
+}
+
+uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
+  uint64_t Executed = 0;
+  Scheduler &Sched = TheVM.scheduler();
+  ClassRegistry &Reg = TheVM.registry();
+
+  auto Trap = [&](const std::string &Msg) { TheVM.onTrap(T, Msg); };
+
+  /// Simulated handle-space check for the indirection ablation: a real
+  /// lazy-update VM (JDrums/DVM) tests on every access whether the object
+  /// is up to date before following the handle.
+  auto IndirectionCheck = [&](Ref Obj) -> Ref {
+    // A lazy-update VM (JDrums/DVM) reaches every object through a handle
+    // and tests on each access whether the object is up to date. Model the
+    // cost faithfully: the access must *depend* on the check's result, so
+    // the extra loads cannot be hidden behind the dispatch overhead.
+    const RtClass &C = Reg.cls(classOf(Obj));
+    ++TheVM.stats().IndirectionChecks;
+    return C.Obsolete ? nullptr : Obj; // transform would happen on null
+  };
+
+  auto PushFrame = [&](MethodId Callee, int NArgs) {
+    std::shared_ptr<CompiledMethod> Code =
+        TheVM.ensureCompiledForInvoke(Callee);
+    Frame NF;
+    NF.Code = std::move(Code);
+    NF.Method = Callee;
+    NF.Locals.resize(NF.Code->NumLocals);
+    Frame &Caller = T.Frames.back();
+    assert(Caller.Stack.size() >= static_cast<size_t>(NArgs) &&
+           "argument underflow");
+    for (int A = NArgs - 1; A >= 0; --A) {
+      NF.Locals[static_cast<size_t>(A)] = Caller.Stack.back();
+      Caller.Stack.pop_back();
+    }
+    ++Caller.Pc; // return address
+    T.Frames.push_back(std::move(NF));
+  };
+
+  while (Executed < Budget && T.State == ThreadState::Runnable) {
+    assert(!T.Frames.empty() && "runnable thread without frames");
+    Frame &F = T.Frames.back();
+    assert(F.Pc < F.Code->Code.size() && "pc out of bounds");
+    const RInstr &I = F.Code->Code[F.Pc];
+
+    if (Sched.yieldRequested() && isYieldPoint(I, F.Pc)) {
+      T.State = ThreadState::Parked;
+      break;
+    }
+    ++Executed;
+
+    std::vector<Slot> &S = F.Stack;
+    bool Advance = true;
+
+    switch (I.Op) {
+    case ROp::NopOp:
+      break;
+    case ROp::ConstI:
+      S.push_back(Slot::ofInt(I.A));
+      break;
+    case ROp::ConstStr: {
+      Ref Obj = TheVM.allocateObject(TheVM.StringClsId);
+      if (!Obj) {
+        Trap("out of memory allocating String");
+        Advance = false;
+        break;
+      }
+      setIntAt(Obj, TheVM.StringIdOffset, I.A);
+      S.push_back(Slot::ofRef(Obj));
+      break;
+    }
+    case ROp::ConstNull:
+      S.push_back(Slot::ofRef(nullptr));
+      break;
+    case ROp::LoadSlot:
+      S.push_back(F.Locals[static_cast<size_t>(I.A)]);
+      break;
+    case ROp::StoreSlot:
+      F.Locals[static_cast<size_t>(I.A)] = S.back();
+      S.pop_back();
+      break;
+    case ROp::IAdd: case ROp::ISub: case ROp::IMul:
+    case ROp::IDiv: case ROp::IRem: {
+      int64_t B = S.back().IntVal;
+      S.pop_back();
+      int64_t A = S.back().IntVal;
+      S.pop_back();
+      int64_t R = 0;
+      if (I.Op == ROp::IAdd)
+        R = A + B;
+      else if (I.Op == ROp::ISub)
+        R = A - B;
+      else if (I.Op == ROp::IMul)
+        R = A * B;
+      else {
+        if (B == 0) {
+          Trap("integer division by zero");
+          Advance = false;
+          break;
+        }
+        R = I.Op == ROp::IDiv ? A / B : A % B;
+      }
+      S.push_back(Slot::ofInt(R));
+      break;
+    }
+    case ROp::INeg:
+      S.back().IntVal = -S.back().IntVal;
+      break;
+    case ROp::Dup:
+      S.push_back(S.back());
+      break;
+    case ROp::Pop:
+      S.pop_back();
+      break;
+    case ROp::Jump:
+      F.Pc = static_cast<uint32_t>(I.A);
+      Advance = false;
+      break;
+    case ROp::BrEqZ: case ROp::BrNeZ: case ROp::BrLtZ:
+    case ROp::BrGeZ: case ROp::BrGtZ: case ROp::BrLeZ: {
+      int64_t V = S.back().IntVal;
+      S.pop_back();
+      bool Taken = false;
+      switch (I.Op) {
+      case ROp::BrEqZ: Taken = V == 0; break;
+      case ROp::BrNeZ: Taken = V != 0; break;
+      case ROp::BrLtZ: Taken = V < 0; break;
+      case ROp::BrGeZ: Taken = V >= 0; break;
+      case ROp::BrGtZ: Taken = V > 0; break;
+      default: Taken = V <= 0; break;
+      }
+      if (Taken) {
+        F.Pc = static_cast<uint32_t>(I.A);
+        Advance = false;
+      }
+      break;
+    }
+    case ROp::BrICmpEq: case ROp::BrICmpNe: case ROp::BrICmpLt:
+    case ROp::BrICmpGe: case ROp::BrICmpGt: case ROp::BrICmpLe: {
+      int64_t B = S.back().IntVal;
+      S.pop_back();
+      int64_t A = S.back().IntVal;
+      S.pop_back();
+      bool Taken = false;
+      switch (I.Op) {
+      case ROp::BrICmpEq: Taken = A == B; break;
+      case ROp::BrICmpNe: Taken = A != B; break;
+      case ROp::BrICmpLt: Taken = A < B; break;
+      case ROp::BrICmpGe: Taken = A >= B; break;
+      case ROp::BrICmpGt: Taken = A > B; break;
+      default: Taken = A <= B; break;
+      }
+      if (Taken) {
+        F.Pc = static_cast<uint32_t>(I.A);
+        Advance = false;
+      }
+      break;
+    }
+    case ROp::BrNull: case ROp::BrNonNull: {
+      Ref V = S.back().RefVal;
+      S.pop_back();
+      bool Taken = I.Op == ROp::BrNull ? V == nullptr : V != nullptr;
+      if (Taken) {
+        F.Pc = static_cast<uint32_t>(I.A);
+        Advance = false;
+      }
+      break;
+    }
+    case ROp::BrAEq: case ROp::BrANe: {
+      Ref B = S.back().RefVal;
+      S.pop_back();
+      Ref A = S.back().RefVal;
+      S.pop_back();
+      bool Taken = I.Op == ROp::BrAEq ? A == B : A != B;
+      if (Taken) {
+        F.Pc = static_cast<uint32_t>(I.A);
+        Advance = false;
+      }
+      break;
+    }
+    case ROp::NewObj: {
+      Ref Obj = TheVM.allocateObject(static_cast<ClassId>(I.A));
+      if (!Obj) {
+        Trap("out of memory");
+        Advance = false;
+        break;
+      }
+      S.push_back(Slot::ofRef(Obj));
+      break;
+    }
+    case ROp::GetFieldI: case ROp::GetFieldR: {
+      Ref Obj = S.back().RefVal;
+      S.pop_back();
+      if (!Obj) {
+        Trap("null dereference in field read");
+        Advance = false;
+        break;
+      }
+      if (F.Code->IndirectionChecks)
+        Obj = IndirectionCheck(Obj);
+      uint32_t Off = static_cast<uint32_t>(I.A);
+      if (I.Op == ROp::GetFieldI)
+        S.push_back(Slot::ofInt(getIntAt(Obj, Off)));
+      else
+        S.push_back(Slot::ofRef(getRefAt(Obj, Off)));
+      break;
+    }
+    case ROp::PutFieldI: case ROp::PutFieldR: {
+      Slot V = S.back();
+      S.pop_back();
+      Ref Obj = S.back().RefVal;
+      S.pop_back();
+      if (!Obj) {
+        Trap("null dereference in field write");
+        Advance = false;
+        break;
+      }
+      if (F.Code->IndirectionChecks)
+        Obj = IndirectionCheck(Obj);
+      uint32_t Off = static_cast<uint32_t>(I.A);
+      if (I.Op == ROp::PutFieldI)
+        setIntAt(Obj, Off, V.IntVal);
+      else
+        setRefAt(Obj, Off, V.RefVal);
+      break;
+    }
+    case ROp::GetStaticI: case ROp::GetStaticR: {
+      Slot &Static =
+          Reg.cls(static_cast<ClassId>(I.A)).Statics[static_cast<size_t>(I.B)];
+      S.push_back(Static);
+      break;
+    }
+    case ROp::PutStaticI: case ROp::PutStaticR: {
+      Slot &Static =
+          Reg.cls(static_cast<ClassId>(I.A)).Statics[static_cast<size_t>(I.B)];
+      Static = S.back();
+      S.pop_back();
+      break;
+    }
+    case ROp::InstanceOfOp: {
+      Ref Obj = S.back().RefVal;
+      S.pop_back();
+      bool Is = Obj && Reg.isSubclassOf(classOf(Obj),
+                                        static_cast<ClassId>(I.A));
+      S.push_back(Slot::ofInt(Is ? 1 : 0));
+      break;
+    }
+    case ROp::CheckCastOp: {
+      Ref Obj = S.back().RefVal;
+      if (Obj &&
+          !Reg.isSubclassOf(classOf(Obj), static_cast<ClassId>(I.A))) {
+        Trap("class cast failure to " +
+             Reg.cls(static_cast<ClassId>(I.A)).Name);
+        Advance = false;
+      }
+      break;
+    }
+    case ROp::CallVirt: {
+      int NArgs = I.B;
+      Ref Receiver = S[S.size() - static_cast<size_t>(NArgs)].RefVal;
+      if (!Receiver) {
+        Trap("null receiver in virtual call");
+        Advance = false;
+        break;
+      }
+      const RtClass &C = Reg.cls(classOf(Receiver));
+      assert(static_cast<size_t>(I.A) < C.VTable.size() &&
+             "TIB slot out of range");
+      PushFrame(C.VTable[static_cast<size_t>(I.A)], NArgs);
+      Advance = false;
+      break;
+    }
+    case ROp::CallStatic: case ROp::CallSpecial: {
+      if (I.Op == ROp::CallSpecial) {
+        Ref Receiver = S[S.size() - static_cast<size_t>(I.B)].RefVal;
+        if (!Receiver) {
+          Trap("null receiver in special call");
+          Advance = false;
+          break;
+        }
+      }
+      PushFrame(static_cast<MethodId>(I.A), I.B);
+      Advance = false;
+      break;
+    }
+    case ROp::NewArr: {
+      int64_t Len = S.back().IntVal;
+      S.pop_back();
+      if (Len < 0) {
+        Trap("negative array length");
+        Advance = false;
+        break;
+      }
+      Ref Arr = TheVM.allocateArray(static_cast<ClassId>(I.A), Len);
+      if (!Arr) {
+        Trap("out of memory allocating array");
+        Advance = false;
+        break;
+      }
+      S.push_back(Slot::ofRef(Arr));
+      break;
+    }
+    case ROp::ALoadElem: {
+      int64_t Idx = S.back().IntVal;
+      S.pop_back();
+      Ref Arr = S.back().RefVal;
+      S.pop_back();
+      if (!Arr) {
+        Trap("null array in element read");
+        Advance = false;
+        break;
+      }
+      if (Idx < 0 || Idx >= arrayLength(Arr)) {
+        Trap("array index out of bounds");
+        Advance = false;
+        break;
+      }
+      uint32_t Off = arrayElemOffset(Idx);
+      if (header(Arr)->Flags & FlagRefArray)
+        S.push_back(Slot::ofRef(getRefAt(Arr, Off)));
+      else
+        S.push_back(Slot::ofInt(getIntAt(Arr, Off)));
+      break;
+    }
+    case ROp::AStoreElem: {
+      Slot V = S.back();
+      S.pop_back();
+      int64_t Idx = S.back().IntVal;
+      S.pop_back();
+      Ref Arr = S.back().RefVal;
+      S.pop_back();
+      if (!Arr) {
+        Trap("null array in element write");
+        Advance = false;
+        break;
+      }
+      if (Idx < 0 || Idx >= arrayLength(Arr)) {
+        Trap("array index out of bounds");
+        Advance = false;
+        break;
+      }
+      uint32_t Off = arrayElemOffset(Idx);
+      if (header(Arr)->Flags & FlagRefArray)
+        setRefAt(Arr, Off, V.RefVal);
+      else
+        setIntAt(Arr, Off, V.IntVal);
+      break;
+    }
+    case ROp::ArrLen: {
+      Ref Arr = S.back().RefVal;
+      S.pop_back();
+      if (!Arr) {
+        Trap("null array in arraylength");
+        Advance = false;
+        break;
+      }
+      S.push_back(Slot::ofInt(arrayLength(Arr)));
+      break;
+    }
+    case ROp::RetVoid:
+      doReturn(T, /*HasValue=*/false);
+      Advance = false;
+      break;
+    case ROp::RetI: case ROp::RetA:
+      doReturn(T, /*HasValue=*/true);
+      Advance = false;
+      break;
+    case ROp::Intr: {
+      switch (static_cast<IntrinsicId>(I.A)) {
+      case IntrinsicId::PrintInt: {
+        int64_t V = S.back().IntVal;
+        S.pop_back();
+        TheVM.appendPrintLog(std::to_string(V));
+        break;
+      }
+      case IntrinsicId::PrintStr: {
+        Ref Str = S.back().RefVal;
+        S.pop_back();
+        if (!Str) {
+          Trap("null string in print");
+          Advance = false;
+          break;
+        }
+        TheVM.appendPrintLog(TheVM.stringValue(Str));
+        break;
+      }
+      case IntrinsicId::CurrentTicks:
+        S.push_back(Slot::ofInt(static_cast<int64_t>(Sched.ticks())));
+        break;
+      case IntrinsicId::SleepTicks: {
+        int64_t N = S.back().IntVal;
+        S.pop_back();
+        ++F.Pc; // resume after the sleep
+        T.WakeTick = Sched.ticks() + static_cast<uint64_t>(std::max<int64_t>(N, 0));
+        T.State = ThreadState::Sleeping;
+        Advance = false;
+        break;
+      }
+      case IntrinsicId::NetAccept: {
+        int Port = static_cast<int>(S.back().IntVal);
+        int Conn = TheVM.net().tryAccept(Port);
+        if (Conn < 0) {
+          // Block; re-execute this instruction when woken.
+          T.State = ThreadState::BlockedAccept;
+          T.BlockedPort = Port;
+          Advance = false;
+          break;
+        }
+        S.pop_back();
+        S.push_back(Slot::ofInt(Conn));
+        break;
+      }
+      case IntrinsicId::NetTryAccept: {
+        int Port = static_cast<int>(S.back().IntVal);
+        S.pop_back();
+        S.push_back(Slot::ofInt(TheVM.net().tryAccept(Port)));
+        break;
+      }
+      case IntrinsicId::NetRecv: {
+        int Conn = static_cast<int>(S.back().IntVal);
+        int64_t Value = 0;
+        uint64_t ReadyTick = 0;
+        Network::RecvStatus St =
+            TheVM.net().recv(Conn, Sched.ticks(), Value, ReadyTick);
+        if (St == Network::RecvStatus::NotReady) {
+          T.State = ThreadState::BlockedRecv;
+          T.BlockedConn = Conn;
+          T.WakeTick = ReadyTick;
+          Advance = false;
+          break;
+        }
+        S.pop_back();
+        S.push_back(Slot::ofInt(
+            St == Network::RecvStatus::Eof ? -1 : Value));
+        break;
+      }
+      case IntrinsicId::NetSend: {
+        int64_t Value = S.back().IntVal;
+        S.pop_back();
+        int Conn = static_cast<int>(S.back().IntVal);
+        S.pop_back();
+        TheVM.net().send(Conn, Value, Sched.ticks());
+        break;
+      }
+      case IntrinsicId::NetClose: {
+        int Conn = static_cast<int>(S.back().IntVal);
+        S.pop_back();
+        TheVM.net().close(Conn);
+        break;
+      }
+      case IntrinsicId::StrEquals: {
+        Ref B = S.back().RefVal;
+        S.pop_back();
+        Ref A = S.back().RefVal;
+        S.pop_back();
+        if (!A || !B) {
+          S.push_back(Slot::ofInt(A == B ? 1 : 0));
+          break;
+        }
+        S.push_back(Slot::ofInt(
+            TheVM.stringValue(A) == TheVM.stringValue(B) ? 1 : 0));
+        break;
+      }
+      case IntrinsicId::StrLength: {
+        Ref A = S.back().RefVal;
+        S.pop_back();
+        if (!A) {
+          Trap("null string in length");
+          Advance = false;
+          break;
+        }
+        S.push_back(
+            Slot::ofInt(static_cast<int64_t>(TheVM.stringValue(A).size())));
+        break;
+      }
+      case IntrinsicId::StrConcat: {
+        Ref B = S.back().RefVal;
+        S.pop_back();
+        Ref A = S.back().RefVal;
+        S.pop_back();
+        std::string Joined = (A ? TheVM.stringValue(A) : "null") +
+                             (B ? TheVM.stringValue(B) : "null");
+        Ref Out = TheVM.newString(Joined);
+        if (!Out) {
+          Trap("out of memory in string concat");
+          Advance = false;
+          break;
+        }
+        S.push_back(Slot::ofRef(Out));
+        break;
+      }
+      case IntrinsicId::StrIndexOf: {
+        int64_t Ch = S.back().IntVal;
+        S.pop_back();
+        Ref A = S.back().RefVal;
+        S.pop_back();
+        if (!A) {
+          Trap("null string in indexOf");
+          Advance = false;
+          break;
+        }
+        size_t Pos = TheVM.stringValue(A).find(static_cast<char>(Ch));
+        S.push_back(Slot::ofInt(
+            Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos)));
+        break;
+      }
+      case IntrinsicId::Rand: {
+        int64_t Bound = S.back().IntVal;
+        S.pop_back();
+        uint64_t V = TheVM.TheRng.nextBelow(
+            Bound > 0 ? static_cast<uint64_t>(Bound) : 1);
+        S.push_back(Slot::ofInt(static_cast<int64_t>(V)));
+        break;
+      }
+      }
+      break;
+    }
+    }
+
+    if (Advance) {
+      assert(!T.Frames.empty() && "advancing pc on a dead thread");
+      ++T.Frames.back().Pc;
+    }
+  }
+
+  TheVM.stats().InstructionsExecuted += Executed;
+  return Executed;
+}

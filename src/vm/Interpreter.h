@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM interpreter: executes quickened code one thread-quantum at a
+/// time, honoring yield points (calls, returns, loop back edges), blocking
+/// intrinsics, return barriers, and the adaptive recompilation policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_VM_INTERPRETER_H
+#define JVOLVE_VM_INTERPRETER_H
+
+#include "threads/Thread.h"
+
+#include <cstdint>
+
+namespace jvolve {
+
+class VM;
+
+/// Executes threads against a VM.
+class Interpreter {
+public:
+  explicit Interpreter(VM &TheVM) : TheVM(TheVM) {}
+
+  /// Runs \p T for at most \p Budget instructions. \returns the number of
+  /// instructions executed. On return, \p T is Runnable (budget expired) or
+  /// in a non-running state (parked, blocked, sleeping, finished, trapped).
+  uint64_t runThread(VMThread &T, uint64_t Budget);
+
+private:
+  /// \returns true if the instruction at \p Pc is a yield point: a call, a
+  /// return, an intrinsic, or a backward branch.
+  static bool isYieldPoint(const RInstr &I, uint32_t Pc);
+
+  /// Handles a method return (shared by RetVoid/RetI/RetA). \returns false
+  /// if the thread should stop running this quantum (barrier fired or the
+  /// thread finished).
+  bool doReturn(VMThread &T, bool HasValue);
+
+  VM &TheVM;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_VM_INTERPRETER_H

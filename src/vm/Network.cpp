@@ -1,0 +1,85 @@
+#include "vm/Network.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+int Network::inject(int Port, const std::vector<int64_t> &Values,
+                    uint64_t Now, uint64_t InterArrival,
+                    uint64_t FirstDelay) {
+  int Id = NextConnId++;
+  Connection C;
+  C.Port = Port;
+  uint64_t Arrival = Now + FirstDelay;
+  for (int64_t V : Values) {
+    C.Pending.push_back({V, Arrival});
+    Arrival += InterArrival;
+  }
+  Connections.emplace(Id, std::move(C));
+  AcceptQueues[Port].push_back(Id);
+  ++NumConnections;
+  return Id;
+}
+
+bool Network::hasPendingAccept(int Port) const {
+  auto It = AcceptQueues.find(Port);
+  return It != AcceptQueues.end() && !It->second.empty();
+}
+
+int Network::tryAccept(int Port) {
+  auto It = AcceptQueues.find(Port);
+  if (It == AcceptQueues.end() || It->second.empty())
+    return -1;
+  int Id = It->second.front();
+  It->second.pop_front();
+  return Id;
+}
+
+Network::RecvStatus Network::recv(int Conn, uint64_t Now, int64_t &Value,
+                                  uint64_t &ReadyTick) {
+  auto It = Connections.find(Conn);
+  if (It == Connections.end() || It->second.Closed || It->second.Pending.empty())
+    return RecvStatus::Eof;
+  Connection &C = It->second;
+  const Request &R = C.Pending.front();
+  if (R.ArrivalTick > Now) {
+    ReadyTick = R.ArrivalTick;
+    return RecvStatus::NotReady;
+  }
+  Value = R.Value;
+  C.LastConsumedArrival = R.ArrivalTick;
+  C.Pending.pop_front();
+  return RecvStatus::Value;
+}
+
+void Network::send(int Conn, int64_t Value, uint64_t Now) {
+  Responses.push_back({Conn, Value, Now});
+  ++NumResponses;
+  auto It = Connections.find(Conn);
+  if (It != Connections.end())
+    Latencies.push_back(
+        static_cast<double>(Now - It->second.LastConsumedArrival));
+}
+
+void Network::close(int Conn) {
+  auto It = Connections.find(Conn);
+  if (It != Connections.end())
+    It->second.Closed = true;
+}
+
+bool Network::isClosed(int Conn) const {
+  auto It = Connections.find(Conn);
+  return It == Connections.end() || It->second.Closed;
+}
+
+std::vector<NetResponse> Network::drainResponses() {
+  std::vector<NetResponse> Out;
+  Out.swap(Responses);
+  return Out;
+}
+
+std::vector<double> Network::drainLatencies() {
+  std::vector<double> Out;
+  Out.swap(Latencies);
+  return Out;
+}

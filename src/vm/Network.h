@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated network substrate.
+///
+/// The paper evaluates Jvolve on three servers driven by real clients
+/// (httperf, SMTP/POP sessions, FTP sessions). We cannot ship those, so
+/// this module provides the synthetic equivalent: a workload harness
+/// injects connections carrying timestamped integer requests, server
+/// bytecode accepts/receives/sends through intrinsics, and the harness
+/// collects responses with virtual-time latencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_VM_NETWORK_H
+#define JVOLVE_VM_NETWORK_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace jvolve {
+
+/// One response produced by NetSend.
+struct NetResponse {
+  int Conn = -1;
+  int64_t Value = 0;
+  uint64_t Tick = 0;
+};
+
+/// The simulated network: per-port accept queues and per-connection
+/// request streams.
+class Network {
+public:
+  /// Result of a receive attempt.
+  enum class RecvStatus {
+    Value,    ///< a request was consumed
+    Eof,      ///< the client sent everything and hung up
+    NotReady, ///< the next request arrives at ReadyTick
+  };
+
+  /// Opens a connection carrying \p Values as requests. The first request
+  /// arrives at \p Now + \p FirstDelay, subsequent requests
+  /// \p InterArrival ticks apart. \returns the connection id.
+  int inject(int Port, const std::vector<int64_t> &Values, uint64_t Now,
+             uint64_t InterArrival = 0, uint64_t FirstDelay = 0);
+
+  /// Non-destructively checks whether a connection is waiting on \p Port.
+  bool hasPendingAccept(int Port) const;
+
+  /// Pops a pending connection for \p Port. \returns -1 if none.
+  int tryAccept(int Port);
+
+  /// Attempts to receive the next request on \p Conn at time \p Now.
+  RecvStatus recv(int Conn, uint64_t Now, int64_t &Value,
+                  uint64_t &ReadyTick);
+
+  /// Records a response on \p Conn at time \p Now; latency is measured
+  /// against the arrival of the most recently consumed request.
+  void send(int Conn, int64_t Value, uint64_t Now);
+
+  void close(int Conn);
+  bool isClosed(int Conn) const;
+
+  /// \returns responses recorded since the last drain.
+  std::vector<NetResponse> drainResponses();
+
+  /// Per-request latencies (send tick minus request arrival tick), in
+  /// virtual ticks, accumulated since the last drain.
+  std::vector<double> drainLatencies();
+
+  uint64_t totalResponses() const { return NumResponses; }
+  uint64_t totalConnections() const { return NumConnections; }
+
+private:
+  struct Request {
+    int64_t Value;
+    uint64_t ArrivalTick;
+  };
+  struct Connection {
+    int Port = -1;
+    std::deque<Request> Pending;
+    uint64_t LastConsumedArrival = 0;
+    bool Closed = false;
+  };
+
+  std::map<int, std::deque<int>> AcceptQueues;
+  std::map<int, Connection> Connections;
+  std::vector<NetResponse> Responses;
+  std::vector<double> Latencies;
+  int NextConnId = 1;
+  uint64_t NumResponses = 0;
+  uint64_t NumConnections = 0;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_VM_NETWORK_H

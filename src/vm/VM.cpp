@@ -1,0 +1,277 @@
+#include "vm/VM.h"
+
+#include "bytecode/Builtins.h"
+#include "bytecode/Verifier.h"
+#include "runtime/ObjectModel.h"
+#include "support/Error.h"
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace jvolve;
+
+VM::VM(Config C) : Cfg(C) {
+  TheHeap = std::make_unique<Heap>(Cfg.HeapSpaceBytes);
+  Gc = std::make_unique<Collector>(*TheHeap, Registry);
+  Compiler::Options COpts;
+  COpts.IndirectionChecks = Cfg.IndirectionMode;
+  Comp = std::make_unique<Compiler>(Registry, Strings, COpts);
+  Interp = std::make_unique<Interpreter>(*this);
+}
+
+VM::VM() : VM(Config()) {}
+
+VM::~VM() = default;
+
+void VM::loadProgram(const ClassSet &InputProgram) {
+  if (ProgramLoaded)
+    fatalError("loadProgram called twice; use the DSU layer to update");
+  ProgramLoaded = true;
+
+  Program = InputProgram;
+  ensureBuiltins(Program);
+
+  if (Cfg.Verify) {
+    std::vector<VerifyError> Errs = Verifier(Program).verifyAll();
+    if (!Errs.empty()) {
+      std::string Msg = "program failed verification:";
+      for (const VerifyError &E : Errs)
+        Msg += "\n  " + E.str();
+      fatalError(Msg);
+    }
+  }
+
+  Registry.loadAll(Program);
+
+  StringClsId = Registry.idOf(StringClassName);
+  assert(StringClsId != InvalidClassId && "built-in String missing");
+  const RtField *IdField =
+      Registry.cls(StringClsId).findInstanceField(StringIdField);
+  assert(IdField && "String.$id missing");
+  StringIdOffset = IdField->Offset;
+}
+
+ThreadId VM::spawnThread(const std::string &ClassName,
+                         const std::string &MethodName,
+                         const std::string &Sig, std::vector<Slot> Args,
+                         const std::string &ThreadName, bool Daemon) {
+  ClassId Cls = Registry.idOf(ClassName);
+  if (Cls == InvalidClassId)
+    fatalError("spawnThread: unknown class '" + ClassName + "'");
+  MethodId Entry = Registry.resolveMethod(Cls, MethodName, Sig);
+  if (Entry == InvalidMethodId)
+    fatalError("spawnThread: unknown method " + ClassName + "." + MethodName +
+               Sig);
+  if (!Registry.method(Entry).IsStatic)
+    fatalError("spawnThread: entry point must be static");
+
+  VMThread &T = Sched.spawn(ThreadName, Daemon);
+  pushEntryFrame(T, Entry, std::move(Args));
+  return T.Id;
+}
+
+void VM::pushEntryFrame(VMThread &T, MethodId Method,
+                        std::vector<Slot> Args) {
+  std::shared_ptr<CompiledMethod> Code = ensureCompiledForInvoke(Method);
+  Frame F;
+  F.Code = std::move(Code);
+  F.Method = Method;
+  F.Locals.resize(F.Code->NumLocals);
+  assert(Args.size() <= F.Locals.size() && "too many entry arguments");
+  for (size_t A = 0; A < Args.size(); ++A)
+    F.Locals[A] = Args[A];
+  T.Frames.push_back(std::move(F));
+}
+
+std::shared_ptr<CompiledMethod> VM::ensureCompiledForInvoke(MethodId Method) {
+  RtMethod &M = Registry.method(Method);
+  ++M.InvokeCount;
+  if (!M.Code) {
+    Tier T =
+        M.InvokeCount >= Cfg.OptThreshold ? Tier::Opt : Tier::Baseline;
+    M.Code = Comp->compile(Method, T);
+  } else if (M.Code->T == Tier::Baseline &&
+             M.InvokeCount == Cfg.OptThreshold) {
+    // The adaptive system promotes hot methods to the opt tier.
+    M.Code = Comp->compile(Method, Tier::Opt);
+  }
+  return M.Code;
+}
+
+VM::RunResult VM::run(uint64_t MaxTicks) {
+  RunResult Result;
+  uint64_t Start = Sched.ticks();
+  uint64_t End = Start + MaxTicks;
+
+  while (Sched.ticks() < End) {
+    if (TickCallback)
+      TickCallback(Sched.ticks());
+    Sched.wakeReadyThreads();
+
+    if (Sched.yieldRequested() && Sched.allAtSafePoints()) {
+      if (SafePointCallback) {
+        SafePointCallback();
+        // The callback must resume or finish; guard against a stall.
+        if (Sched.yieldRequested() && Sched.allAtSafePoints() &&
+            !Sched.anyRunnable())
+          resumeAfterYield();
+      } else {
+        resumeAfterYield();
+      }
+      continue;
+    }
+
+    VMThread *T = Sched.pickNext();
+    if (!T) {
+      // Nobody is runnable. Fast-forward to the next wake-up, if any.
+      uint64_t Wake = Sched.nextWakeTick();
+      if (Wake == std::numeric_limits<uint64_t>::max()) {
+        Result.Idle = true;
+        break;
+      }
+      if (Wake >= End) {
+        Sched.setTicks(End);
+        break;
+      }
+      Sched.setTicks(std::max(Wake, Sched.ticks()));
+      continue;
+    }
+
+    uint64_t Budget = std::min<uint64_t>(Cfg.Quantum, End - Sched.ticks());
+    uint64_t Executed = Interp->runThread(*T, Budget);
+    Sched.advanceTicks(Executed);
+    if (Executed == 0 && T->State == ThreadState::Runnable)
+      fatalError("scheduler made no progress on runnable thread " + T->Name);
+  }
+
+  Result.TicksExecuted = Sched.ticks() - Start;
+  return Result;
+}
+
+VM::RunResult VM::runToCompletion(uint64_t MaxTicks) {
+  RunResult Total;
+  uint64_t Remaining = MaxTicks;
+  while (Remaining > 0 && Sched.hasLiveApplicationThreads()) {
+    uint64_t Chunk = std::min<uint64_t>(Remaining, 1u << 20);
+    RunResult R = run(Chunk);
+    Total.TicksExecuted += R.TicksExecuted;
+    Remaining -= Chunk;
+    if (R.Idle) {
+      Total.Idle = true;
+      break;
+    }
+  }
+  return Total;
+}
+
+Slot VM::callStatic(const std::string &ClassName,
+                    const std::string &MethodName, const std::string &Sig,
+                    std::vector<Slot> Args) {
+  ThreadId Id =
+      spawnThread(ClassName, MethodName, Sig, std::move(Args), "call");
+  while (true) {
+    VMThread *T = Sched.findThread(Id);
+    assert(T && "spawned thread vanished");
+    if (T->State == ThreadState::Trapped)
+      fatalError("callStatic trapped: " + T->TrapMessage);
+    if (T->State == ThreadState::Finished)
+      return T->HasExitValue ? T->ExitValue : Slot::ofInt(0);
+    RunResult R = run(1u << 20);
+    if (R.Idle && Sched.findThread(Id)->State != ThreadState::Finished &&
+        Sched.findThread(Id)->State != ThreadState::Trapped)
+      fatalError("callStatic deadlocked in " + ClassName + "." + MethodName);
+  }
+}
+
+Ref VM::allocateObject(ClassId Cls) {
+  const RtClass &C = Registry.cls(Cls);
+  Ref Obj = TheHeap->allocateObject(C);
+  if (Obj)
+    return Obj;
+  if (TransformationInProgress)
+    fatalError("heap exhausted while running transformers");
+  collectGarbage();
+  return TheHeap->allocateObject(C);
+}
+
+Ref VM::allocateArray(ClassId ArrCls, int64_t Length) {
+  const RtClass &C = Registry.cls(ArrCls);
+  Ref Arr = TheHeap->allocateArray(C, Length);
+  if (Arr)
+    return Arr;
+  if (TransformationInProgress)
+    fatalError("heap exhausted while running transformers");
+  collectGarbage();
+  return TheHeap->allocateArray(C, Length);
+}
+
+Ref VM::newString(const std::string &Payload) {
+  Ref Obj = allocateObject(StringClsId);
+  if (!Obj)
+    return nullptr;
+  setIntAt(Obj, StringIdOffset, Strings.intern(Payload));
+  return Obj;
+}
+
+std::string VM::stringValue(Ref Str) {
+  assert(Str && "stringValue on null");
+  assert(classOf(Str) == StringClsId && "stringValue on a non-String");
+  return Strings.payload(getIntAt(Str, StringIdOffset));
+}
+
+void VM::enumerateRoots(const std::function<void(Ref &)> &Visit) {
+  Registry.visitStaticRoots(Visit);
+  for (auto &T : Sched.threads()) {
+    for (Frame &F : T->Frames) {
+      for (Slot &L : F.Locals)
+        if (L.IsRef && L.RefVal)
+          Visit(L.RefVal);
+      for (Slot &S : F.Stack)
+        if (S.IsRef && S.RefVal)
+          Visit(S.RefVal);
+    }
+    if (T->HasExitValue && T->ExitValue.IsRef && T->ExitValue.RefVal)
+      Visit(T->ExitValue.RefVal);
+  }
+  for (Ref &R : Pinned)
+    if (R)
+      Visit(R);
+}
+
+CollectionStats
+VM::collectGarbage(const DsuRemap *Remap,
+                   std::vector<UpdateLogEntry> *UpdateLog,
+                   std::unordered_map<Ref, size_t> *NewToLogIndex) {
+  CollectionStats St = Gc->collect(
+      [this](const std::function<void(Ref &)> &Visit) {
+        enumerateRoots(Visit);
+      },
+      Remap, UpdateLog, NewToLogIndex);
+  ++Stats.Collections;
+  Stats.TotalGcMs += St.GcMs;
+  return St;
+}
+
+int VM::injectConnection(int Port, const std::vector<int64_t> &Requests,
+                         uint64_t InterArrival, uint64_t FirstDelay) {
+  int Conn = Net.inject(Port, Requests, Sched.ticks(), InterArrival,
+                        FirstDelay);
+  for (auto &T : Sched.threads())
+    if (T->State == ThreadState::BlockedAccept && T->BlockedPort == Port)
+      T->State = ThreadState::Runnable;
+  return Conn;
+}
+
+void VM::onReturnBarrierFired(VMThread &T) {
+  if (ReturnBarrierCallback)
+    ReturnBarrierCallback(T);
+}
+
+void VM::onTrap(VMThread &T, const std::string &Message) {
+  T.State = ThreadState::Trapped;
+  T.TrapMessage = Message;
+  ++Stats.Traps;
+  PrintLog.push_back("TRAP[" + T.Name + "]: " + Message);
+}

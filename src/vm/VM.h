@@ -1,0 +1,249 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM facade: ties together the classloader/registry, heap, garbage
+/// collector, quickening compiler, interpreter, green-thread scheduler, and
+/// simulated network, and exposes the hooks the DSU layer (src/dsu) uses —
+/// yield requests, safe-point callbacks, return-barrier notification, and
+/// DSU-extended collections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_VM_VM_H
+#define JVOLVE_VM_VM_H
+
+#include "bytecode/ClassDef.h"
+#include "exec/Compiler.h"
+#include "heap/Collector.h"
+#include "heap/Heap.h"
+#include "runtime/ClassRegistry.h"
+#include "runtime/StringTable.h"
+#include "support/Rng.h"
+#include "threads/Scheduler.h"
+#include "vm/Network.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+class Interpreter;
+
+/// Aggregate execution counters (benchmark instrumentation).
+struct VmStats {
+  uint64_t InstructionsExecuted = 0;
+  uint64_t Collections = 0;
+  uint64_t Traps = 0;
+  /// Indirection-mode field-access checks performed (ablation counter).
+  uint64_t IndirectionChecks = 0;
+  double TotalGcMs = 0;
+};
+
+/// One Java-in-C++ virtual machine instance.
+class VM {
+public:
+  struct Config {
+    /// Bytes per semi-space (total heap footprint is twice this).
+    size_t HeapSpaceBytes = 64u << 20;
+    /// Compile field accesses with JDrums/DVM-style indirection checks
+    /// (steady-state-overhead ablation).
+    bool IndirectionMode = false;
+    /// Invocations before a baseline method is recompiled at the opt tier.
+    uint64_t OptThreshold = 50;
+    /// Instructions per scheduling quantum.
+    uint64_t Quantum = 200;
+    /// Run the bytecode verifier on loaded programs (Jikes RVM itself has
+    /// no verifier; MiniVM does, and Jvolve's safety argument relies on
+    /// verification, so this defaults to on).
+    bool Verify = true;
+  };
+
+  explicit VM(Config C);
+  VM();
+  ~VM();
+
+  VM(const VM &) = delete;
+  VM &operator=(const VM &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Program loading and threads
+  //===--------------------------------------------------------------------===//
+
+  /// Loads the initial program version. Adds built-ins, verifies (unless
+  /// disabled), and loads every class. Call exactly once.
+  void loadProgram(const ClassSet &Program);
+
+  /// Bytecode of the running program version (the UPT diffs against this).
+  const ClassSet &program() const { return Program; }
+
+  /// Replaces the recorded program version after a dynamic update.
+  void setProgram(ClassSet NewProgram) { Program = std::move(NewProgram); }
+
+  /// Spawns a thread whose entry point is the static method
+  /// \p ClassName.\p MethodName with signature \p Sig, passing \p Args.
+  ThreadId spawnThread(const std::string &ClassName,
+                       const std::string &MethodName, const std::string &Sig,
+                       std::vector<Slot> Args = {},
+                       const std::string &ThreadName = "thread",
+                       bool Daemon = false);
+
+  //===--------------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------------===//
+
+  struct RunResult {
+    uint64_t TicksExecuted = 0;
+    /// True when the VM went idle: nothing runnable and nothing scheduled
+    /// to wake (the harness must inject work or stop).
+    bool Idle = false;
+  };
+
+  /// Runs the scheduler for up to \p MaxTicks virtual ticks.
+  RunResult run(uint64_t MaxTicks);
+
+  /// Runs until no live application thread remains (or \p MaxTicks pass).
+  RunResult runToCompletion(uint64_t MaxTicks = 100'000'000);
+
+  /// Convenience for tests: runs static \p ClassName.\p MethodName on a
+  /// fresh thread to completion and returns its result slot (int 0 for
+  /// void). Aborts if the thread traps.
+  Slot callStatic(const std::string &ClassName, const std::string &MethodName,
+                  const std::string &Sig, std::vector<Slot> Args = {});
+
+  //===--------------------------------------------------------------------===//
+  // Services
+  //===--------------------------------------------------------------------===//
+
+  ClassRegistry &registry() { return Registry; }
+  Heap &heap() { return *TheHeap; }
+  StringTable &strings() { return Strings; }
+  Network &net() { return Net; }
+  Scheduler &scheduler() { return Sched; }
+  Compiler &compiler() { return *Comp; }
+  const Config &config() const { return Cfg; }
+  VmStats &stats() { return Stats; }
+
+  /// Allocates an instance of \p Cls, collecting if needed. Returns nullptr
+  /// only when the heap stays full after a collection (caller traps).
+  Ref allocateObject(ClassId Cls);
+  /// Allocates an array of \p Length elements of array class \p ArrCls.
+  Ref allocateArray(ClassId ArrCls, int64_t Length);
+  /// Allocates a String object wrapping \p Payload.
+  Ref newString(const std::string &Payload);
+  /// \returns the payload of String object \p Str.
+  std::string stringValue(Ref Str);
+
+  /// Runs one full-heap collection over all roots (statics, thread stacks,
+  /// pinned handles). DSU parameters as in Collector::collect.
+  CollectionStats
+  collectGarbage(const DsuRemap *Remap = nullptr,
+                 std::vector<UpdateLogEntry> *UpdateLog = nullptr,
+                 std::unordered_map<Ref, size_t> *NewToLogIndex = nullptr);
+
+  /// Host-held references that must survive (and be updated by) GC.
+  std::vector<Ref> &pinnedRoots() { return Pinned; }
+
+  /// Visits every root reference location (statics, thread stacks, pinned
+  /// handles) — the collector's and heap verifier's root enumerator.
+  void visitRoots(const std::function<void(Ref &)> &Visit) {
+    enumerateRoots(Visit);
+  }
+
+  /// Resolves the compiled code for \p Method, compiling (or upgrading to
+  /// the opt tier) per the adaptive policy. Bumps the invocation counter.
+  std::shared_ptr<CompiledMethod> ensureCompiledForInvoke(MethodId Method);
+
+  /// Injects a client connection and wakes threads blocked in accept.
+  int injectConnection(int Port, const std::vector<int64_t> &Requests,
+                       uint64_t InterArrival = 0, uint64_t FirstDelay = 0);
+
+  /// Advances the virtual clock to \p Tick if it lies in the future (idle
+  /// time passing with no work to run); no-op otherwise. Load generators
+  /// use this to keep their injection schedule in virtual time even when
+  /// the server drains faster than the offered load.
+  void fastForwardTo(uint64_t Tick) {
+    if (Tick > Sched.ticks())
+      Sched.setTicks(Tick);
+  }
+
+  /// Text printed by PrintInt/PrintStr intrinsics.
+  const std::vector<std::string> &printLog() const { return PrintLog; }
+  void appendPrintLog(std::string Line) { PrintLog.push_back(std::move(Line)); }
+
+  //===--------------------------------------------------------------------===//
+  // DSU hooks (used by jvolve::Updater)
+  //===--------------------------------------------------------------------===//
+
+  /// Asks every thread to stop at its next yield point.
+  void requestYield() { Sched.requestYield(); }
+
+  /// Clears a pending yield request and resumes parked threads.
+  void resumeAfterYield() {
+    Sched.clearYield();
+    Sched.unparkAll();
+  }
+
+  /// Invoked by the run loop when a yield was requested and every thread
+  /// sits at a safe point. The callback must leave the system either
+  /// resumed or finished (it may re-request a yield later).
+  void setSafePointCallback(std::function<void()> Fn) {
+    SafePointCallback = std::move(Fn);
+  }
+
+  /// Invoked once per scheduling round with the current virtual tick; the
+  /// updater uses it to implement the safe-point timeout.
+  void setTickCallback(std::function<void(uint64_t)> Fn) {
+    TickCallback = std::move(Fn);
+  }
+
+  /// Invoked when a frame with an installed return barrier returns.
+  void setReturnBarrierCallback(std::function<void(VMThread &)> Fn) {
+    ReturnBarrierCallback = std::move(Fn);
+  }
+
+  /// While transformers run, ordinary collection is impossible; allocation
+  /// failure becomes fatal instead of triggering GC.
+  void setTransformationInProgress(bool V) { TransformationInProgress = V; }
+  bool transformationInProgress() const { return TransformationInProgress; }
+
+  // Internal: interpreter callbacks.
+  void onReturnBarrierFired(VMThread &T);
+  void onTrap(VMThread &T, const std::string &Message);
+
+private:
+  void pushEntryFrame(VMThread &T, MethodId Method, std::vector<Slot> Args);
+  void enumerateRoots(const std::function<void(Ref &)> &Visit);
+
+  Config Cfg;
+  ClassSet Program;
+  ClassRegistry Registry;
+  std::unique_ptr<Heap> TheHeap;
+  std::unique_ptr<Collector> Gc;
+  StringTable Strings;
+  std::unique_ptr<Compiler> Comp;
+  Scheduler Sched;
+  Network Net;
+  std::unique_ptr<Interpreter> Interp;
+  Rng TheRng;
+
+  std::vector<Ref> Pinned;
+  std::vector<std::string> PrintLog;
+  VmStats Stats;
+
+  std::function<void()> SafePointCallback;
+  std::function<void(uint64_t)> TickCallback;
+  std::function<void(VMThread &)> ReturnBarrierCallback;
+  bool TransformationInProgress = false;
+  bool ProgramLoaded = false;
+
+  uint32_t StringIdOffset = 0;           ///< byte offset of String.$id
+  ClassId StringClsId = InvalidClassId;  ///< cached id of class String
+
+  friend class Interpreter;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_VM_VM_H

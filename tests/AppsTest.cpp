@@ -1,0 +1,277 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Application-model tests: version streams match Tables 2-4 exactly, the
+/// servers serve traffic, and the flexibility behaviours the paper reports
+/// (which updates apply, which need OSR, which time out, which apply only
+/// when idle) reproduce end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/JettyApp.h"
+#include "apps/Workload.h"
+#include "dsu/EcUpdater.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+namespace {
+
+VM::Config appConfig() {
+  VM::Config C;
+  C.HeapSpaceBytes = 8u << 20;
+  return C;
+}
+
+void expectStreamMatchesTable(const AppModel &App) {
+  for (size_t V = 1; V < App.numVersions(); ++V) {
+    UpdateSummary S =
+        Upt::computeSpec(App.version(V - 1), App.version(V)).Summary;
+    EXPECT_TRUE(summaryMatches(S, App.release(V).Target))
+        << App.versionName(V) << ": " << describeSummary(S) << " vs "
+        << describeCounts(App.release(V).Target);
+  }
+}
+
+} // namespace
+
+TEST(Apps, JettyStreamMatchesTable2) {
+  AppModel App = makeJettyApp();
+  EXPECT_EQ(App.numVersions(), 11u); // 5.1.0 .. 5.1.10
+  expectStreamMatchesTable(App);
+}
+
+TEST(Apps, EmailStreamMatchesTable3) {
+  AppModel App = makeEmailApp();
+  EXPECT_EQ(App.numVersions(), 10u); // 1.2.1 .. 1.4
+  expectStreamMatchesTable(App);
+}
+
+TEST(Apps, CrossFtpStreamMatchesTable4) {
+  AppModel App = makeCrossFtpApp();
+  EXPECT_EQ(App.numVersions(), 4u); // 1.05 .. 1.08
+  expectStreamMatchesTable(App);
+}
+
+TEST(Apps, JettyServesRequests) {
+  AppModel App = makeJettyApp();
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(0));
+  startJettyThreads(TheVM);
+
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(TheVM, LO);
+  LoadResult R = Driver.measure(20'000);
+
+  EXPECT_GT(R.Responses, 50u);
+  EXPECT_GT(R.Throughput, 0.0);
+  EXPECT_GT(R.LatencyTicks.Median, 0.0);
+  EXPECT_GT(TheVM.callStatic("Stats", "served", "()I").IntVal, 0);
+  // No thread trapped.
+  for (auto &T : TheVM.scheduler().threads())
+    EXPECT_NE(T->State, ThreadState::Trapped) << T->TrapMessage;
+}
+
+TEST(Apps, EmailServesRequests) {
+  AppModel App = makeEmailApp();
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(0));
+  startEmailThreads(TheVM);
+
+  // One POP3 session with three requests; responses add the admin
+  // account's forward count (1).
+  TheVM.injectConnection(Pop3Port, {10, 20, 30});
+  TheVM.run(20'000);
+  std::vector<NetResponse> Rs = TheVM.net().drainResponses();
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_EQ(Rs[0].Value, 11);
+  EXPECT_EQ(Rs[1].Value, 21);
+  EXPECT_EQ(Rs[2].Value, 31);
+}
+
+TEST(Apps, CrossFtpServesSessions) {
+  AppModel App = makeCrossFtpApp();
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(0));
+  startCrossFtpThreads(TheVM);
+
+  TheVM.injectConnection(FtpPort, {1, 2});
+  TheVM.injectConnection(FtpPort, {3});
+  TheVM.run(30'000);
+  std::vector<NetResponse> Rs = TheVM.net().drainResponses();
+  ASSERT_EQ(Rs.size(), 3u);
+  // execute(r) = r*3 + 200.
+  EXPECT_EQ(Rs[0].Value, 203);
+}
+
+TEST(Apps, JettyFirstUpdateAppliesUnderLoad) {
+  AppModel App = makeJettyApp();
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(0));
+  startJettyThreads(TheVM);
+
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(TheVM, LO);
+  Driver.runWithLoad(5'000);
+
+  Updater U(TheVM);
+  UpdateResult R =
+      U.applyNow(Upt::prepare(App.version(0), App.version(1), "v510"));
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+
+  // The server keeps serving after the update.
+  LoadResult After = Driver.measure(10'000);
+  EXPECT_GT(After.Responses, 20u);
+  for (auto &T : TheVM.scheduler().threads())
+    EXPECT_NE(T->State, ThreadState::Trapped) << T->TrapMessage;
+}
+
+TEST(Apps, Jetty513TimesOut) {
+  AppModel App = makeJettyApp();
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(2)); // 5.1.2
+  startJettyThreads(TheVM);
+
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(TheVM, LO);
+  Driver.runWithLoad(3'000);
+
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 60'000;
+  UpdateResult R = U.applyNow(
+      Upt::prepare(App.version(2), App.version(3), "v512"), Opts);
+  EXPECT_EQ(R.Status, UpdateStatus::TimedOut);
+  EXPECT_GE(R.ReturnBarriersInstalled, 1);
+
+  // The aborted update leaves the old version serving.
+  LoadResult After = Driver.measure(10'000);
+  EXPECT_GT(After.Responses, 20u);
+}
+
+TEST(Apps, Email132UsesOsrAndFigure3Transformer) {
+  AppModel App = makeEmailApp();
+  size_t V132 = 6; // base=1.2.1, 1=1.2.2, ..., 5=1.3.1, 6=1.3.2
+  ASSERT_EQ(App.release(V132).Name, "1.3.2");
+  ASSERT_TRUE(App.release(V132).NeedsOsr);
+
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(V132 - 1));
+  startEmailThreads(TheVM);
+  TheVM.injectConnection(Pop3Port, {100, 200}, /*InterArrival=*/500);
+  TheVM.run(2'000);
+
+  UpdateBundle B =
+      Upt::prepare(App.version(V132 - 1), App.version(V132), "v131");
+  registerEmailTransformers(B, App, V132);
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(B));
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_GE(R.OsrReplacements, 2); // Pop3Processor.run and SMTPSender.run
+  EXPECT_GE(R.ObjectsTransformed, 1u);
+
+  // The POP3 loop keeps serving with the transformed User object: the
+  // forward count must still be 1 (one converted EmailAddress).
+  TheVM.run(20'000);
+  std::vector<NetResponse> Rs = TheVM.net().drainResponses();
+  ASSERT_GE(Rs.size(), 2u);
+  EXPECT_EQ(Rs.back().Value % 100, 1);
+  for (auto &T : TheVM.scheduler().threads())
+    EXPECT_NE(T->State, ThreadState::Trapped) << T->TrapMessage;
+}
+
+TEST(Apps, Email13TimesOut) {
+  AppModel App = makeEmailApp();
+  size_t V13 = 4;
+  ASSERT_EQ(App.release(V13).Name, "1.3");
+  ASSERT_FALSE(App.release(V13).ExpectSupported);
+
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(V13 - 1));
+  startEmailThreads(TheVM);
+  TheVM.run(1'000);
+
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 60'000;
+  UpdateResult R = U.applyNow(
+      Upt::prepare(App.version(V13 - 1), App.version(V13), "v124"), Opts);
+  EXPECT_EQ(R.Status, UpdateStatus::TimedOut);
+}
+
+TEST(Apps, CrossFtp108BusyVsIdle) {
+  AppModel App = makeCrossFtpApp();
+  ASSERT_TRUE(App.release(3).OnlyWhenIdle);
+
+  // Busy: a long-running session keeps handle() on stack -> timeout.
+  {
+    VM TheVM(appConfig());
+    TheVM.loadProgram(App.version(2));
+    startCrossFtpThreads(TheVM);
+    // A session with many slow requests: handle() stays active.
+    std::vector<int64_t> Requests(200, 1);
+    TheVM.injectConnection(FtpPort, Requests, /*InterArrival=*/300);
+    TheVM.run(2'000);
+
+    Updater U(TheVM);
+    UpdateOptions Opts;
+    Opts.TimeoutTicks = 30'000;
+    UpdateResult R = U.applyNow(
+        Upt::prepare(App.version(2), App.version(3), "v107"), Opts);
+    EXPECT_EQ(R.Status, UpdateStatus::TimedOut);
+  }
+
+  // Idle: no session active -> handle() not on stack -> applies.
+  {
+    VM TheVM(appConfig());
+    TheVM.loadProgram(App.version(2));
+    startCrossFtpThreads(TheVM);
+    TheVM.run(2'000); // server parks in accept
+
+    Updater U(TheVM);
+    UpdateResult R =
+        U.applyNow(Upt::prepare(App.version(2), App.version(3), "v107"));
+    EXPECT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+
+    // New sessions run the new handler.
+    TheVM.injectConnection(FtpPort, {7});
+    TheVM.run(10'000);
+    std::vector<NetResponse> Rs = TheVM.net().drainResponses();
+    ASSERT_EQ(Rs.size(), 1u);
+    EXPECT_EQ(Rs[0].Value, 221);
+  }
+}
+
+TEST(Apps, FlexibilityHeadline20of22) {
+  // Count supported updates per the release metadata: the paper's
+  // 20-of-22 (Jvolve) versus method-body-only systems.
+  AppModel Apps[] = {makeJettyApp(), makeEmailApp(), makeCrossFtpApp()};
+  int Total = 0, JvolveOk = 0, EcOk = 0;
+  for (const AppModel &App : Apps) {
+    for (size_t V = 1; V < App.numVersions(); ++V) {
+      ++Total;
+      if (App.release(V).ExpectSupported)
+        ++JvolveOk;
+      UpdateSummary S =
+          Upt::computeSpec(App.version(V - 1), App.version(V)).Summary;
+      if (EcUpdater::supports(S))
+        ++EcOk;
+    }
+  }
+  EXPECT_EQ(Total, 22);
+  EXPECT_EQ(JvolveOk, 20);
+  // The paper reports 9; our reconstruction of the tables yields 8 (see
+  // EXPERIMENTS.md for the counting discussion).
+  EXPECT_EQ(EcOk, 8);
+}

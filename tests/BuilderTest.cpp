@@ -1,0 +1,192 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode builder, class set, and disassembler tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Builtins.h"
+#include "bytecode/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+TEST(Builder, LabelResolution) {
+  MethodBuilder MB("m", "()I", true);
+  MB.iconst(1)
+      .branch(Opcode::IfNe, "target")
+      .iconst(0)
+      .iret()
+      .label("target")
+      .iconst(9)
+      .iret();
+  MethodDef M = MB.build();
+  ASSERT_EQ(M.Code.size(), 6u);
+  EXPECT_EQ(M.Code[1].Op, Opcode::IfNe);
+  EXPECT_EQ(M.Code[1].IVal, 4); // points at iconst(9)
+}
+
+TEST(Builder, BackwardLabel) {
+  MethodBuilder MB("m", "()V", true);
+  MB.label("top").iconst(1).pop().jump("top");
+  MethodDef M = MB.build();
+  EXPECT_EQ(M.Code[2].Op, Opcode::Goto);
+  EXPECT_EQ(M.Code[2].IVal, 0);
+}
+
+TEST(Builder, LocalsInferredFromSlots) {
+  MethodBuilder MB("m", "(I)I", true);
+  MB.load(0).store(5).load(5).iret();
+  MethodDef M = MB.build();
+  EXPECT_EQ(M.NumLocals, 6);
+}
+
+TEST(Builder, LocalsCoverParamsForInstanceMethods) {
+  MethodBuilder MB("m", "(II)V", /*IsStatic=*/false);
+  MB.ret();
+  MethodDef M = MB.build();
+  EXPECT_GE(M.NumLocals, 3); // this + two params
+  EXPECT_EQ(M.numParamSlots(), 3);
+}
+
+TEST(Builder, ExplicitLocalsWin) {
+  MethodBuilder MB("m", "()V", true);
+  MB.locals(10).ret();
+  EXPECT_EQ(MB.build().NumLocals, 10);
+}
+
+TEST(Builder, ClassFieldsAndMethods) {
+  ClassBuilder CB("Widget", "Object");
+  CB.field("w", "I", Access::Private, /*IsFinal=*/true);
+  CB.staticField("count", "I");
+  CB.method("get", "()I").load(0).getfield("Widget", "w", "I").iret();
+  ClassDef Def = CB.build();
+  EXPECT_EQ(Def.Name, "Widget");
+  EXPECT_EQ(Def.Super, "Object");
+  ASSERT_EQ(Def.Fields.size(), 2u);
+  EXPECT_TRUE(Def.Fields[0].IsFinal);
+  EXPECT_FALSE(Def.Fields[0].IsStatic);
+  EXPECT_TRUE(Def.Fields[1].IsStatic);
+  ASSERT_EQ(Def.Methods.size(), 1u);
+  EXPECT_FALSE(Def.Methods[0].IsStatic);
+}
+
+TEST(ClassSet, ResolveFieldThroughChain) {
+  ClassSet Set;
+  ClassBuilder A("A");
+  A.field("inherited", "I");
+  Set.add(A.build());
+  ClassBuilder B("B", "A");
+  B.field("own", "I");
+  Set.add(B.build());
+
+  std::string Declaring;
+  const FieldDef *F = Set.resolveField("B", "inherited", &Declaring);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(Declaring, "A");
+  F = Set.resolveField("B", "own", &Declaring);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(Declaring, "B");
+  EXPECT_EQ(Set.resolveField("B", "missing"), nullptr);
+}
+
+TEST(ClassSet, ResolveMethodThroughChain) {
+  ClassSet Set;
+  ClassBuilder A("A");
+  A.method("m", "()I").iconst(1).iret();
+  Set.add(A.build());
+  ClassBuilder B("B", "A");
+  Set.add(B.build());
+  std::string Declaring;
+  EXPECT_NE(Set.resolveMethod("B", "m", "()I", &Declaring), nullptr);
+  EXPECT_EQ(Declaring, "A");
+  EXPECT_EQ(Set.resolveMethod("B", "m", "(I)I"), nullptr);
+}
+
+TEST(ClassSet, SubclassQueries) {
+  ClassSet Set;
+  ensureBuiltins(Set);
+  Set.add(ClassBuilder("A").build());
+  Set.add(ClassBuilder("B", "A").build());
+  Set.add(ClassBuilder("C", "B").build());
+  EXPECT_TRUE(Set.isSubclassOf("C", "A"));
+  EXPECT_TRUE(Set.isSubclassOf("C", "C"));
+  EXPECT_FALSE(Set.isSubclassOf("A", "C"));
+  EXPECT_TRUE(Set.isSubclassOf("A", "Object"));
+  std::vector<std::string> Chain = Set.superChain("C");
+  ASSERT_EQ(Chain.size(), 4u);
+  EXPECT_EQ(Chain[0], "C");
+  EXPECT_EQ(Chain[3], "Object");
+}
+
+TEST(ClassSet, ReplaceAndRemove) {
+  ClassSet Set;
+  Set.add(ClassBuilder("A").build());
+  EXPECT_TRUE(Set.contains("A"));
+  ClassDef NewA = ClassBuilder("A").field("x", "I").build();
+  Set.replace(NewA);
+  EXPECT_EQ(Set.find("A")->Fields.size(), 1u);
+  Set.remove("A");
+  EXPECT_FALSE(Set.contains("A"));
+}
+
+TEST(Builtins, EnsureIdempotent) {
+  ClassSet Set;
+  ensureBuiltins(Set);
+  size_t N = Set.size();
+  ensureBuiltins(Set);
+  EXPECT_EQ(Set.size(), N);
+  EXPECT_TRUE(Set.contains("Object"));
+  EXPECT_TRUE(Set.contains("String"));
+  EXPECT_TRUE(Set.find("Object")->Super.empty());
+}
+
+TEST(Printer, InstructionMnemonics) {
+  EXPECT_EQ(printInstr({Opcode::IConst, 42, "", "", ""}), "iconst 42");
+  EXPECT_EQ(printInstr({Opcode::GetField, 0, "User.age", "I", ""}),
+            "getfield User.age I");
+  EXPECT_EQ(printInstr({Opcode::InvokeVirtual, 0, "User.get", "()I", ""}),
+            "invokevirtual User.get()I");
+  EXPECT_EQ(printInstr({Opcode::Goto, 7, "", "", ""}), "goto @7");
+  EXPECT_EQ(printInstr({Opcode::SConst, 0, "", "", "hi"}), "sconst \"hi\"");
+}
+
+TEST(Printer, MethodListing) {
+  MethodBuilder MB("twice", "(I)I", true);
+  MB.load(0).iconst(2).imul().iret();
+  std::string Out = printMethod(MB.build());
+  EXPECT_NE(Out.find("static twice(I)I"), std::string::npos);
+  EXPECT_NE(Out.find("0: load 0"), std::string::npos);
+  EXPECT_NE(Out.find("3: ireturn"), std::string::npos);
+}
+
+TEST(Printer, ClassListing) {
+  ClassBuilder CB("Pair");
+  CB.field("a", "I");
+  CB.method("sum", "()I").load(0).getfield("Pair", "a", "I").iret();
+  std::string Out = printClass(CB.build());
+  EXPECT_NE(Out.find("class Pair extends Object"), std::string::npos);
+  EXPECT_NE(Out.find("I a;"), std::string::npos);
+}
+
+TEST(Instruction, EqualityDrivesDiffs) {
+  Instr A{Opcode::IConst, 1, "", "", ""};
+  Instr B{Opcode::IConst, 2, "", "", ""};
+  EXPECT_NE(A, B);
+  B.IVal = 1;
+  EXPECT_EQ(A, B);
+}
+
+TEST(Instruction, MethodCodeEquals) {
+  MethodBuilder M1("m", "()I", true);
+  M1.iconst(5).iret();
+  MethodBuilder M2("m", "()I", true);
+  M2.iconst(5).iret();
+  MethodBuilder M3("m", "()I", true);
+  M3.iconst(6).iret();
+  MethodDef A = M1.build(), B = M2.build(), C = M3.build();
+  EXPECT_TRUE(A.codeEquals(B));
+  EXPECT_FALSE(A.codeEquals(C));
+}

@@ -1,0 +1,315 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickening-compiler tests: the baseline tier's 1:1 translation (the
+/// property OSR depends on), hard-coded offset resolution, referenced-class
+/// tracking (what DSU invalidation keys on), opt-tier inlining with local
+/// remapping and return rewriting, recursion refusal, and the adaptive
+/// promotion policy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "bytecode/Builder.h"
+#include "exec/Compiler.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+namespace {
+
+/// VM whose registry/compiler we can poke directly.
+struct CompilerFixture {
+  VM TheVM;
+  CompilerFixture(const ClassSet &Set) : TheVM(smallConfig()) {
+    TheVM.loadProgram(Set);
+  }
+  MethodId method(const std::string &Cls, const std::string &Name,
+                  const std::string &Sig) {
+    return TheVM.registry().resolveMethod(TheVM.registry().idOf(Cls), Name,
+                                          Sig);
+  }
+};
+
+ClassSet calleeSet() {
+  ClassSet Set;
+  ClassBuilder CB("Math");
+  CB.staticMethod("twice", "(I)I").load(0).iconst(2).imul().iret();
+  CB.staticMethod("quad", "(I)I")
+      .load(0)
+      .invokestatic("Math", "twice", "(I)I")
+      .invokestatic("Math", "twice", "(I)I")
+      .iret();
+  CB.staticMethod("fact", "(I)I")
+      .load(0)
+      .iconst(2)
+      .branch(Opcode::IfICmpGe, "rec")
+      .iconst(1)
+      .iret()
+      .label("rec")
+      .load(0)
+      .load(0)
+      .iconst(1)
+      .isub()
+      .invokestatic("Math", "fact", "(I)I")
+      .imul()
+      .iret();
+  Set.add(CB.build());
+  return Set;
+}
+
+} // namespace
+
+TEST(Compiler, BaselineIsOneToOne) {
+  CompilerFixture F(calleeSet());
+  MethodId Quad = F.method("Math", "quad", "(I)I");
+  auto Code = F.TheVM.compiler().compile(Quad, Tier::Baseline);
+  const MethodDef &Def = *F.TheVM.registry().method(Quad).Def;
+  ASSERT_EQ(Code->Code.size(), Def.Code.size());
+  // Every resolved instruction maps back to its own bytecode index.
+  for (size_t I = 0; I < Code->Code.size(); ++I)
+    EXPECT_EQ(Code->Code[I].Bc, static_cast<int32_t>(I));
+  EXPECT_EQ(Code->T, Tier::Baseline);
+  EXPECT_TRUE(Code->Inlined.empty());
+}
+
+TEST(Compiler, OptInlinesSmallStaticCallees) {
+  CompilerFixture F(calleeSet());
+  MethodId Quad = F.method("Math", "quad", "(I)I");
+  MethodId Twice = F.method("Math", "twice", "(I)I");
+  auto Code = F.TheVM.compiler().compile(Quad, Tier::Opt);
+  ASSERT_EQ(Code->Inlined.size(), 1u);
+  EXPECT_EQ(Code->Inlined[0], Twice);
+  // No call instruction remains.
+  for (const RInstr &I : Code->Code)
+    EXPECT_NE(I.Op, ROp::CallStatic);
+  // Inlined locals extend the frame.
+  EXPECT_GT(Code->NumLocals,
+            F.TheVM.registry().method(Quad).Def->NumLocals);
+}
+
+TEST(Compiler, InlinedCodeComputesTheSameResult) {
+  CompilerFixture F(calleeSet());
+  // Force-compile at opt tier, then run.
+  MethodId Quad = F.method("Math", "quad", "(I)I");
+  RtMethod &M = F.TheVM.registry().method(Quad);
+  M.Code = F.TheVM.compiler().compile(Quad, Tier::Opt);
+  EXPECT_EQ(F.TheVM.callStatic("Math", "quad", "(I)I", {Slot::ofInt(7)})
+                .IntVal,
+            28);
+}
+
+TEST(Compiler, RecursionIsNotInlined) {
+  CompilerFixture F(calleeSet());
+  MethodId Fact = F.method("Math", "fact", "(I)I");
+  auto Code = F.TheVM.compiler().compile(Fact, Tier::Opt);
+  EXPECT_TRUE(Code->Inlined.empty());
+  bool HasCall = false;
+  for (const RInstr &I : Code->Code)
+    HasCall |= I.Op == ROp::CallStatic;
+  EXPECT_TRUE(HasCall);
+}
+
+TEST(Compiler, InlineDepthIsBounded) {
+  // Chain a -> b -> c -> d -> e of tiny static calls; with MaxInlineDepth
+  // = 3 the innermost call must survive.
+  ClassSet Set;
+  ClassBuilder CB("Chain");
+  CB.staticMethod("e", "()I").iconst(5).iret();
+  CB.staticMethod("d", "()I").invokestatic("Chain", "e", "()I").iret();
+  CB.staticMethod("c", "()I").invokestatic("Chain", "d", "()I").iret();
+  CB.staticMethod("b", "()I").invokestatic("Chain", "c", "()I").iret();
+  CB.staticMethod("a", "()I").invokestatic("Chain", "b", "()I").iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  MethodId A = F.method("Chain", "a", "()I");
+  auto Code = F.TheVM.compiler().compile(A, Tier::Opt);
+  EXPECT_EQ(Code->Inlined.size(), 3u); // b, c, d inlined; e called
+  int Calls = 0;
+  for (const RInstr &I : Code->Code)
+    Calls += I.Op == ROp::CallStatic;
+  EXPECT_EQ(Calls, 1);
+  // And it still computes 5.
+  F.TheVM.registry().method(A).Code = Code;
+  EXPECT_EQ(F.TheVM.callStatic("Chain", "a", "()I").IntVal, 5);
+}
+
+TEST(Compiler, LargeCalleesAreNotInlined) {
+  ClassSet Set;
+  ClassBuilder CB("Big");
+  MethodBuilder &MB = CB.staticMethod("big", "()I");
+  for (int I = 0; I < 20; ++I)
+    MB.iconst(I).pop();
+  MB.iconst(1).iret();
+  CB.staticMethod("caller", "()I")
+      .invokestatic("Big", "big", "()I")
+      .iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  auto Code = F.TheVM.compiler().compile(F.method("Big", "caller", "()I"),
+                                         Tier::Opt);
+  EXPECT_TRUE(Code->Inlined.empty());
+}
+
+TEST(Compiler, ReferencedClassesTrackFieldOwners) {
+  ClassSet Set;
+  ClassBuilder Box("Box");
+  Box.field("v", "I");
+  Set.add(Box.build());
+  ClassBuilder Other("Other");
+  Other.staticField("s", "I");
+  Set.add(Other.build());
+  ClassBuilder User("UserOfBox");
+  User.staticMethod("m", "(LBox;)I")
+      .load(0)
+      .getfield("Box", "v", "I")
+      .getstatic("Other", "s", "I")
+      .iadd()
+      .iret();
+  Set.add(User.build());
+  CompilerFixture F(Set);
+  auto Code = F.TheVM.compiler().compile(
+      F.method("UserOfBox", "m", "(LBox;)I"), Tier::Baseline);
+  EXPECT_TRUE(Code->references(F.TheVM.registry().idOf("Box")));
+  EXPECT_TRUE(Code->references(F.TheVM.registry().idOf("Other")));
+  EXPECT_FALSE(Code->references(F.TheVM.registry().idOf("UserOfBox")));
+}
+
+TEST(Compiler, ReferencedClassesIncludeInlinedCallees) {
+  ClassSet Set;
+  ClassBuilder Box("Box");
+  Box.field("v", "I");
+  Set.add(Box.build());
+  ClassBuilder CB("Wrap");
+  CB.staticMethod("read", "(LBox;)I")
+      .load(0)
+      .getfield("Box", "v", "I")
+      .iret();
+  CB.staticMethod("outer", "(LBox;)I")
+      .load(0)
+      .invokestatic("Wrap", "read", "(LBox;)I")
+      .iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  auto Code = F.TheVM.compiler().compile(
+      F.method("Wrap", "outer", "(LBox;)I"), Tier::Opt);
+  ASSERT_EQ(Code->Inlined.size(), 1u);
+  // outer's own bytecode does not touch Box's layout, but the inlined
+  // read() does — the compiled form depends on it.
+  EXPECT_TRUE(Code->references(F.TheVM.registry().idOf("Box")));
+}
+
+TEST(Compiler, FieldOffsetsAreHardCoded) {
+  ClassSet Set;
+  ClassBuilder Box("Box");
+  Box.field("a", "I");
+  Box.field("b", "I");
+  Set.add(Box.build());
+  ClassBuilder CB("R");
+  CB.staticMethod("readB", "(LBox;)I")
+      .load(0)
+      .getfield("Box", "b", "I")
+      .iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  auto Code = F.TheVM.compiler().compile(
+      F.method("R", "readB", "(LBox;)I"), Tier::Baseline);
+  const RtClass &BoxCls = F.TheVM.registry().cls(F.TheVM.registry().idOf(
+      "Box"));
+  bool Found = false;
+  for (const RInstr &I : Code->Code)
+    if (I.Op == ROp::GetFieldI) {
+      Found = true;
+      EXPECT_EQ(I.A, BoxCls.findInstanceField("b")->Offset);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Compiler, VirtualCallsResolveToTibSlots) {
+  ClassSet Set;
+  ClassBuilder A("A");
+  A.method("m0", "()I").iconst(0).iret();
+  A.method("m1", "()I").iconst(1).iret();
+  Set.add(A.build());
+  ClassBuilder CB("C");
+  CB.staticMethod("call", "(LA;)I")
+      .load(0)
+      .invokevirtual("A", "m1", "()I")
+      .iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  auto Code = F.TheVM.compiler().compile(F.method("C", "call", "(LA;)I"),
+                                         Tier::Baseline);
+  const RtClass &ACls = F.TheVM.registry().cls(F.TheVM.registry().idOf("A"));
+  for (const RInstr &I : Code->Code)
+    if (I.Op == ROp::CallVirt) {
+      EXPECT_EQ(I.A, ACls.VTableIndex.at("m1()I"));
+    }
+}
+
+TEST(Compiler, AdaptivePromotionAtThreshold) {
+  VM::Config C = smallConfig();
+  C.OptThreshold = 10;
+  VM TheVM(C);
+  TheVM.loadProgram(calleeSet());
+  MethodId Quad = TheVM.registry().resolveMethod(
+      TheVM.registry().idOf("Math"), "quad", "(I)I");
+
+  for (int I = 0; I < 9; ++I)
+    TheVM.callStatic("Math", "quad", "(I)I", {Slot::ofInt(1)});
+  EXPECT_EQ(TheVM.registry().method(Quad).Code->T, Tier::Baseline);
+  TheVM.callStatic("Math", "quad", "(I)I", {Slot::ofInt(1)});
+  EXPECT_EQ(TheVM.registry().method(Quad).Code->T, Tier::Opt);
+  // Behaviour is unchanged after promotion.
+  EXPECT_EQ(
+      TheVM.callStatic("Math", "quad", "(I)I", {Slot::ofInt(3)}).IntVal,
+      12);
+}
+
+TEST(Compiler, IndirectionModeFlagsCompiledCode) {
+  VM::Config C = smallConfig();
+  C.IndirectionMode = true;
+  VM TheVM(C);
+  TheVM.loadProgram(calleeSet());
+  MethodId Twice = TheVM.registry().resolveMethod(
+      TheVM.registry().idOf("Math"), "twice", "(I)I");
+  auto Code = TheVM.compiler().compile(Twice, Tier::Baseline);
+  EXPECT_TRUE(Code->IndirectionChecks);
+}
+
+TEST(Compiler, BranchTargetsSurviveInlining) {
+  // A caller whose loop surrounds an inlined call: targets must be
+  // remapped to resolved indices.
+  ClassSet Set;
+  ClassBuilder CB("L");
+  CB.staticMethod("inc", "(I)I").load(0).iconst(1).iadd().iret();
+  CB.staticMethod("sum", "(I)I")
+      .locals(2)
+      .iconst(0)
+      .store(1)
+      .label("loop")
+      .load(0)
+      .branch(Opcode::IfLe, "done")
+      .load(1)
+      .invokestatic("L", "inc", "(I)I")
+      .store(1)
+      .load(0)
+      .iconst(1)
+      .isub()
+      .store(0)
+      .jump("loop")
+      .label("done")
+      .load(1)
+      .iret();
+  Set.add(CB.build());
+  CompilerFixture F(Set);
+  MethodId Sum = F.method("L", "sum", "(I)I");
+  F.TheVM.registry().method(Sum).Code =
+      F.TheVM.compiler().compile(Sum, Tier::Opt);
+  EXPECT_EQ(
+      F.TheVM.callStatic("L", "sum", "(I)I", {Slot::ofInt(5)}).IntVal, 5);
+}

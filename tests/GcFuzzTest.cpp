@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized GC stress: seeded random mutations of an object graph with
+/// collections forced at random points (and dynamic updates sprinkled in),
+/// validated by checksums and the heap-invariant verifier. Parameterized
+/// over seeds — a property-style test of collector correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "dsu/Transformers.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+#include "heap/HeapVerifier.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+namespace {
+
+/// Graph node with two out-edges and a payload.
+ClassSet graphVersion(bool Extra) {
+  ClassSet Set;
+  ClassBuilder N("GNode");
+  N.field("v", "I");
+  N.field("left", "LGNode;");
+  N.field("right", "LGNode;");
+  if (Extra)
+    N.field("tag", "I");
+  Set.add(N.build());
+  ClassBuilder H("GRoots");
+  H.staticField("slots", "[LGNode;");
+  Set.add(H.build());
+  return Set;
+}
+
+constexpr int NumRootSlots = 16;
+
+Ref rootsArray(VM &TheVM) {
+  return TheVM.registry()
+      .cls(TheVM.registry().idOf("GRoots"))
+      .Statics[0]
+      .RefVal;
+}
+
+/// Deterministic checksum of everything reachable from the root slots.
+int64_t graphChecksum(VM &TheVM) {
+  TransformCtx Ctx(TheVM, nullptr);
+  Ref Arr = rootsArray(TheVM);
+  int64_t Sum = 0;
+  std::vector<Ref> Stack;
+  std::set<Ref> Seen;
+  for (int64_t I = 0; I < NumRootSlots; ++I)
+    if (Ref R = Ctx.getElemRef(Arr, I))
+      Stack.push_back(R);
+  int64_t Position = 1;
+  while (!Stack.empty()) {
+    Ref Cur = Stack.back();
+    Stack.pop_back();
+    if (!Cur || !Seen.insert(Cur).second)
+      continue;
+    Sum += Ctx.getInt(Cur, "v") * (Position++ % 1009);
+    Stack.push_back(Ctx.getRef(Cur, "left"));
+    Stack.push_back(Ctx.getRef(Cur, "right"));
+  }
+  return Sum;
+}
+
+void verifyInvariants(VM &TheVM, const char *Where) {
+  HeapVerifier V(TheVM.heap(), TheVM.registry());
+  std::vector<std::string> Problems = V.verify(
+      [&TheVM](const std::function<void(Ref &)> &Visit) {
+        TheVM.visitRoots(Visit);
+      });
+  ASSERT_TRUE(Problems.empty()) << Where << ": " << Problems.front();
+}
+
+class GcFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(GcFuzzTest, RandomMutationsSurviveCollectionsAndUpdates) {
+  Rng R(GetParam());
+  VM::Config Cfg = smallConfig();
+  Cfg.HeapSpaceBytes = 1u << 20; // small: organic collections under churn
+  VM TheVM(Cfg);
+  TheVM.loadProgram(graphVersion(false));
+
+  ClassRegistry &Reg = TheVM.registry();
+  ClassId NodeId = Reg.idOf("GNode");
+  ClassId ArrId = Reg.arrayClassOf(Type::refTy("GNode"));
+  Reg.cls(Reg.idOf("GRoots")).Statics[0] =
+      Slot::ofRef(TheVM.allocateArray(ArrId, NumRootSlots));
+
+  TransformCtx Ctx(TheVM, nullptr);
+  int64_t NextValue = 1;
+
+  for (int Step = 0; Step < 4'000; ++Step) {
+    uint64_t Op = R.nextBelow(100);
+    Ref Arr = rootsArray(TheVM);
+    int64_t SlotA = static_cast<int64_t>(R.nextBelow(NumRootSlots));
+    int64_t SlotB = static_cast<int64_t>(R.nextBelow(NumRootSlots));
+
+    if (Op < 45) {
+      // Allocate a node referencing two random roots.
+      Ref Node = TheVM.allocateObject(NodeId);
+      ASSERT_NE(Node, nullptr);
+      Arr = rootsArray(TheVM); // allocation may have collected
+      Ctx.setInt(Node, "v", NextValue++);
+      Ctx.setRef(Node, "left", Ctx.getElemRef(Arr, SlotA));
+      Ctx.setRef(Node, "right", Ctx.getElemRef(Arr, SlotB));
+      Ctx.setElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots)),
+                     Node);
+    } else if (Op < 65) {
+      // Rewire an edge.
+      if (Ref Node = Ctx.getElemRef(Arr, SlotA))
+        Ctx.setRef(Node, R.nextBelow(2) ? "left" : "right",
+                   Ctx.getElemRef(Arr, SlotB));
+    } else if (Op < 80) {
+      // Drop a root (creates garbage).
+      Ctx.setElemRef(Arr, SlotA, nullptr);
+    } else if (Op < 95) {
+      // Pure garbage churn.
+      for (int I = 0; I < 16; ++I)
+        ASSERT_NE(TheVM.allocateObject(NodeId), nullptr);
+    } else {
+      // Forced full collection with checksum validation.
+      int64_t Before = graphChecksum(TheVM);
+      TheVM.collectGarbage();
+      EXPECT_EQ(graphChecksum(TheVM), Before) << "step " << Step;
+    }
+  }
+  verifyInvariants(TheVM, "after churn");
+
+  // Finale: a dynamic update over whatever graph the fuzz left behind.
+  int64_t Before = graphChecksum(TheVM);
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.UseOldCopySpace = GetParam() % 2 == 0; // alternate configurations
+  UpdateResult Res = U.applyNow(
+      Upt::prepare(graphVersion(false), graphVersion(true), "v1"), Opts);
+  ASSERT_EQ(Res.Status, UpdateStatus::Applied) << Res.Message;
+  EXPECT_EQ(graphChecksum(TheVM), Before);
+  verifyInvariants(TheVM, "after update");
+
+  TheVM.collectGarbage();
+  EXPECT_EQ(graphChecksum(TheVM), Before);
+  verifyInvariants(TheVM, "after post-update collection");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

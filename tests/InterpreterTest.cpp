@@ -1,0 +1,376 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-engine tests: arithmetic, control flow, objects, arrays,
+/// strings, dispatch, recursion, and runtime traps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "bytecode/Builder.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+TEST(Interpreter, ConstantAndReturn) {
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.iconst(42).iret();
+            })),
+            42);
+}
+
+TEST(Interpreter, Arithmetic) {
+  // (7 + 3) * 4 - 5 = 35, then 35 % 8 = 3, then -3
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.iconst(7).iconst(3).iadd().iconst(4).imul().iconst(5).isub();
+              M.iconst(8).irem().ineg().iret();
+            })),
+            -3);
+}
+
+TEST(Interpreter, Division) {
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.iconst(17).iconst(5).idiv().iret();
+            })),
+            3);
+}
+
+TEST(Interpreter, LocalsAndLoop) {
+  // sum = 0; for (i = 0; i < 10; i++) sum += i;  => 45
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.locals(2);
+              M.iconst(0).store(0); // sum
+              M.iconst(0).store(1); // i
+              M.label("loop");
+              M.load(1).iconst(10).branch(Opcode::IfICmpGe, "done");
+              M.load(0).load(1).iadd().store(0);
+              M.load(1).iconst(1).iadd().store(1);
+              M.jump("loop");
+              M.label("done");
+              M.load(0).iret();
+            })),
+            45);
+}
+
+TEST(Interpreter, ConditionalBranches) {
+  // if (5 > 3) return 1 else return 0
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.iconst(5).iconst(3).branch(Opcode::IfICmpGt, "yes");
+              M.iconst(0).iret();
+              M.label("yes");
+              M.iconst(1).iret();
+            })),
+            1);
+}
+
+TEST(Interpreter, DupAndPop) {
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.iconst(6).dup().iadd().iconst(99).pop().iret();
+            })),
+            12);
+}
+
+/// A program with a Counter class: field, constructor-style init, methods.
+static ClassSet counterProgram() {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Counter");
+    CB.field("count", "I");
+    CB.method("increment", "()V")
+        .load(0)
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iconst(1)
+        .iadd()
+        .putfield("Counter", "count", "I")
+        .ret();
+    CB.method("get", "()I")
+        .load(0)
+        .getfield("Counter", "count", "I")
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.locals(2);
+    M.newobj("Counter").store(0);
+    M.iconst(0).store(1);
+    M.label("loop");
+    M.load(1).iconst(5).branch(Opcode::IfICmpGe, "done");
+    M.load(0).invokevirtual("Counter", "increment", "()V");
+    M.load(1).iconst(1).iadd().store(1);
+    M.jump("loop");
+    M.label("done");
+    M.load(0).invokevirtual("Counter", "get", "()I").iret();
+    Set.add(CB.build());
+  }
+  return Set;
+}
+
+TEST(Interpreter, ObjectFieldsAndVirtualCalls) {
+  EXPECT_EQ(runIntMain(counterProgram()), 5);
+}
+
+TEST(Interpreter, StaticFieldsAndCalls) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Config");
+    CB.staticField("level", "I");
+    CB.staticMethod("bump", "(I)I")
+        .getstatic("Config", "level", "I")
+        .load(0)
+        .iadd()
+        .dup()
+        .putstatic("Config", "level", "I")
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.iconst(10).invokestatic("Config", "bump", "(I)I").pop();
+    M.iconst(7).invokestatic("Config", "bump", "(I)I").iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 17);
+}
+
+TEST(Interpreter, Inheritance) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Animal");
+    CB.method("legs", "()I").iconst(4).iret();
+    CB.method("doubleLegs", "()I")
+        .load(0)
+        .invokevirtual("Animal", "legs", "()I")
+        .iconst(2)
+        .imul()
+        .iret();
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Bird", "Animal");
+    CB.method("legs", "()I").iconst(2).iret(); // override
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    // new Bird().doubleLegs() dispatches legs() to the override: 4.
+    M.newobj("Bird").invokevirtual("Animal", "doubleLegs", "()I").iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 4);
+}
+
+TEST(Interpreter, Recursion) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Main");
+    CB.staticMethod("fib", "(I)I")
+        .load(0)
+        .iconst(2)
+        .branch(Opcode::IfICmpGe, "rec")
+        .load(0)
+        .iret()
+        .label("rec")
+        .load(0)
+        .iconst(1)
+        .isub()
+        .invokestatic("Main", "fib", "(I)I")
+        .load(0)
+        .iconst(2)
+        .isub()
+        .invokestatic("Main", "fib", "(I)I")
+        .iadd()
+        .iret();
+    CB.staticMethod("run", "()I")
+        .iconst(15)
+        .invokestatic("Main", "fib", "(I)I")
+        .iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 610);
+}
+
+TEST(Interpreter, Arrays) {
+  // a = new int[8]; a[i] = i*i; return a[5] + a.length
+  EXPECT_EQ(runIntMain(intProgram([](MethodBuilder &M) {
+              M.locals(2);
+              M.iconst(8).newarray("I").store(0);
+              M.iconst(0).store(1);
+              M.label("loop");
+              M.load(1).iconst(8).branch(Opcode::IfICmpGe, "done");
+              M.load(0).load(1).load(1).load(1).imul().astore();
+              M.load(1).iconst(1).iadd().store(1);
+              M.jump("loop");
+              M.label("done");
+              M.load(0).iconst(5).aload();
+              M.load(0).arraylength().iadd().iret();
+            })),
+            33);
+}
+
+TEST(Interpreter, RefArraysAndNullChecks) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Box");
+    CB.field("v", "I");
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.locals(2);
+    M.iconst(3).newarray("LBox;").store(0);
+    M.newobj("Box").store(1);
+    M.load(1).iconst(77).putfield("Box", "v", "I");
+    M.load(0).iconst(1).load(1).astore();
+    // Unset element is null.
+    M.load(0).iconst(0).aload().branch(Opcode::IfNull, "ok");
+    M.iconst(-1).iret();
+    M.label("ok");
+    M.load(0).iconst(1).aload().getfield("Box", "v", "I").iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 77);
+}
+
+TEST(Interpreter, Strings) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.sconst("hello").sconst(" world");
+    M.intrinsic(IntrinsicId::StrConcat);
+    M.intrinsic(IntrinsicId::StrLength);
+    M.iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 11);
+}
+
+TEST(Interpreter, StringEquality) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.sconst("abc").sconst("abc").intrinsic(IntrinsicId::StrEquals);
+    M.sconst("abc").sconst("xyz").intrinsic(IntrinsicId::StrEquals);
+    M.iconst(10).imul().iadd().iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 1);
+}
+
+TEST(Interpreter, InstanceOfAndCheckCast) {
+  ClassSet Set;
+  {
+    ClassBuilder A("Animal");
+    Set.add(A.build());
+    ClassBuilder B("Bird", "Animal");
+    Set.add(B.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.locals(1);
+    M.newobj("Bird").store(0);
+    M.load(0).instanceofOp("Animal"); // 1
+    M.load(0).instanceofOp("Bird");   // 1
+    M.iadd();
+    M.load(0).checkcast("Animal").pop();
+    M.iret();
+    Set.add(CB.build());
+  }
+  EXPECT_EQ(runIntMain(Set), 2);
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(intProgram([](MethodBuilder &M) {
+    M.iconst(1).iconst(0).idiv().iret();
+  }));
+  ThreadId Id = TheVM.spawnThread("Main", "run", "()I");
+  TheVM.runToCompletion();
+  VMThread *T = TheVM.scheduler().findThread(Id);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->State, ThreadState::Trapped);
+  EXPECT_NE(T->TrapMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(Interpreter, NullFieldAccessTraps) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Box");
+    CB.field("v", "I");
+    Set.add(CB.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.nullconst().checkcast("Box").getfield("Box", "v", "I").iret();
+    Set.add(CB.build());
+  }
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  ThreadId Id = TheVM.spawnThread("Main", "run", "()I");
+  TheVM.runToCompletion();
+  EXPECT_EQ(TheVM.scheduler().findThread(Id)->State, ThreadState::Trapped);
+}
+
+TEST(Interpreter, ArrayBoundsTraps) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(intProgram([](MethodBuilder &M) {
+    M.iconst(2).newarray("I").iconst(5).aload().iret();
+  }));
+  ThreadId Id = TheVM.spawnThread("Main", "run", "()I");
+  TheVM.runToCompletion();
+  VMThread *T = TheVM.scheduler().findThread(Id);
+  EXPECT_EQ(T->State, ThreadState::Trapped);
+  EXPECT_NE(T->TrapMessage.find("bounds"), std::string::npos);
+}
+
+TEST(Interpreter, BadCastTraps) {
+  ClassSet Set;
+  {
+    ClassBuilder A("Animal");
+    Set.add(A.build());
+    ClassBuilder B("Bird", "Animal");
+    Set.add(B.build());
+  }
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()I");
+    M.newobj("Animal").checkcast("Bird").pop().iconst(0).iret();
+    Set.add(CB.build());
+  }
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  ThreadId Id = TheVM.spawnThread("Main", "run", "()I");
+  TheVM.runToCompletion();
+  EXPECT_EQ(TheVM.scheduler().findThread(Id)->State, ThreadState::Trapped);
+}
+
+TEST(Interpreter, PrintIntrinsics) {
+  ClassSet Set;
+  {
+    ClassBuilder CB("Main");
+    MethodBuilder &M = CB.staticMethod("run", "()V");
+    M.iconst(7).intrinsic(IntrinsicId::PrintInt);
+    M.sconst("jvolve").intrinsic(IntrinsicId::PrintStr);
+    M.ret();
+    Set.add(CB.build());
+  }
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  TheVM.callStatic("Main", "run", "()V");
+  ASSERT_EQ(TheVM.printLog().size(), 2u);
+  EXPECT_EQ(TheVM.printLog()[0], "7");
+  EXPECT_EQ(TheVM.printLog()[1], "jvolve");
+}

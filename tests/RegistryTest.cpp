@@ -1,0 +1,225 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime class-model tests: field layout with hard-coded offsets, TIB
+/// construction (overrides share slots, new methods append), statics
+/// storage, array classes, and the DSU renaming hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Builtins.h"
+#include "exec/CompiledMethod.h"
+#include "runtime/ClassRegistry.h"
+#include "runtime/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+namespace {
+
+ClassSet hierarchySet() {
+  ClassSet Set;
+  ClassBuilder A("Animal");
+  A.field("age", "I");
+  A.field("name", "LString;");
+  A.method("speak", "()I").iconst(0).iret();
+  A.method("age", "()I").load(0).getfield("Animal", "age", "I").iret();
+  Set.add(A.build());
+  ClassBuilder B("Bird", "Animal");
+  B.field("wingspan", "I");
+  B.method("speak", "()I").iconst(1).iret(); // override
+  B.method("fly", "()V").ret();              // new virtual method
+  Set.add(B.build());
+  ensureBuiltins(Set);
+  return Set;
+}
+
+} // namespace
+
+TEST(Registry, LoadsAllAndBindsNames) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  EXPECT_NE(Reg.idOf("Animal"), InvalidClassId);
+  EXPECT_NE(Reg.idOf("Bird"), InvalidClassId);
+  EXPECT_NE(Reg.idOf("Object"), InvalidClassId);
+  EXPECT_EQ(Reg.idOf("Ghost"), InvalidClassId);
+}
+
+TEST(Registry, SubclassLayoutExtendsSuperclassLayout) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  const RtClass &Animal = Reg.cls(Reg.idOf("Animal"));
+  const RtClass &Bird = Reg.cls(Reg.idOf("Bird"));
+
+  // Inherited fields keep their superclass offsets, so superclass compiled
+  // code works unchanged on subclass instances.
+  const RtField *AgeA = Animal.findInstanceField("age");
+  const RtField *AgeB = Bird.findInstanceField("age");
+  ASSERT_NE(AgeA, nullptr);
+  ASSERT_NE(AgeB, nullptr);
+  EXPECT_EQ(AgeA->Offset, AgeB->Offset);
+  EXPECT_EQ(AgeA->Offset, ObjectHeaderBytes);
+
+  const RtField *Wing = Bird.findInstanceField("wingspan");
+  ASSERT_NE(Wing, nullptr);
+  EXPECT_EQ(Wing->Offset, Animal.InstanceSize);
+  EXPECT_EQ(Bird.InstanceSize, Animal.InstanceSize + SlotBytes);
+}
+
+TEST(Registry, FieldRefnessRecorded) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  const RtClass &Animal = Reg.cls(Reg.idOf("Animal"));
+  EXPECT_FALSE(Animal.findInstanceField("age")->IsRef);
+  EXPECT_TRUE(Animal.findInstanceField("name")->IsRef);
+}
+
+TEST(Registry, TibOverridesShareSlotNewMethodsAppend) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  const RtClass &Animal = Reg.cls(Reg.idOf("Animal"));
+  const RtClass &Bird = Reg.cls(Reg.idOf("Bird"));
+
+  int SpeakSlot = Animal.VTableIndex.at("speak()I");
+  EXPECT_EQ(Bird.VTableIndex.at("speak()I"), SpeakSlot);
+  // Same slot, different implementation.
+  EXPECT_NE(Animal.VTable[SpeakSlot], Bird.VTable[SpeakSlot]);
+  // Inherited non-overridden method shares the implementation.
+  int AgeSlot = Animal.VTableIndex.at("age()I");
+  EXPECT_EQ(Animal.VTable[AgeSlot], Bird.VTable[AgeSlot]);
+  // New virtual methods extend the table.
+  EXPECT_GT(Bird.VTable.size(), Animal.VTable.size());
+  EXPECT_TRUE(Bird.VTableIndex.count("fly()V"));
+  EXPECT_FALSE(Animal.VTableIndex.count("fly()V"));
+}
+
+TEST(Registry, StaticsGetSlotsAndTags) {
+  ClassSet Set;
+  ClassBuilder C("Cfg");
+  C.staticField("level", "I");
+  C.staticField("root", "LCfg;");
+  Set.add(C.build());
+  ensureBuiltins(Set);
+  ClassRegistry Reg;
+  Reg.loadAll(Set);
+  RtClass &Cfg = Reg.cls(Reg.idOf("Cfg"));
+  ASSERT_EQ(Cfg.Statics.size(), 2u);
+  EXPECT_FALSE(Cfg.Statics[0].IsRef);
+  EXPECT_TRUE(Cfg.Statics[1].IsRef);
+  EXPECT_EQ(Cfg.findStaticField("level")->Offset, 0u);
+  EXPECT_EQ(Cfg.findStaticField("root")->Offset, 1u);
+}
+
+TEST(Registry, ResolveStaticThroughChain) {
+  ClassSet Set;
+  ClassBuilder A("Parent");
+  A.staticField("shared", "I");
+  Set.add(A.build());
+  Set.add(ClassBuilder("Child", "Parent").build());
+  ensureBuiltins(Set);
+  ClassRegistry Reg;
+  Reg.loadAll(Set);
+  ClassId Declaring = InvalidClassId;
+  RtField *F =
+      Reg.resolveStaticField(Reg.idOf("Child"), "shared", &Declaring);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(Declaring, Reg.idOf("Parent"));
+}
+
+TEST(Registry, ArrayClassesCreatedOnDemandAndShared) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  ClassId A1 = Reg.arrayClassOf(Type::refTy("Animal"));
+  ClassId A2 = Reg.arrayClassOf(Type::refTy("Animal"));
+  ClassId I1 = Reg.arrayClassOf(Type::intTy());
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, I1);
+  EXPECT_TRUE(Reg.cls(A1).IsArray);
+  EXPECT_TRUE(Reg.cls(A1).ElemIsRef);
+  EXPECT_FALSE(Reg.cls(I1).ElemIsRef);
+  EXPECT_EQ(Reg.cls(A1).Name, "[LAnimal;");
+}
+
+TEST(Registry, IsSubclassOf) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  EXPECT_TRUE(Reg.isSubclassOf(Reg.idOf("Bird"), Reg.idOf("Animal")));
+  EXPECT_TRUE(Reg.isSubclassOf(Reg.idOf("Bird"), Reg.idOf("Object")));
+  EXPECT_FALSE(Reg.isSubclassOf(Reg.idOf("Animal"), Reg.idOf("Bird")));
+}
+
+TEST(Registry, RenameForUpdateFreesNameAndMarksObsolete) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  ClassId OldId = Reg.idOf("Animal");
+  Reg.renameClassForUpdate(OldId, "v1_Animal");
+
+  EXPECT_EQ(Reg.idOf("Animal"), InvalidClassId);
+  EXPECT_EQ(Reg.idOf("v1_Animal"), OldId);
+  EXPECT_TRUE(Reg.cls(OldId).Obsolete);
+  for (MethodId M : Reg.cls(OldId).Methods) {
+    EXPECT_TRUE(Reg.method(M).Obsolete);
+    EXPECT_EQ(Reg.method(M).Code, nullptr);
+  }
+
+  // A replacement class can now be loaded under the original name.
+  ClassSet Replacement;
+  ClassBuilder NewAnimal("Animal");
+  NewAnimal.field("age", "I");
+  Replacement.add(NewAnimal.build());
+  ensureBuiltins(Replacement);
+  ClassId NewId = Reg.loadClass(*Replacement.find("Animal"), Replacement);
+  EXPECT_EQ(Reg.idOf("Animal"), NewId);
+  EXPECT_NE(NewId, OldId);
+  EXPECT_FALSE(Reg.cls(NewId).Obsolete);
+}
+
+TEST(Registry, SetMethodBodyInvalidatesCode) {
+  ClassRegistry Reg;
+  ClassSet Set = hierarchySet();
+  Reg.loadAll(Set);
+  MethodId Speak = Reg.resolveMethod(Reg.idOf("Animal"), "speak", "()I");
+  ASSERT_NE(Speak, InvalidMethodId);
+  // Fake a compiled body.
+  Reg.method(Speak).Code = std::make_shared<CompiledMethod>();
+  Reg.method(Speak).InvokeCount = 7;
+
+  MethodBuilder MB("speak", "()I", false);
+  MB.iconst(9).iret();
+  Reg.setMethodBody(Speak, MB.build());
+  EXPECT_EQ(Reg.method(Speak).Code, nullptr);
+  EXPECT_EQ(Reg.method(Speak).InvokeCount, 0u);
+  EXPECT_EQ(Reg.method(Speak).Def->Code[0].IVal, 9);
+}
+
+TEST(Registry, VisitStaticRootsSkipsNulls) {
+  ClassSet Set;
+  ClassBuilder C("Cfg");
+  C.staticField("a", "LCfg;");
+  C.staticField("b", "LCfg;");
+  Set.add(C.build());
+  ensureBuiltins(Set);
+  ClassRegistry Reg;
+  Reg.loadAll(Set);
+  RtClass &Cfg = Reg.cls(Reg.idOf("Cfg"));
+  uint8_t Dummy;
+  Cfg.Statics[0].RefVal = &Dummy;
+  int Visited = 0;
+  Reg.visitStaticRoots([&](Ref &R) {
+    ++Visited;
+    EXPECT_EQ(R, &Dummy);
+  });
+  EXPECT_EQ(Visited, 1);
+}
+
+TEST(Registry, ResolveMethodWalksChain) {
+  ClassRegistry Reg;
+  Reg.loadAll(hierarchySet());
+  // age() is declared on Animal, resolvable from Bird.
+  EXPECT_NE(Reg.resolveMethod(Reg.idOf("Bird"), "age", "()I"),
+            InvalidMethodId);
+  EXPECT_EQ(Reg.resolveMethod(Reg.idOf("Bird"), "age", "(I)I"),
+            InvalidMethodId);
+}

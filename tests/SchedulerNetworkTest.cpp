@@ -1,0 +1,269 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-scheduler and simulated-network tests: round-robin fairness,
+/// yield-point parking, sleep/wake via the virtual clock, blocking accept/
+/// receive, daemon accounting, and request-latency bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "bytecode/Builder.h"
+#include "vm/Network.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+namespace {
+
+/// Two counter threads that loop forever, each bumping its own static.
+ClassSet twoCounterProgram() {
+  ClassSet Set;
+  ClassBuilder CB("Counters");
+  CB.staticField("a", "I");
+  CB.staticField("b", "I");
+  CB.staticMethod("runA", "()V")
+      .label("top")
+      .getstatic("Counters", "a", "I")
+      .iconst(1)
+      .iadd()
+      .putstatic("Counters", "a", "I")
+      .jump("top");
+  CB.staticMethod("runB", "()V")
+      .label("top")
+      .getstatic("Counters", "b", "I")
+      .iconst(1)
+      .iadd()
+      .putstatic("Counters", "b", "I")
+      .jump("top");
+  Set.add(CB.build());
+  return Set;
+}
+
+int64_t staticOf(VM &TheVM, const char *Cls, int Slot) {
+  return TheVM.registry()
+      .cls(TheVM.registry().idOf(Cls))
+      .Statics[static_cast<size_t>(Slot)]
+      .IntVal;
+}
+
+} // namespace
+
+TEST(Scheduler, RoundRobinIsFair) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(twoCounterProgram());
+  TheVM.spawnThread("Counters", "runA", "()V", {}, "a", true);
+  TheVM.spawnThread("Counters", "runB", "()V", {}, "b", true);
+  TheVM.run(20'000);
+  int64_t A = staticOf(TheVM, "Counters", 0);
+  int64_t B = staticOf(TheVM, "Counters", 1);
+  EXPECT_GT(A, 0);
+  EXPECT_GT(B, 0);
+  // Within 10% of each other.
+  EXPECT_LT(std::abs(A - B), std::max(A, B) / 10 + 2);
+}
+
+TEST(Scheduler, VirtualClockAdvancesWithInstructions) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(twoCounterProgram());
+  TheVM.spawnThread("Counters", "runA", "()V", {}, "a", true);
+  uint64_t Before = TheVM.scheduler().ticks();
+  VM::RunResult R = TheVM.run(5'000);
+  EXPECT_EQ(R.TicksExecuted, TheVM.scheduler().ticks() - Before);
+  EXPECT_EQ(R.TicksExecuted, 5'000u);
+}
+
+TEST(Scheduler, SleepFastForwardsWhenIdle) {
+  ClassSet Set;
+  ClassBuilder CB("Sleepy");
+  CB.staticField("wake", "I");
+  CB.staticMethod("run", "()V")
+      .iconst(100'000)
+      .intrinsic(IntrinsicId::SleepTicks)
+      .intrinsic(IntrinsicId::CurrentTicks)
+      .putstatic("Sleepy", "wake", "I")
+      .ret();
+  Set.add(CB.build());
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  TheVM.spawnThread("Sleepy", "run", "()V");
+  // The sleep is longer than the instructions executed: the clock jumps.
+  TheVM.runToCompletion(1'000'000);
+  EXPECT_GE(staticOf(TheVM, "Sleepy", 0), 100'000);
+  EXPECT_LT(staticOf(TheVM, "Sleepy", 0), 110'000);
+}
+
+TEST(Scheduler, RunGoesIdleWithNothingToDo) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(twoCounterProgram());
+  VM::RunResult R = TheVM.run(1'000);
+  EXPECT_TRUE(R.Idle);
+}
+
+TEST(Scheduler, YieldParksAllThreads) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(twoCounterProgram());
+  TheVM.spawnThread("Counters", "runA", "()V", {}, "a", true);
+  TheVM.spawnThread("Counters", "runB", "()V", {}, "b", true);
+  TheVM.run(500);
+
+  bool Reached = false;
+  TheVM.setSafePointCallback([&] {
+    Reached = true;
+    EXPECT_TRUE(TheVM.scheduler().allAtSafePoints());
+    TheVM.resumeAfterYield();
+    TheVM.setSafePointCallback(nullptr);
+  });
+  TheVM.requestYield();
+  TheVM.run(5'000);
+  EXPECT_TRUE(Reached);
+  // Threads resumed and keep making progress.
+  int64_t A = staticOf(TheVM, "Counters", 0);
+  TheVM.run(2'000);
+  EXPECT_GT(staticOf(TheVM, "Counters", 0), A);
+}
+
+TEST(Scheduler, DaemonThreadsDoNotKeepVmAlive) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(twoCounterProgram());
+  TheVM.spawnThread("Counters", "runA", "()V", {}, "daemon", true);
+  EXPECT_FALSE(TheVM.scheduler().hasLiveApplicationThreads());
+  TheVM.spawnThread("Counters", "runB", "()V", {}, "app", false);
+  EXPECT_TRUE(TheVM.scheduler().hasLiveApplicationThreads());
+}
+
+TEST(Network, InjectAcceptRecvSendRoundTrip) {
+  Network Net;
+  int Conn = Net.inject(80, {7, 8}, /*Now=*/0);
+  EXPECT_TRUE(Net.hasPendingAccept(80));
+  EXPECT_EQ(Net.tryAccept(80), Conn);
+  EXPECT_EQ(Net.tryAccept(80), -1);
+
+  int64_t V = 0;
+  uint64_t Ready = 0;
+  EXPECT_EQ(Net.recv(Conn, 0, V, Ready), Network::RecvStatus::Value);
+  EXPECT_EQ(V, 7);
+  Net.send(Conn, 70, 5);
+  EXPECT_EQ(Net.recv(Conn, 10, V, Ready), Network::RecvStatus::Value);
+  EXPECT_EQ(V, 8);
+  EXPECT_EQ(Net.recv(Conn, 10, V, Ready), Network::RecvStatus::Eof);
+
+  std::vector<NetResponse> Rs = Net.drainResponses();
+  ASSERT_EQ(Rs.size(), 1u);
+  EXPECT_EQ(Rs[0].Value, 70);
+  EXPECT_EQ(Rs[0].Tick, 5u);
+}
+
+TEST(Network, InterArrivalDelaysRequests) {
+  Network Net;
+  int Conn = Net.inject(80, {1, 2}, /*Now=*/100, /*InterArrival=*/50);
+  int64_t V = 0;
+  uint64_t Ready = 0;
+  EXPECT_EQ(Net.recv(Conn, 100, V, Ready), Network::RecvStatus::Value);
+  // Second request arrives at tick 150.
+  EXPECT_EQ(Net.recv(Conn, 120, V, Ready), Network::RecvStatus::NotReady);
+  EXPECT_EQ(Ready, 150u);
+  EXPECT_EQ(Net.recv(Conn, 150, V, Ready), Network::RecvStatus::Value);
+}
+
+TEST(Network, LatencyMeasuredAgainstArrival) {
+  Network Net;
+  int Conn = Net.inject(80, {1}, /*Now=*/100, 0, /*FirstDelay=*/20);
+  int64_t V = 0;
+  uint64_t Ready = 0;
+  ASSERT_EQ(Net.recv(Conn, 200, V, Ready), Network::RecvStatus::Value);
+  Net.send(Conn, 2, 230); // arrived at 120, answered at 230
+  std::vector<double> L = Net.drainLatencies();
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_DOUBLE_EQ(L[0], 110);
+}
+
+TEST(Network, CloseMakesRecvEof) {
+  Network Net;
+  int Conn = Net.inject(80, {1, 2, 3}, 0);
+  Net.close(Conn);
+  EXPECT_TRUE(Net.isClosed(Conn));
+  int64_t V = 0;
+  uint64_t Ready = 0;
+  EXPECT_EQ(Net.recv(Conn, 0, V, Ready), Network::RecvStatus::Eof);
+}
+
+TEST(Network, BlockedAcceptWakesOnInjection) {
+  ClassSet Set;
+  ClassBuilder CB("Srv");
+  CB.staticField("got", "I");
+  CB.staticMethod("run", "(I)V")
+      .load(0)
+      .intrinsic(IntrinsicId::NetAccept)
+      .putstatic("Srv", "got", "I")
+      .ret();
+  Set.add(CB.build());
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  ThreadId Id = TheVM.spawnThread("Srv", "run", "(I)V", {Slot::ofInt(9)});
+  VM::RunResult R = TheVM.run(1'000);
+  EXPECT_TRUE(R.Idle);
+  EXPECT_EQ(TheVM.scheduler().findThread(Id)->State,
+            ThreadState::BlockedAccept);
+
+  int Conn = TheVM.injectConnection(9, {1});
+  TheVM.runToCompletion(10'000);
+  EXPECT_EQ(TheVM.scheduler().findThread(Id)->State, ThreadState::Finished);
+  EXPECT_EQ(staticOf(TheVM, "Srv", 0), Conn);
+}
+
+TEST(Network, BlockedRecvWakesAtArrivalTick) {
+  ClassSet Set;
+  ClassBuilder CB("Srv");
+  CB.staticField("sum", "I");
+  CB.staticMethod("run", "(I)V")
+      .locals(3)
+      .load(0)
+      .intrinsic(IntrinsicId::NetAccept)
+      .store(1)
+      .label("loop")
+      .load(1)
+      .intrinsic(IntrinsicId::NetRecv)
+      .store(2)
+      .load(2)
+      .iconst(0)
+      .branch(Opcode::IfICmpLt, "done")
+      .getstatic("Srv", "sum", "I")
+      .load(2)
+      .iadd()
+      .putstatic("Srv", "sum", "I")
+      .jump("loop")
+      .label("done")
+      .ret();
+  Set.add(CB.build());
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  TheVM.spawnThread("Srv", "run", "(I)V", {Slot::ofInt(9)});
+  TheVM.injectConnection(9, {10, 20, 30}, /*InterArrival=*/5'000);
+  TheVM.runToCompletion(1'000'000);
+  EXPECT_EQ(staticOf(TheVM, "Srv", 0), 60);
+  // Virtual time covered the arrival schedule via fast-forwarding.
+  EXPECT_GE(TheVM.scheduler().ticks(), 10'000u);
+}
+
+TEST(Network, TryAcceptDoesNotBlock) {
+  ClassSet Set;
+  ClassBuilder CB("Srv");
+  CB.staticMethod("poll", "(I)I")
+      .load(0)
+      .intrinsic(IntrinsicId::NetTryAccept)
+      .iret();
+  Set.add(CB.build());
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Set);
+  EXPECT_EQ(
+      TheVM.callStatic("Srv", "poll", "(I)I", {Slot::ofInt(5)}).IntVal, -1);
+  int Conn = TheVM.injectConnection(5, {1});
+  EXPECT_EQ(
+      TheVM.callStatic("Srv", "poll", "(I)I", {Slot::ofInt(5)}).IntVal,
+      Conn);
+}

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support-library tests: order statistics, string utilities, the
+/// deterministic PRNG, and the table printer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+TEST(Stats, MedianOfOddSamples) {
+  QuartileSummary S = summarizeQuartiles({5, 1, 3});
+  EXPECT_DOUBLE_EQ(S.Median, 3);
+}
+
+TEST(Stats, MedianOfEvenSamplesInterpolates) {
+  QuartileSummary S = summarizeQuartiles({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(S.Median, 2.5);
+}
+
+TEST(Stats, QuartilesOrdered) {
+  std::vector<double> V;
+  for (int I = 1; I <= 21; ++I)
+    V.push_back(I);
+  QuartileSummary S = summarizeQuartiles(V);
+  EXPECT_DOUBLE_EQ(S.Median, 11);
+  EXPECT_DOUBLE_EQ(S.LowerQuartile, 6);
+  EXPECT_DOUBLE_EQ(S.UpperQuartile, 16);
+  EXPECT_DOUBLE_EQ(S.iqr(), 10);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(summarizeQuartiles({}).Median, 0);
+  QuartileSummary S = summarizeQuartiles({7});
+  EXPECT_DOUBLE_EQ(S.Median, 7);
+  EXPECT_DOUBLE_EQ(S.LowerQuartile, 7);
+  EXPECT_DOUBLE_EQ(S.UpperQuartile, 7);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0);
+}
+
+TEST(StringUtils, SplitBasic) {
+  std::vector<std::string> P = splitString("a@b@c", '@');
+  ASSERT_EQ(P.size(), 3u);
+  EXPECT_EQ(P[0], "a");
+  EXPECT_EQ(P[2], "c");
+}
+
+TEST(StringUtils, SplitWithLimitMatchesJavaSemantics) {
+  // "alice@example.com".split("@", 2) -> ["alice", "example.com"]
+  std::vector<std::string> P = splitString("alice@example.com", '@', 2);
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[0], "alice");
+  EXPECT_EQ(P[1], "example.com");
+  // The limit keeps later separators in the tail.
+  P = splitString("a@b@c", '@', 2);
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[1], "b@c");
+}
+
+TEST(StringUtils, SplitNoSeparator) {
+  std::vector<std::string> P = splitString("plain", '@');
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "plain");
+}
+
+TEST(StringUtils, SplitEmptyPieces) {
+  std::vector<std::string> P = splitString("@x@", '@');
+  ASSERT_EQ(P.size(), 3u);
+  EXPECT_EQ(P[0], "");
+  EXPECT_EQ(P[2], "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("JFill12", "JFill"));
+  EXPECT_FALSE(startsWith("JF", "JFill"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(joinStrings({"solo"}, ", "), "solo");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(10), 10u);
+  for (int I = 0; I < 100; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter TP;
+  TP.setHeader({"a", "bbbb"});
+  TP.addRow({"xxxx", "y"});
+  std::string Out = TP.render();
+  EXPECT_NE(Out.find("a     bbbb"), std::string::npos);
+  EXPECT_NE(Out.find("xxxx  y"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(10, 0), "10");
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the test suite: small program factories and VM
+/// construction shortcuts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_TESTS_TESTUTIL_H
+#define JVOLVE_TESTS_TESTUTIL_H
+
+#include "bytecode/Builder.h"
+#include "bytecode/Builtins.h"
+#include "vm/VM.h"
+
+namespace jvolve::test {
+
+/// A VM with a small heap suitable for unit tests.
+inline VM::Config smallConfig() {
+  VM::Config C;
+  C.HeapSpaceBytes = 4u << 20;
+  return C;
+}
+
+/// Builds a one-class program whose static method Main.run()I executes the
+/// instructions recorded by \p Fill.
+template <typename FillFn> ClassSet intProgram(FillFn Fill) {
+  ClassBuilder CB("Main");
+  MethodBuilder &M = CB.staticMethod("run", "()I");
+  Fill(M);
+  ClassSet Set;
+  Set.add(CB.build());
+  return Set;
+}
+
+/// Runs Main.run()I of \p Program on a fresh VM and returns the result.
+inline int64_t runIntMain(const ClassSet &Program) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(Program);
+  return TheVM.callStatic("Main", "run", "()I").IntVal;
+}
+
+} // namespace jvolve::test
+
+#endif // JVOLVE_TESTS_TESTUTIL_H

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-descriptor and method-signature parsing tests, including
+/// parameterized sweeps over valid and malformed descriptors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+TEST(Type, PrimitiveDescriptors) {
+  EXPECT_TRUE(Type::parse("I").isInt());
+  EXPECT_TRUE(Type::parse("V").isVoid());
+  EXPECT_FALSE(Type::parse("I").isReferenceLike());
+}
+
+TEST(Type, ReferenceDescriptor) {
+  Type T = Type::parse("LUser;");
+  EXPECT_TRUE(T.isRef());
+  EXPECT_TRUE(T.isReferenceLike());
+  EXPECT_EQ(T.className(), "User");
+  EXPECT_EQ(T.descriptor(), "LUser;");
+}
+
+TEST(Type, ArrayDescriptor) {
+  Type T = Type::parse("[I");
+  EXPECT_TRUE(T.isArray());
+  EXPECT_TRUE(T.elementType().isInt());
+}
+
+TEST(Type, NestedArrayDescriptor) {
+  Type T = Type::parse("[[LUser;");
+  ASSERT_TRUE(T.isArray());
+  Type Elem = T.elementType();
+  ASSERT_TRUE(Elem.isArray());
+  EXPECT_EQ(Elem.elementType().className(), "User");
+}
+
+TEST(Type, FactoryRoundTrip) {
+  EXPECT_EQ(Type::refTy("Point").descriptor(), "LPoint;");
+  EXPECT_EQ(Type::arrayOf(Type::intTy()).descriptor(), "[I");
+  EXPECT_EQ(Type::arrayOf(Type::refTy("A")).descriptor(), "[LA;");
+  EXPECT_EQ(Type::voidTy().descriptor(), "V");
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::parse("LUser;"), Type::refTy("User"));
+  EXPECT_NE(Type::parse("LUser;"), Type::refTy("Users"));
+  EXPECT_NE(Type::parse("I"), Type::parse("[I"));
+}
+
+class ValidDescriptorTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ValidDescriptorTest, IsValid) {
+  EXPECT_TRUE(Type::isValidDescriptor(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValidDescriptorTest,
+                         ::testing::Values("I", "V", "LA;", "LUser;",
+                                           "LConfigurationManager;", "[I",
+                                           "[LA;", "[[I", "[[[LDeep;"));
+
+class InvalidDescriptorTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(InvalidDescriptorTest, IsInvalid) {
+  EXPECT_FALSE(Type::isValidDescriptor(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InvalidDescriptorTest,
+                         ::testing::Values("", "X", "L;", "LU", "II", "[V",
+                                           "[", "LA;I", "I;", "[ LA;",
+                                           "VV"));
+
+TEST(MethodSignature, NoArgsVoid) {
+  MethodSignature S = MethodSignature::parse("()V");
+  EXPECT_TRUE(S.Params.empty());
+  EXPECT_TRUE(S.Return.isVoid());
+}
+
+TEST(MethodSignature, MixedParams) {
+  MethodSignature S = MethodSignature::parse("(ILUser;[I)LBox;");
+  ASSERT_EQ(S.Params.size(), 3u);
+  EXPECT_TRUE(S.Params[0].isInt());
+  EXPECT_EQ(S.Params[1].className(), "User");
+  EXPECT_TRUE(S.Params[2].isArray());
+  EXPECT_EQ(S.Return.className(), "Box");
+}
+
+TEST(MethodSignature, RoundTrip) {
+  const char *Sigs[] = {"()V", "(I)I", "(ILUser;)V", "([LA;[I)[LB;"};
+  for (const char *Sig : Sigs)
+    EXPECT_EQ(MethodSignature::parse(Sig).descriptor(), Sig);
+}
+
+class InvalidSignatureTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(InvalidSignatureTest, IsInvalid) {
+  EXPECT_FALSE(MethodSignature::isValidSignature(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InvalidSignatureTest,
+                         ::testing::Values("", "()", "I", "(V)V", "(I",
+                                           "(I)VV", "(I)", "I)V", "((I)V",
+                                           "([V)I"));

@@ -1,0 +1,257 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Update Preparation Tool tests: change categorization (class updates vs
+/// method-body updates vs indirect methods), the transitive subclass
+/// closure, removed-method tracking, and the Tables 2-4 summary counters
+/// (including the field-type-change = add+del convention and
+/// signature-change pairing).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "dsu/Upt.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+namespace {
+
+ClassSet baseSet() {
+  ClassSet Set;
+  ClassBuilder U("User");
+  U.field("name", "LString;");
+  U.field("age", "I");
+  U.method("getAge", "()I").load(0).getfield("User", "age", "I").iret();
+  U.method("setAge", "(I)V")
+      .load(0)
+      .load(1)
+      .putfield("User", "age", "I")
+      .ret();
+  Set.add(U.build());
+  ClassBuilder M("Manager");
+  M.staticMethod("check", "(LUser;)I")
+      .load(0)
+      .invokevirtual("User", "getAge", "()I")
+      .iret();
+  Set.add(M.build());
+  ClassBuilder Other("Standalone");
+  Other.staticMethod("pure", "()I").iconst(1).iret();
+  Set.add(Other.build());
+  return Set;
+}
+
+bool contains(const std::vector<std::string> &V, const std::string &S) {
+  for (const std::string &X : V)
+    if (X == S)
+      return true;
+  return false;
+}
+
+bool containsRef(const std::vector<MethodRef> &V, const std::string &Cls,
+                 const std::string &Name) {
+  for (const MethodRef &R : V)
+    if (R.ClassName == Cls && R.Name == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Upt, IdenticalVersionsProduceEmptySpec) {
+  UpdateSpec S = Upt::computeSpec(baseSet(), baseSet());
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.Summary.ClassesChanged, 0);
+}
+
+TEST(Upt, MethodBodyChangeIsNotAClassUpdate) {
+  ClassSet V2 = baseSet();
+  V2.find("User")->findMethod("getAge", "()I")->Code.push_back(
+      {Opcode::Nop, 0, "", "", ""});
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(S.ClassUpdates.empty());
+  ASSERT_EQ(S.MethodBodyUpdates.size(), 1u);
+  EXPECT_EQ(S.MethodBodyUpdates[0].key(), "User.getAge()I");
+  EXPECT_EQ(S.Summary.MethodsBodyChanged, 1);
+  EXPECT_EQ(S.Summary.ClassesChanged, 1);
+}
+
+TEST(Upt, FieldAdditionIsAClassUpdate) {
+  ClassSet V2 = baseSet();
+  V2.find("User")->Fields.push_back({"email", "LString;", false, false,
+                                     Access::Public});
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+  EXPECT_EQ(S.Summary.FieldsAdded, 1);
+  EXPECT_EQ(S.Summary.FieldsDeleted, 0);
+}
+
+TEST(Upt, FieldTypeChangeCountsAsDeletePlusAdd) {
+  // The Figure 2 convention: String[] -> EmailAddress[] appears as one
+  // deletion plus one addition in the table counters.
+  ClassSet V2 = baseSet();
+  for (FieldDef &F : V2.find("User")->Fields)
+    if (F.Name == "name")
+      F.TypeDesc = "I";
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+  EXPECT_EQ(S.Summary.FieldsAdded, 1);
+  EXPECT_EQ(S.Summary.FieldsDeleted, 1);
+}
+
+TEST(Upt, FieldModifierChangeIsAClassUpdateButNotCounted) {
+  ClassSet V2 = baseSet();
+  for (FieldDef &F : V2.find("User")->Fields)
+    if (F.Name == "age")
+      F.Visibility = Access::Private;
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+  EXPECT_EQ(S.Summary.FieldsAdded, 0);
+  EXPECT_EQ(S.Summary.FieldsDeleted, 0);
+  EXPECT_EQ(S.Summary.FieldsModifierChanged, 1);
+}
+
+TEST(Upt, FieldReorderIsAClassUpdate) {
+  ClassSet V2 = baseSet();
+  std::swap(V2.find("User")->Fields[0], V2.find("User")->Fields[1]);
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+}
+
+TEST(Upt, SignatureChangePairsByName) {
+  ClassSet V2 = baseSet();
+  MethodDef *SetAge = V2.find("User")->findMethod("setAge");
+  SetAge->Sig = "(II)V";
+  SetAge->NumLocals = 3;
+  // Keep it verifiable-ish; code unchanged is fine for the diff.
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_EQ(S.Summary.MethodsSigChanged, 1);
+  EXPECT_EQ(S.Summary.MethodsAdded, 0);
+  EXPECT_EQ(S.Summary.MethodsDeleted, 0);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+  // The old-signature method no longer exists: it is a removed (and thus
+  // restricted) method.
+  EXPECT_TRUE(containsRef(S.RemovedMethods, "User", "setAge"));
+}
+
+TEST(Upt, MethodAddAndDeleteCounted) {
+  ClassSet V2 = baseSet();
+  MethodBuilder MB("fresh", "()I", false);
+  MB.iconst(1).iret();
+  V2.find("User")->Methods.push_back(MB.build());
+  std::erase_if(V2.find("Standalone")->Methods,
+                [](const MethodDef &M) { return M.Name == "pure"; });
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_EQ(S.Summary.MethodsAdded, 1);
+  EXPECT_EQ(S.Summary.MethodsDeleted, 1);
+  EXPECT_TRUE(contains(S.ClassUpdates, "User"));
+  EXPECT_TRUE(contains(S.ClassUpdates, "Standalone"));
+  EXPECT_TRUE(containsRef(S.RemovedMethods, "Standalone", "pure"));
+}
+
+TEST(Upt, ClassAddAndDelete) {
+  ClassSet V2 = baseSet();
+  V2.remove("Standalone");
+  V2.add(ClassBuilder("Fresh").build());
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  ASSERT_EQ(S.AddedClasses.size(), 1u);
+  EXPECT_EQ(S.AddedClasses[0], "Fresh");
+  ASSERT_EQ(S.DeletedClasses.size(), 1u);
+  EXPECT_EQ(S.DeletedClasses[0], "Standalone");
+  // All methods of a deleted class are restricted.
+  EXPECT_TRUE(containsRef(S.RemovedMethods, "Standalone", "pure"));
+}
+
+TEST(Upt, IndirectMethodsReferenceUpdatedClasses) {
+  ClassSet V2 = baseSet();
+  V2.find("User")->Fields.push_back({"email", "LString;", false, false,
+                                     Access::Public});
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  // Manager.check's bytecode is unchanged but calls into User, whose
+  // compiled representation changes: category (2).
+  EXPECT_TRUE(containsRef(S.IndirectMethods, "Manager", "check"));
+  // Standalone.pure references nothing updated.
+  EXPECT_FALSE(containsRef(S.IndirectMethods, "Standalone", "pure"));
+  // User's own unchanged methods reference User: also category (2).
+  EXPECT_TRUE(containsRef(S.IndirectMethods, "User", "getAge"));
+}
+
+TEST(Upt, ChangedMethodsAreNotIndirect) {
+  ClassSet V2 = baseSet();
+  V2.find("User")->Fields.push_back({"email", "LString;", false, false,
+                                     Access::Public});
+  V2.find("Manager")->findMethod("check")->Code.push_back(
+      {Opcode::Nop, 0, "", "", ""});
+  UpdateSpec S = Upt::computeSpec(baseSet(), V2);
+  EXPECT_TRUE(containsRef(S.MethodBodyUpdates, "Manager", "check"));
+  EXPECT_FALSE(containsRef(S.IndirectMethods, "Manager", "check"));
+}
+
+TEST(Upt, SubclassClosurePropagatesToDescendants) {
+  ClassSet V1 = baseSet();
+  V1.add(ClassBuilder("Admin", "User").build());
+  V1.add(ClassBuilder("SuperAdmin", "Admin").build());
+  ClassSet V2 = V1;
+  V2.find("User")->Fields.push_back({"email", "LString;", false, false,
+                                     Access::Public});
+  UpdateSpec S = Upt::computeSpec(V1, V2);
+  EXPECT_TRUE(contains(S.DirectClassUpdates, "User"));
+  EXPECT_FALSE(contains(S.DirectClassUpdates, "Admin"));
+  EXPECT_TRUE(contains(S.ClassUpdates, "Admin"));
+  EXPECT_TRUE(contains(S.ClassUpdates, "SuperAdmin"));
+  // Closure members whose own definition is unchanged are not "changed"
+  // in the table counters.
+  EXPECT_EQ(S.Summary.ClassesChanged, 1);
+}
+
+TEST(Upt, SuperclassChangeIsAClassUpdate) {
+  ClassSet V1 = baseSet();
+  V1.add(ClassBuilder("Mid").build());
+  V1.add(ClassBuilder("Leaf", "Mid").build());
+  ClassSet V2 = V1;
+  V2.find("Leaf")->Super = "Object";
+  UpdateSpec S = Upt::computeSpec(V1, V2);
+  EXPECT_TRUE(contains(S.ClassUpdates, "Leaf"));
+}
+
+TEST(Upt, ReferencedClassesScansAllSymbolicOperands) {
+  MethodDef M;
+  M.Name = "m";
+  M.Sig = "()V";
+  M.Code = {{Opcode::New, 0, "A", "", ""},
+            {Opcode::GetStatic, 0, "B.s", "I", ""},
+            {Opcode::InvokeStatic, 0, "C.f", "()V", ""},
+            {Opcode::InstanceOf, 0, "D", "", ""},
+            {Opcode::CheckCast, 0, "E", "", ""},
+            {Opcode::Return, 0, "", "", ""}};
+  std::vector<std::string> Refs = Upt::referencedClasses(M);
+  for (const char *Name : {"A", "B", "C", "D", "E"})
+    EXPECT_TRUE(contains(Refs, Name)) << Name;
+  EXPECT_EQ(Refs.size(), 5u);
+}
+
+TEST(Upt, BlacklistFlowsIntoSpec) {
+  std::vector<MethodRef> Black = {{"Manager", "check", "(LUser;)I"}};
+  UpdateSpec S = Upt::computeSpec(baseSet(), baseSet(), Black);
+  ASSERT_EQ(S.Blacklist.size(), 1u);
+  EXPECT_EQ(S.Blacklist[0].key(), "Manager.check(LUser;)I");
+}
+
+TEST(Upt, PrepareCarriesVersionTag) {
+  UpdateBundle B = Upt::prepare(baseSet(), baseSet(), "v131");
+  EXPECT_EQ(B.VersionTag, "v131");
+  EXPECT_EQ(B.renamedOldClass("User"), "v131_User");
+  EXPECT_TRUE(B.NewProgram.contains("Object")); // built-ins ensured
+}
+
+TEST(Upt, SignatureChangedDetector) {
+  ClassDef A = ClassBuilder("X").build();
+  ClassDef B = ClassBuilder("X").build();
+  EXPECT_FALSE(Upt::classSignatureChanged(A, B));
+  ClassDef C = ClassBuilder("X").build();
+  C.Fields.push_back({"f", "I", false, false, Access::Public});
+  EXPECT_TRUE(Upt::classSignatureChanged(A, C));
+  ClassDef D("X", "Other");
+  EXPECT_TRUE(Upt::classSignatureChanged(A, D));
+}

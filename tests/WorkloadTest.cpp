@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load-driver tests: the httperf-equivalent measures what it should —
+/// responses, throughput, latency quantiles — deterministically under a
+/// fixed seed, with jitter producing controlled run-to-run variation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "apps/JettyApp.h"
+#include "apps/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+namespace {
+
+std::unique_ptr<VM> bootJetty(const AppModel &App) {
+  VM::Config Cfg;
+  Cfg.HeapSpaceBytes = 8u << 20;
+  auto TheVM = std::make_unique<VM>(Cfg);
+  TheVM->loadProgram(App.version(0));
+  startJettyThreads(*TheVM);
+  return TheVM;
+}
+
+} // namespace
+
+TEST(Workload, MeasuresResponsesAndThroughput) {
+  AppModel App = makeJettyApp();
+  std::unique_ptr<VM> TheVM = bootJetty(App);
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(*TheVM, LO);
+  LoadResult R = Driver.measure(15'000);
+  EXPECT_GT(R.Responses, 0u);
+  EXPECT_GT(R.Ticks, 0u);
+  EXPECT_NEAR(R.Throughput,
+              1000.0 * static_cast<double>(R.Responses) /
+                  static_cast<double>(R.Ticks),
+              1e-9);
+  EXPECT_GT(R.LatencyTicks.Median, 0.0);
+  EXPECT_LE(R.LatencyTicks.LowerQuartile, R.LatencyTicks.Median);
+  EXPECT_LE(R.LatencyTicks.Median, R.LatencyTicks.UpperQuartile);
+}
+
+TEST(Workload, DeterministicUnderFixedSeed) {
+  AppModel App = makeJettyApp();
+  uint64_t Responses[2];
+  for (int Trial = 0; Trial < 2; ++Trial) {
+    std::unique_ptr<VM> TheVM = bootJetty(App);
+    LoadDriver::Options LO;
+    LO.Port = JettyPort;
+    LO.JitterTicks = 10;
+    LO.Seed = 42;
+    LoadDriver Driver(*TheVM, LO);
+    Responses[Trial] = Driver.measure(15'000).Responses;
+  }
+  EXPECT_EQ(Responses[0], Responses[1]);
+}
+
+TEST(Workload, JitterVariesRuns) {
+  // The offered load is open-loop (batches arrive on schedule), so the
+  // response *count* is schedule-determined; jitter perturbs arrival
+  // overlap and therefore the latency distribution across runs.
+  AppModel App = makeJettyApp();
+  std::set<std::string> Distinct;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    std::unique_ptr<VM> TheVM = bootJetty(App);
+    LoadDriver::Options LO;
+    LO.Port = JettyPort;
+    LO.ConnectionsPerBatch = 2;
+    LO.BatchInterval = 140; // near capacity: queueing amplifies jitter
+    LO.JitterTicks = 40;
+    LO.Seed = Seed;
+    LoadDriver Driver(*TheVM, LO);
+    LoadResult R = Driver.measure(15'000);
+    Distinct.insert(std::to_string(R.Responses) + "/" +
+                    std::to_string(R.LatencyTicks.Median) + "/" +
+                    std::to_string(R.LatencyTicks.UpperQuartile));
+  }
+  EXPECT_GT(Distinct.size(), 1u);
+}
+
+TEST(Workload, RunWithLoadKeepsServerBusy) {
+  AppModel App = makeJettyApp();
+  std::unique_ptr<VM> TheVM = bootJetty(App);
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(*TheVM, LO);
+  Driver.runWithLoad(10'000);
+  EXPECT_GT(TheVM->callStatic("Stats", "served", "()I").IntVal, 0);
+}
+
+TEST(Workload, RunIdleDrainsWithoutNewLoad) {
+  AppModel App = makeJettyApp();
+  std::unique_ptr<VM> TheVM = bootJetty(App);
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(*TheVM, LO);
+  Driver.runWithLoad(5'000);
+  uint64_t Before = TheVM->net().totalConnections();
+  Driver.runIdle(5'000);
+  EXPECT_EQ(TheVM->net().totalConnections(), Before);
+}
+
+TEST(Workload, HigherOfferedLoadMoreResponsesBelowSaturation) {
+  AppModel App = makeJettyApp();
+  uint64_t Slow, Fast;
+  {
+    std::unique_ptr<VM> TheVM = bootJetty(App);
+    LoadDriver::Options LO;
+    LO.Port = JettyPort;
+    LO.ConnectionsPerBatch = 1;
+    LO.BatchInterval = 600;
+    Slow = LoadDriver(*TheVM, LO).measure(30'000).Responses;
+  }
+  {
+    std::unique_ptr<VM> TheVM = bootJetty(App);
+    LoadDriver::Options LO;
+    LO.Port = JettyPort;
+    LO.ConnectionsPerBatch = 1;
+    LO.BatchInterval = 300;
+    Fast = LoadDriver(*TheVM, LO).measure(30'000).Responses;
+  }
+  EXPECT_GT(Fast, Slow);
+}

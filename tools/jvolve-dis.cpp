@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jvolve-dis: parse a MiniVM assembly program and re-emit it in canonical
+/// form (a disassembler/normalizer; also a handy syntax checker).
+///
+///   jvolve-dis program.mvm [--verify]
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "asm/AsmWriter.h"
+#include "bytecode/Builtins.h"
+#include "bytecode/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace jvolve;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: jvolve-dis <program.mvm> [--verify]\n");
+    return 2;
+  }
+  std::ifstream In(argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "jvolve-dis: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+
+  std::vector<AsmError> Errors;
+  std::optional<ClassSet> Program = parseProgram(Text.str(), Errors);
+  if (!Program) {
+    for (const AsmError &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", argv[1], E.str().c_str());
+    return 1;
+  }
+
+  if (argc >= 3 && std::strcmp(argv[2], "--verify") == 0) {
+    ClassSet Verified = *Program;
+    ensureBuiltins(Verified);
+    std::vector<VerifyError> VErrs = Verifier(Verified).verifyAll();
+    if (!VErrs.empty()) {
+      for (const VerifyError &E : VErrs)
+        std::fprintf(stderr, "%s: %s\n", argv[1], E.str().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%s", writeProgramAsm(*Program).c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jvolve-run: load a MiniVM assembly program and execute it.
+///
+///   jvolve-run program.mvm [Class.method] [int args...]
+///
+/// The entry point defaults to Main.main()V; an explicit entry point may
+/// take int parameters supplied on the command line. Prints the program's
+/// output (print_int / print_str intrinsics) and the entry method's return
+/// value, then exits non-zero if any thread trapped.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "bytecode/Verifier.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace jvolve;
+
+static std::string readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "jvolve-run: cannot open '%s'\n", Path);
+    std::exit(2);
+  }
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: jvolve-run <program.mvm> [Class.method] [ints]\n");
+    return 2;
+  }
+
+  std::vector<AsmError> Errors;
+  std::optional<ClassSet> Program = parseProgram(readFile(argv[1]), Errors);
+  if (!Program) {
+    for (const AsmError &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", argv[1], E.str().c_str());
+    return 1;
+  }
+
+  std::string Cls = "Main", Method = "main";
+  if (argc >= 3) {
+    std::string Entry = argv[2];
+    size_t Dot = Entry.find('.');
+    if (Dot == std::string::npos) {
+      std::fprintf(stderr, "jvolve-run: entry must be Class.method\n");
+      return 2;
+    }
+    Cls = Entry.substr(0, Dot);
+    Method = Entry.substr(Dot + 1);
+  }
+  std::vector<Slot> Args;
+  for (int I = 3; I < argc; ++I)
+    Args.push_back(Slot::ofInt(std::atoll(argv[I])));
+
+  VM TheVM((VM::Config()));
+  TheVM.loadProgram(*Program); // verifies; aborts with diagnostics on error
+
+  // Find the entry signature: (I...)V or (I...)I with argc-3 parameters.
+  std::string Params(Args.size(), 'I');
+  ClassId Id = TheVM.registry().idOf(Cls);
+  if (Id == InvalidClassId) {
+    std::fprintf(stderr, "jvolve-run: no class '%s'\n", Cls.c_str());
+    return 1;
+  }
+  std::string Sig;
+  for (const char *Ret : {"V", "I"}) {
+    std::string Candidate = "(" + Params + ")" + Ret;
+    if (TheVM.registry().resolveMethod(Id, Method, Candidate) !=
+        InvalidMethodId) {
+      Sig = Candidate;
+      break;
+    }
+  }
+  if (Sig.empty()) {
+    std::fprintf(stderr, "jvolve-run: no method %s.%s taking %zu int(s)\n",
+                 Cls.c_str(), Method.c_str(), Args.size());
+    return 1;
+  }
+
+  ThreadId Main = TheVM.spawnThread(Cls, Method, Sig, Args, "main");
+  TheVM.runToCompletion();
+
+  for (const std::string &Line : TheVM.printLog())
+    std::printf("%s\n", Line.c_str());
+
+  VMThread *T = TheVM.scheduler().findThread(Main);
+  if (T->State == ThreadState::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", T->TrapMessage.c_str());
+    return 1;
+  }
+  if (T->HasExitValue)
+    std::printf("=> %lld\n", static_cast<long long>(T->ExitValue.IntVal));
+  return 0;
+}

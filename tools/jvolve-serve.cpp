@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jvolve-serve: run one of the modeled servers through its entire release
+/// history, live. Boots the base version under load, then applies every
+/// release's dynamic update in sequence while traffic keeps flowing,
+/// narrating each update with its trace — a command-line re-enactment of
+/// the paper's §4 experience, including the updates that cannot be
+/// applied.
+///
+///   jvolve-serve jetty|email|crossftp [--trace]
+///
+/// When an update cannot reach a safe point (the changed method never
+/// leaves the stack), the tool retries once with the operator-supplied
+/// active-method mappings (§3.5 extension), the way an operator armed
+/// with UpStare-style stack maps would proceed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/JettyApp.h"
+#include "apps/Workload.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace jvolve;
+
+namespace {
+
+/// The operator's stack maps for the methods known to live forever on
+/// the stack. The Jetty maps translate the 5.1.2-shaped bodies into the
+/// 5.1.3-shaped ones; the JES run() bodies only ever gain trailing dead
+/// code, so identity maps suffice.
+void addOperatorMappings(UpdateBundle &B, const AppModel &App,
+                         size_t TargetVersion) {
+  if (App.name() == "jetty") {
+    ActiveMethodMapping Accept;
+    Accept.Method = {"ThreadedServer", "acceptSocket", "(I)I"};
+    Accept.PcMap = {{0, 0}, {1, 1}, {2, 4}};
+    B.addActiveMapping(std::move(Accept));
+    ActiveMethodMapping Run;
+    Run.Method = {"PoolThread", "run", "(I)V"};
+    Run.PcMap = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 7}, {5, 8}};
+    B.addActiveMapping(std::move(Run));
+  } else if (App.name() == "javaemailserver") {
+    const ClassSet &New = App.version(TargetVersion);
+    B.addActiveMapping(ActiveMethodMapping::identity(
+        {"Pop3Processor", "run", "(I)V"},
+        New.find("Pop3Processor")->findMethod("run")->Code.size()));
+    B.addActiveMapping(ActiveMethodMapping::identity(
+        {"SMTPSender", "run", "()V"},
+        New.find("SMTPSender")->findMethod("run")->Code.size()));
+  } else {
+    const ClassSet &New = App.version(TargetVersion);
+    B.addActiveMapping(ActiveMethodMapping::identity(
+        {"RequestHandler", "handle", "(I)V"},
+        New.find("RequestHandler")->findMethod("handle")->Code.size()));
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: jvolve-serve jetty|email|crossftp "
+                         "[--trace]\n");
+    return 2;
+  }
+  bool ShowTrace = argc >= 3 && std::strcmp(argv[2], "--trace") == 0;
+
+  AppModel App = std::strcmp(argv[1], "jetty") == 0 ? makeJettyApp()
+                 : std::strcmp(argv[1], "email") == 0
+                     ? makeEmailApp()
+                     : makeCrossFtpApp();
+  int Port = std::strcmp(argv[1], "jetty") == 0 ? JettyPort
+             : std::strcmp(argv[1], "email") == 0 ? Pop3Port
+                                                  : FtpPort;
+
+  VM::Config Cfg;
+  Cfg.HeapSpaceBytes = 16u << 20;
+  VM TheVM(Cfg);
+  TheVM.loadProgram(App.version(0));
+  if (App.name() == "jetty")
+    startJettyThreads(TheVM);
+  else if (App.name() == "javaemailserver")
+    startEmailThreads(TheVM);
+  else
+    startCrossFtpThreads(TheVM);
+
+  LoadDriver::Options LO;
+  LO.Port = Port;
+  LoadDriver Driver(TheVM, LO);
+  std::printf("booted %s; serving...\n", App.versionName(0).c_str());
+  LoadResult Warm = Driver.measure(10'000);
+  std::printf("  throughput %.1f resp/ktick\n", Warm.Throughput);
+
+  size_t Version = 0; // currently running version index
+  for (size_t V = 1; V < App.numVersions(); ++V) {
+    // Updates are prepared against the *running* version: if an earlier
+    // update failed, its changes fold into this diff, as a real operator
+    // rolling releases forward would experience.
+    std::printf("updating %s -> %s under load...\n",
+                App.versionName(Version).c_str(),
+                App.versionName(V).c_str());
+    UpdateBundle B = Upt::prepare(App.version(Version), App.version(V),
+                                  "v" + std::to_string(V - 1));
+    if (App.name() == "javaemailserver")
+      registerEmailTransformers(B, App, V);
+
+    UpdateOptions Opts;
+    Opts.TimeoutTicks = 120'000;
+    Updater U(TheVM);
+    // Keep traffic flowing while the updater seeks a safe point.
+    U.schedule(std::move(B), Opts);
+    while (U.pending())
+      Driver.runWithLoad(2'000);
+
+    if (U.result().Status == UpdateStatus::TimedOut) {
+      std::printf("  timed out (changed method always on stack); "
+                  "retrying with active-method mappings (§3.5)...\n");
+      UpdateBundle Retry = Upt::prepare(App.version(Version),
+                                        App.version(V),
+                                        "r" + std::to_string(V - 1));
+      if (App.name() == "javaemailserver")
+        registerEmailTransformers(Retry, App, V);
+      addOperatorMappings(Retry, App, V);
+      U.schedule(std::move(Retry), Opts);
+      while (U.pending())
+        Driver.runWithLoad(2'000);
+    }
+    const UpdateResult &R = U.result();
+
+    if (R.Status == UpdateStatus::Applied) {
+      std::printf("  applied in %.2f ms (%d barrier(s), %d OSR, %llu "
+                  "object(s) transformed)\n",
+                  R.TotalPauseMs, R.ReturnBarriersInstalled,
+                  R.OsrReplacements,
+                  static_cast<unsigned long long>(R.ObjectsTransformed));
+      Version = V;
+    } else {
+      std::printf("  %s — still serving %s\n",
+                  updateStatusName(R.Status),
+                  App.versionName(Version).c_str());
+    }
+    if (ShowTrace)
+      std::printf("%s", R.Trace.str().c_str());
+
+    LoadResult After = Driver.measure(6'000);
+    std::printf("  throughput %.1f resp/ktick\n", After.Throughput);
+  }
+
+  std::printf("final version: %s\n", App.versionName(Version).c_str());
+  for (auto &T : TheVM.scheduler().threads())
+    if (T->State == ThreadState::Trapped) {
+      std::printf("thread %s trapped: %s\n", T->Name.c_str(),
+                  T->TrapMessage.c_str());
+      return 1;
+    }
+  return 0;
+}
