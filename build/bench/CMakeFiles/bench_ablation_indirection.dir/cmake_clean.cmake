@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_indirection.dir/bench_ablation_indirection.cpp.o"
+  "CMakeFiles/bench_ablation_indirection.dir/bench_ablation_indirection.cpp.o.d"
+  "bench_ablation_indirection"
+  "bench_ablation_indirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

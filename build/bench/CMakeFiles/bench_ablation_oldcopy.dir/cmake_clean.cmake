@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oldcopy.dir/bench_ablation_oldcopy.cpp.o"
+  "CMakeFiles/bench_ablation_oldcopy.dir/bench_ablation_oldcopy.cpp.o.d"
+  "bench_ablation_oldcopy"
+  "bench_ablation_oldcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oldcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_update.dir/bench_active_update.cpp.o"
+  "CMakeFiles/bench_active_update.dir/bench_active_update.cpp.o.d"
+  "bench_active_update"
+  "bench_active_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

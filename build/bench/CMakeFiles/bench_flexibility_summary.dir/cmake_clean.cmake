@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexibility_summary.dir/bench_flexibility_summary.cpp.o"
+  "CMakeFiles/bench_flexibility_summary.dir/bench_flexibility_summary.cpp.o.d"
+  "bench_flexibility_summary"
+  "bench_flexibility_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexibility_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

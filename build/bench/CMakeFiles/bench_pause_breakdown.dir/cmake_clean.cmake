@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pause_breakdown.dir/bench_pause_breakdown.cpp.o"
+  "CMakeFiles/bench_pause_breakdown.dir/bench_pause_breakdown.cpp.o.d"
+  "bench_pause_breakdown"
+  "bench_pause_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pause_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_safepoint.dir/bench_safepoint.cpp.o"
+  "CMakeFiles/bench_safepoint.dir/bench_safepoint.cpp.o.d"
+  "bench_safepoint"
+  "bench_safepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

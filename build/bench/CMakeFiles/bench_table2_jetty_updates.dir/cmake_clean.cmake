@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_jetty_updates.dir/bench_table2_jetty_updates.cpp.o"
+  "CMakeFiles/bench_table2_jetty_updates.dir/bench_table2_jetty_updates.cpp.o.d"
+  "bench_table2_jetty_updates"
+  "bench_table2_jetty_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_jetty_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

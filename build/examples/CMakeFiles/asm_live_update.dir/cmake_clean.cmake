@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_live_update.dir/asm_live_update.cpp.o"
+  "CMakeFiles/asm_live_update.dir/asm_live_update.cpp.o.d"
+  "asm_live_update"
+  "asm_live_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_live_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_live_upgrade.dir/email_live_upgrade.cpp.o"
+  "CMakeFiles/email_live_upgrade.dir/email_live_upgrade.cpp.o.d"
+  "email_live_upgrade"
+  "email_live_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_live_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_idle_window.dir/ftp_idle_window.cpp.o"
+  "CMakeFiles/ftp_idle_window.dir/ftp_idle_window.cpp.o.d"
+  "ftp_idle_window"
+  "ftp_idle_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_idle_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

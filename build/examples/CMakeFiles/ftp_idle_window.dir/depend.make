@@ -1,0 +1,2 @@
+# Empty dependencies file for ftp_idle_window.
+# This may be replaced when dependencies are built.

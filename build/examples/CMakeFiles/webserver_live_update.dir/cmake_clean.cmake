@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_live_update.dir/webserver_live_update.cpp.o"
+  "CMakeFiles/webserver_live_update.dir/webserver_live_update.cpp.o.d"
+  "webserver_live_update"
+  "webserver_live_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_live_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/AppModel.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/AppModel.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/AppModel.cpp.o.d"
+  "/root/repo/src/apps/CrossFtpApp.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/CrossFtpApp.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/CrossFtpApp.cpp.o.d"
+  "/root/repo/src/apps/EmailApp.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/EmailApp.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/EmailApp.cpp.o.d"
+  "/root/repo/src/apps/Evaluation.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/Evaluation.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/Evaluation.cpp.o.d"
+  "/root/repo/src/apps/JettyApp.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/JettyApp.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/JettyApp.cpp.o.d"
+  "/root/repo/src/apps/Workload.cpp" "src/CMakeFiles/jvolve_apps.dir/apps/Workload.cpp.o" "gcc" "src/CMakeFiles/jvolve_apps.dir/apps/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jvolve_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

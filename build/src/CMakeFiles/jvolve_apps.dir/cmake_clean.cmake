@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_apps.dir/apps/AppModel.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/AppModel.cpp.o.d"
+  "CMakeFiles/jvolve_apps.dir/apps/CrossFtpApp.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/CrossFtpApp.cpp.o.d"
+  "CMakeFiles/jvolve_apps.dir/apps/EmailApp.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/EmailApp.cpp.o.d"
+  "CMakeFiles/jvolve_apps.dir/apps/Evaluation.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/Evaluation.cpp.o.d"
+  "CMakeFiles/jvolve_apps.dir/apps/JettyApp.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/JettyApp.cpp.o.d"
+  "CMakeFiles/jvolve_apps.dir/apps/Workload.cpp.o"
+  "CMakeFiles/jvolve_apps.dir/apps/Workload.cpp.o.d"
+  "libjvolve_apps.a"
+  "libjvolve_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_asm.dir/asm/AsmWriter.cpp.o"
+  "CMakeFiles/jvolve_asm.dir/asm/AsmWriter.cpp.o.d"
+  "CMakeFiles/jvolve_asm.dir/asm/Assembler.cpp.o"
+  "CMakeFiles/jvolve_asm.dir/asm/Assembler.cpp.o.d"
+  "libjvolve_asm.a"
+  "libjvolve_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Builder.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Builder.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Builder.cpp.o.d"
+  "/root/repo/src/bytecode/Builtins.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Builtins.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Builtins.cpp.o.d"
+  "/root/repo/src/bytecode/ClassDef.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/ClassDef.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/ClassDef.cpp.o.d"
+  "/root/repo/src/bytecode/Instruction.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Instruction.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Instruction.cpp.o.d"
+  "/root/repo/src/bytecode/Printer.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Printer.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Printer.cpp.o.d"
+  "/root/repo/src/bytecode/Type.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Type.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Type.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Verifier.cpp.o" "gcc" "src/CMakeFiles/jvolve_bytecode.dir/bytecode/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jvolve_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

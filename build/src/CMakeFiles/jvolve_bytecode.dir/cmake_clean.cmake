@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Builder.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Builder.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Builtins.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Builtins.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/ClassDef.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/ClassDef.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Instruction.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Instruction.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Printer.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Printer.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Type.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Type.cpp.o.d"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Verifier.cpp.o"
+  "CMakeFiles/jvolve_bytecode.dir/bytecode/Verifier.cpp.o.d"
+  "libjvolve_bytecode.a"
+  "libjvolve_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsu/EcUpdater.cpp" "src/CMakeFiles/jvolve_dsu.dir/dsu/EcUpdater.cpp.o" "gcc" "src/CMakeFiles/jvolve_dsu.dir/dsu/EcUpdater.cpp.o.d"
+  "/root/repo/src/dsu/Transformers.cpp" "src/CMakeFiles/jvolve_dsu.dir/dsu/Transformers.cpp.o" "gcc" "src/CMakeFiles/jvolve_dsu.dir/dsu/Transformers.cpp.o.d"
+  "/root/repo/src/dsu/UpdateTrace.cpp" "src/CMakeFiles/jvolve_dsu.dir/dsu/UpdateTrace.cpp.o" "gcc" "src/CMakeFiles/jvolve_dsu.dir/dsu/UpdateTrace.cpp.o.d"
+  "/root/repo/src/dsu/Updater.cpp" "src/CMakeFiles/jvolve_dsu.dir/dsu/Updater.cpp.o" "gcc" "src/CMakeFiles/jvolve_dsu.dir/dsu/Updater.cpp.o.d"
+  "/root/repo/src/dsu/Upt.cpp" "src/CMakeFiles/jvolve_dsu.dir/dsu/Upt.cpp.o" "gcc" "src/CMakeFiles/jvolve_dsu.dir/dsu/Upt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jvolve_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

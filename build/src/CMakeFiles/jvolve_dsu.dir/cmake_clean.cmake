@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_dsu.dir/dsu/EcUpdater.cpp.o"
+  "CMakeFiles/jvolve_dsu.dir/dsu/EcUpdater.cpp.o.d"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Transformers.cpp.o"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Transformers.cpp.o.d"
+  "CMakeFiles/jvolve_dsu.dir/dsu/UpdateTrace.cpp.o"
+  "CMakeFiles/jvolve_dsu.dir/dsu/UpdateTrace.cpp.o.d"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Updater.cpp.o"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Updater.cpp.o.d"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Upt.cpp.o"
+  "CMakeFiles/jvolve_dsu.dir/dsu/Upt.cpp.o.d"
+  "libjvolve_dsu.a"
+  "libjvolve_dsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_dsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jvolve_dsu.
+# This may be replaced when dependencies are built.

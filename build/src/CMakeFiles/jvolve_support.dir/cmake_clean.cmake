@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_support.dir/support/Error.cpp.o"
+  "CMakeFiles/jvolve_support.dir/support/Error.cpp.o.d"
+  "CMakeFiles/jvolve_support.dir/support/Stats.cpp.o"
+  "CMakeFiles/jvolve_support.dir/support/Stats.cpp.o.d"
+  "CMakeFiles/jvolve_support.dir/support/StringUtils.cpp.o"
+  "CMakeFiles/jvolve_support.dir/support/StringUtils.cpp.o.d"
+  "CMakeFiles/jvolve_support.dir/support/TablePrinter.cpp.o"
+  "CMakeFiles/jvolve_support.dir/support/TablePrinter.cpp.o.d"
+  "libjvolve_support.a"
+  "libjvolve_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

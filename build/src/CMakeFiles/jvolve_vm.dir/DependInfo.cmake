@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/Compiler.cpp" "src/CMakeFiles/jvolve_vm.dir/exec/Compiler.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/exec/Compiler.cpp.o.d"
+  "/root/repo/src/heap/Collector.cpp" "src/CMakeFiles/jvolve_vm.dir/heap/Collector.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/heap/Collector.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/CMakeFiles/jvolve_vm.dir/heap/Heap.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/heap/Heap.cpp.o.d"
+  "/root/repo/src/heap/HeapVerifier.cpp" "src/CMakeFiles/jvolve_vm.dir/heap/HeapVerifier.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/heap/HeapVerifier.cpp.o.d"
+  "/root/repo/src/runtime/ClassRegistry.cpp" "src/CMakeFiles/jvolve_vm.dir/runtime/ClassRegistry.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/runtime/ClassRegistry.cpp.o.d"
+  "/root/repo/src/runtime/StringTable.cpp" "src/CMakeFiles/jvolve_vm.dir/runtime/StringTable.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/runtime/StringTable.cpp.o.d"
+  "/root/repo/src/threads/Scheduler.cpp" "src/CMakeFiles/jvolve_vm.dir/threads/Scheduler.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/threads/Scheduler.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/jvolve_vm.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Network.cpp" "src/CMakeFiles/jvolve_vm.dir/vm/Network.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/vm/Network.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/CMakeFiles/jvolve_vm.dir/vm/VM.cpp.o" "gcc" "src/CMakeFiles/jvolve_vm.dir/vm/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jvolve_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jvolve_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve_vm.dir/exec/Compiler.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/exec/Compiler.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/heap/Collector.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/heap/Collector.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/heap/Heap.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/heap/Heap.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/heap/HeapVerifier.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/heap/HeapVerifier.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/runtime/ClassRegistry.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/runtime/ClassRegistry.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/runtime/StringTable.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/runtime/StringTable.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/threads/Scheduler.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/threads/Scheduler.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/vm/Interpreter.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/vm/Interpreter.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/vm/Network.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/vm/Network.cpp.o.d"
+  "CMakeFiles/jvolve_vm.dir/vm/VM.cpp.o"
+  "CMakeFiles/jvolve_vm.dir/vm/VM.cpp.o.d"
+  "libjvolve_vm.a"
+  "libjvolve_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

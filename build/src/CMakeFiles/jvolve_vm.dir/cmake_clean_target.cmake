@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjvolve_vm.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_method_test.dir/ActiveMethodTest.cpp.o"
+  "CMakeFiles/active_method_test.dir/ActiveMethodTest.cpp.o.d"
+  "active_method_test"
+  "active_method_test.pdb"
+  "active_method_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

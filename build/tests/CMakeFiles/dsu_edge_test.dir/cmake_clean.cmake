@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_edge_test.dir/DsuEdgeTest.cpp.o"
+  "CMakeFiles/dsu_edge_test.dir/DsuEdgeTest.cpp.o.d"
+  "dsu_edge_test"
+  "dsu_edge_test.pdb"
+  "dsu_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_test.dir/DsuTest.cpp.o"
+  "CMakeFiles/dsu_test.dir/DsuTest.cpp.o.d"
+  "dsu_test"
+  "dsu_test.pdb"
+  "dsu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

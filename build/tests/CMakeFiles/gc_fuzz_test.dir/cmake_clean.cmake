@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_fuzz_test.dir/GcFuzzTest.cpp.o"
+  "CMakeFiles/gc_fuzz_test.dir/GcFuzzTest.cpp.o.d"
+  "gc_fuzz_test"
+  "gc_fuzz_test.pdb"
+  "gc_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_verifier_test.dir/HeapVerifierTest.cpp.o"
+  "CMakeFiles/heap_verifier_test.dir/HeapVerifierTest.cpp.o.d"
+  "heap_verifier_test"
+  "heap_verifier_test.pdb"
+  "heap_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/old_copy_space_test.dir/OldCopySpaceTest.cpp.o"
+  "CMakeFiles/old_copy_space_test.dir/OldCopySpaceTest.cpp.o.d"
+  "old_copy_space_test"
+  "old_copy_space_test.pdb"
+  "old_copy_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/old_copy_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

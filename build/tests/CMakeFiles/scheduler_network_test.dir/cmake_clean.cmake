@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_network_test.dir/SchedulerNetworkTest.cpp.o"
+  "CMakeFiles/scheduler_network_test.dir/SchedulerNetworkTest.cpp.o.d"
+  "scheduler_network_test"
+  "scheduler_network_test.pdb"
+  "scheduler_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_trace_test.dir/UpdateTraceTest.cpp.o"
+  "CMakeFiles/update_trace_test.dir/UpdateTraceTest.cpp.o.d"
+  "update_trace_test"
+  "update_trace_test.pdb"
+  "update_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

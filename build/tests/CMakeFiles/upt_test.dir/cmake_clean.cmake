@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upt_test.dir/UptTest.cpp.o"
+  "CMakeFiles/upt_test.dir/UptTest.cpp.o.d"
+  "upt_test"
+  "upt_test.pdb"
+  "upt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_behavior_test.dir/VmBehaviorTest.cpp.o"
+  "CMakeFiles/vm_behavior_test.dir/VmBehaviorTest.cpp.o.d"
+  "vm_behavior_test"
+  "vm_behavior_test.pdb"
+  "vm_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

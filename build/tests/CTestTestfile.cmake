@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/dsu_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/type_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/upt_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_network_test[1]_include.cmake")
+include("/root/repo/build/tests/transformer_test[1]_include.cmake")
+include("/root/repo/build/tests/dsu_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/active_method_test[1]_include.cmake")
+include("/root/repo/build/tests/old_copy_space_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/update_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")

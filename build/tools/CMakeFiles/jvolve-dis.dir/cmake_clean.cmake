@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve-dis.dir/jvolve-dis.cpp.o"
+  "CMakeFiles/jvolve-dis.dir/jvolve-dis.cpp.o.d"
+  "jvolve-dis"
+  "jvolve-dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve-dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve-run.dir/jvolve-run.cpp.o"
+  "CMakeFiles/jvolve-run.dir/jvolve-run.cpp.o.d"
+  "jvolve-run"
+  "jvolve-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

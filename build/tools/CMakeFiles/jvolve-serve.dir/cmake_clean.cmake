@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve-serve.dir/jvolve-serve.cpp.o"
+  "CMakeFiles/jvolve-serve.dir/jvolve-serve.cpp.o.d"
+  "jvolve-serve"
+  "jvolve-serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve-serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvolve-upt.dir/jvolve-upt.cpp.o"
+  "CMakeFiles/jvolve-upt.dir/jvolve-upt.cpp.o.d"
+  "jvolve-upt"
+  "jvolve-upt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvolve-upt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
