@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full suite in the default configuration, then
+# the update-transaction (rollback) suite again under a sanitizer build.
+#
+#   scripts/tier1.sh [sanitizer]
+#
+# sanitizer: address (default) or undefined; set JVOLVE_SKIP_SANITIZE=1 to
+# run only the default-configuration suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
+  cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"
+  cmake --build "build-$SAN" -j "$JOBS" --target dsu_rollback_test gc_fuzz_test
+  ctest --test-dir "build-$SAN" --output-on-failure -j "$JOBS" \
+    -R 'DsuRollback|GcFuzz'
+fi

@@ -14,8 +14,8 @@ const RtField *TransformCtx::fieldOf(Ref Obj,
   const RtClass &C = TheVM.registry().cls(classOf(Obj));
   const RtField *F = C.findInstanceField(Field);
   if (!F)
-    fatalError("transformer: class " + C.Name + " has no field '" + Field +
-               "'");
+    throw UpdateError("transform", "class " + C.Name + " has no field '" +
+                                       Field + "'");
   return F;
 }
 
@@ -39,12 +39,12 @@ static Slot *staticSlot(VM &TheVM, const std::string &Cls,
                         const std::string &Field) {
   ClassId Id = TheVM.registry().idOf(Cls);
   if (Id == InvalidClassId)
-    fatalError("transformer: unknown class '" + Cls + "'");
+    throw UpdateError("transform", "unknown class '" + Cls + "'");
   ClassId Declaring = InvalidClassId;
   RtField *F = TheVM.registry().resolveStaticField(Id, Field, &Declaring);
   if (!F)
-    fatalError("transformer: class " + Cls + " has no static '" + Field +
-               "'");
+    throw UpdateError("transform", "class " + Cls + " has no static '" +
+                                       Field + "'");
   return &TheVM.registry().cls(Declaring).Statics[F->Offset];
 }
 
@@ -75,7 +75,7 @@ void TransformCtx::setStaticRef(const std::string &Cls,
 Ref TransformCtx::allocate(const std::string &ClassName) {
   ClassId Id = TheVM.registry().idOf(ClassName);
   if (Id == InvalidClassId)
-    fatalError("transformer: unknown class '" + ClassName + "'");
+    throw UpdateError("transform", "unknown class '" + ClassName + "'");
   return TheVM.allocateObject(Id);
 }
 
@@ -164,20 +164,23 @@ void TransformerRunner::applyDefaultClassTransform(
 
 void TransformerRunner::transformEntry(size_t Index) {
   UpdateLogEntry &E = UpdateLog[Index];
-  switch (E.St) {
-  case UpdateLogEntry::State::Done:
-    return;
-  case UpdateLogEntry::State::InProgress:
+  if (E.St == UpdateLogEntry::State::InProgress ||
+      TheVM.faults().probe(FaultInjector::Site::TransformerCycle)) {
     // A cycle of jvolveObject calls constitutes one or more ill-defined
     // transformer functions (paper §3.4); the update cannot proceed.
-    fatalError("transformer cycle detected while updating " +
-               TheVM.registry().cls(classOf(E.NewObj)).Name);
-  case UpdateLogEntry::State::Pending:
-    break;
+    throw UpdateError("transform",
+                      "transformer cycle detected while updating " +
+                          TheVM.registry().cls(classOf(E.NewObj)).Name);
   }
+  if (E.St == UpdateLogEntry::State::Done)
+    return;
   E.St = UpdateLogEntry::State::InProgress;
 
   const std::string &ClassName = TheVM.registry().cls(classOf(E.NewObj)).Name;
+  if (TheVM.faults().probe(FaultInjector::Site::TransformerNthObject))
+    throw UpdateError("transform", "injected transformer fault on object #" +
+                                       std::to_string(Index) + " (class " +
+                                       ClassName + ")");
   TransformCtx Ctx(TheVM, this);
   auto It = Bundle.ObjectTransformers.find(ClassName);
   if (It != Bundle.ObjectTransformers.end())
@@ -198,8 +201,9 @@ void TransformerRunner::ensureTransformed(Ref NewObj) {
 }
 
 double TransformerRunner::runAll() {
+  // The updater holds setTransformationInProgress across the whole install
+  // transaction (snapshot to commit), so it is already set here.
   Stopwatch Timer;
-  TheVM.setTransformationInProgress(true);
 
   // Class transformers first (paper §3.4), defaults for the rest.
   TransformCtx Ctx(TheVM, this);
@@ -215,6 +219,5 @@ double TransformerRunner::runAll() {
   for (size_t I = 0; I < UpdateLog.size(); ++I)
     transformEntry(I);
 
-  TheVM.setTransformationInProgress(false);
   return Timer.elapsedMs();
 }

@@ -64,8 +64,9 @@ public:
   void setElemInt(Ref Arr, int64_t Index, int64_t Value);
 
   /// The paper's special VM function: if \p Obj is a new-version object
-  /// whose transformer has not run yet, run it now. Aborts the VM on a
-  /// transformer cycle (an ill-defined transformer set).
+  /// whose transformer has not run yet, run it now. Throws
+  /// UpdateError("transform") on a transformer cycle (an ill-defined
+  /// transformer set); the updater rolls the update back.
   void ensureTransformed(Ref Obj);
 
   VM &vm() { return TheVM; }

@@ -16,6 +16,10 @@ const char *jvolve::updateEventKindName(UpdateEventKind K) {
   case UpdateEventKind::ClassesInstalled: return "classes-installed";
   case UpdateEventKind::GcCompleted: return "gc-completed";
   case UpdateEventKind::Transformed: return "transformed";
+  case UpdateEventKind::InstallFailed: return "install-failed";
+  case UpdateEventKind::RolledBack: return "rolled-back";
+  case UpdateEventKind::Certified: return "certified";
+  case UpdateEventKind::RetryScheduled: return "retry-scheduled";
   case UpdateEventKind::Applied: return "applied";
   case UpdateEventKind::TimedOut: return "timed-out";
   }

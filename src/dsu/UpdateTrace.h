@@ -35,6 +35,10 @@ enum class UpdateEventKind : uint8_t {
   ClassesInstalled, ///< rename + load + invalidate finished
   GcCompleted,      ///< DSU collection finished
   Transformed,      ///< class + object transformers finished
+  InstallFailed,    ///< a step of the install transaction threw UpdateError
+  RolledBack,       ///< snapshot restored; VM serves the old version again
+  Certified,        ///< post-update heap + registry certification ran
+  RetryScheduled,   ///< safe-point timeout; retrying with a longer deadline
   Applied,          ///< update complete
   TimedOut,         ///< safe point never reached
 };

@@ -3,9 +3,12 @@
 #include "bytecode/Builtins.h"
 #include "bytecode/Verifier.h"
 #include "dsu/Transformers.h"
+#include "heap/HeapVerifier.h"
+#include "runtime/ObjectModel.h"
 #include "support/Error.h"
 #include "support/Stopwatch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -19,6 +22,8 @@ const char *jvolve::updateStatusName(UpdateStatus S) {
   case UpdateStatus::TimedOut: return "timed-out";
   case UpdateStatus::RejectedNotVerifiable: return "rejected (verification)";
   case UpdateStatus::RejectedHierarchy: return "rejected (hierarchy)";
+  case UpdateStatus::RolledBack: return "rolled-back";
+  case UpdateStatus::FailedTransformer: return "failed-transformer";
   }
   unreachable("bad update status");
 }
@@ -78,6 +83,7 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   Result.Status = UpdateStatus::Pending;
   ScheduleTick = TheVM.scheduler().ticks();
   DeadlineTick = ScheduleTick + Opts.TimeoutTicks;
+  ReattemptTick = 0;
   Result.Trace.record(UpdateEventKind::Scheduled, ScheduleTick, 0,
                       "timeout in " + std::to_string(Opts.TimeoutTicks) +
                           " ticks");
@@ -169,9 +175,36 @@ Updater::FrameKind Updater::classifyFrame(const Frame &F) const {
 }
 
 void Updater::onTick(uint64_t Now) {
-  if (pending() && Now >= DeadlineTick)
-    abortUpdate(UpdateStatus::TimedOut,
-                "no DSU safe point reached within the timeout");
+  if (!pending())
+    return;
+  if (ReattemptTick && Now >= ReattemptTick) {
+    // A starved safe-point attempt backed off; try to park threads again.
+    ReattemptTick = 0;
+    TheVM.requestYield();
+  }
+  if (Now < DeadlineTick)
+    return;
+  if (Result.RetriesUsed < Opts.MaxRetries) {
+    // Bounded retry with backoff: extend the deadline and ask for a safe
+    // point again instead of failing on the first transient starvation.
+    ++Result.RetriesUsed;
+    double Scale = 1.0;
+    for (int I = 0; I < Result.RetriesUsed; ++I)
+      Scale *= Opts.BackoffFactor;
+    uint64_t Extension =
+        std::max<uint64_t>(1, static_cast<uint64_t>(
+                                  static_cast<double>(Opts.TimeoutTicks) *
+                                  Scale));
+    DeadlineTick = Now + Extension;
+    Result.Trace.record(UpdateEventKind::RetryScheduled, Now,
+                        Result.RetriesUsed,
+                        "deadline extended by " + std::to_string(Extension) +
+                            " ticks");
+    TheVM.requestYield();
+    return;
+  }
+  abortUpdate(UpdateStatus::TimedOut,
+              "no DSU safe point reached within the timeout");
 }
 
 void Updater::onReturnBarrier(VMThread &T) {
@@ -193,6 +226,20 @@ void Updater::onSafePoint() {
 
 void Updater::attempt() {
   ++Result.SafePointAttempts;
+
+  if (TheVM.faults().probe(FaultInjector::Site::SafePointStarvation)) {
+    // Simulated park failure: some thread refused to reach its yield point
+    // in time. Resume the application and reattempt shortly; the timeout /
+    // retry policy decides when to give up.
+    Result.Trace.record(UpdateEventKind::SafePointAttempt,
+                        TheVM.scheduler().ticks(), 0,
+                        "injected safe-point starvation; backing off");
+    ReattemptTick =
+        TheVM.scheduler().ticks() + std::max<uint64_t>(1, Opts.TimeoutTicks / 10);
+    TheVM.resumeAfterYield();
+    return;
+  }
+
   int RestrictedFrames = 0;
 
   bool AnyRestricted = false;
@@ -246,9 +293,155 @@ void Updater::attempt() {
   install(OsrFrames, MappedFrames);
 }
 
+Updater::RootSnapshot Updater::snapshotRoots() const {
+  RootSnapshot S;
+  for (auto &T : TheVM.scheduler().threads()) {
+    ThreadSnapshot TS;
+    TS.Thread = T.get();
+    TS.ExitValue = T->ExitValue;
+    TS.HasExitValue = T->HasExitValue;
+    TS.Frames.reserve(T->Frames.size());
+    for (const Frame &F : T->Frames)
+      TS.Frames.push_back(
+          {F.Method, F.Code, F.Pc, F.ReturnBarrier, F.Locals, F.Stack});
+    S.Threads.push_back(std::move(TS));
+  }
+  S.Pinned = TheVM.pinnedRoots();
+  return S;
+}
+
+void Updater::restoreRoots(const RootSnapshot &S) {
+  // Threads are parked for the entire transaction, so the frame stacks are
+  // structurally identical to snapshot time; only slot values, code
+  // pointers, and pcs (OSR / active remap) may have changed.
+  for (const ThreadSnapshot &TS : S.Threads) {
+    VMThread &T = *TS.Thread;
+    assert(T.Frames.size() == TS.Frames.size() &&
+           "frame stack changed during the parked install");
+    for (size_t I = 0; I < TS.Frames.size(); ++I) {
+      Frame &F = T.Frames[I];
+      const FrameSnapshot &FS = TS.Frames[I];
+      F.Method = FS.Method;
+      F.Code = FS.Code;
+      F.Pc = FS.Pc;
+      F.ReturnBarrier = FS.ReturnBarrier;
+      F.Locals = FS.Locals;
+      F.Stack = FS.Stack;
+    }
+    T.ExitValue = TS.ExitValue;
+    T.HasExitValue = TS.HasExitValue;
+  }
+  TheVM.pinnedRoots() = S.Pinned;
+}
+
+void Updater::clearForwardingMarks() {
+  // The aborted collection marked every reached from-space object
+  // forwarded. The restored current space is exactly the pre-update heap
+  // image, so a linear walk visits every object.
+  Heap &H = TheVM.heap();
+  ClassRegistry &Reg = TheVM.registry();
+  size_t Scan = 0;
+  while (Scan < H.bytesAllocated()) {
+    Ref Obj = H.currentSpaceStart() + Scan;
+    ObjectHeader *Hdr = header(Obj);
+    Hdr->Flags &= ~FlagForwarded;
+    size_t Bytes = objectBytes(Reg.cls(Hdr->Class), Obj);
+    Scan += (Bytes + 7) & ~size_t(7);
+  }
+}
+
+void Updater::certify() {
+  Stopwatch Timer;
+  HeapVerifier Verifier(TheVM.heap(), TheVM.registry());
+  std::vector<std::string> Problems =
+      Verifier.verify([this](const std::function<void(Ref &)> &Visit) {
+        TheVM.visitRoots(Visit);
+      });
+  for (std::string &P : TheVM.registry().checkConsistency())
+    Problems.push_back("registry: " + P);
+  Result.CertifyMs = Timer.elapsedMs();
+  Result.Certified = Problems.empty();
+  Result.CertificationProblems = Problems;
+  Result.Trace.record(UpdateEventKind::Certified, TheVM.scheduler().ticks(),
+                      static_cast<int64_t>(Problems.size()),
+                      Problems.empty() ? "heap and registry consistent"
+                                       : Problems.front());
+}
+
 void Updater::install(const std::vector<Frame *> &OsrFrames,
                       const std::vector<MappedFrame> &MappedFrames) {
   Stopwatch TotalTimer;
+
+  // ---- Begin the transaction: snapshot everything install can mutate ----
+  // (registry contents, heap spaces, and every root location), and hold
+  // off ordinary collection: a mutator- or transformer-triggered GC would
+  // flip the semi-spaces and destroy the undo log.
+  ClassRegistry::RegistrySnapshot RegSnap = TheVM.registry().snapshot();
+  Heap::TxSnapshot HeapSnap = TheVM.heap().txSnapshot();
+  RootSnapshot Roots = snapshotRoots();
+  TheVM.setTransformationInProgress(true);
+
+  try {
+    installSteps(OsrFrames, MappedFrames);
+  } catch (const UpdateError &E) {
+    rollback(RegSnap, HeapSnap, Roots, E);
+    Result.TotalPauseMs = TotalTimer.elapsedMs();
+    return;
+  }
+
+  // ---- Commit. ----------------------------------------------------------
+  TheVM.setTransformationInProgress(false);
+  TheVM.setProgram(Bundle.NewProgram);
+  if (Opts.CertifyAfterUpdate)
+    certify(); // reported in Result; an applied update is never undone here
+
+  Result.TotalPauseMs = TotalTimer.elapsedMs();
+  Result.TicksToSafePoint = TheVM.scheduler().ticks() - ScheduleTick;
+  Result.Trace.record(UpdateEventKind::Applied, TheVM.scheduler().ticks(),
+                      0,
+                      std::to_string(Result.TotalPauseMs) + " ms total pause");
+  finish(UpdateStatus::Applied, "update applied");
+  TheVM.resumeAfterYield();
+}
+
+void Updater::rollback(const ClassRegistry::RegistrySnapshot &RegSnap,
+                       const Heap::TxSnapshot &HeapSnap,
+                       const RootSnapshot &Roots, const UpdateError &E) {
+  Stopwatch Timer;
+  Result.Trace.record(UpdateEventKind::InstallFailed,
+                      TheVM.scheduler().ticks(), 0, E.str());
+
+  // Restore in dependency order: heap spaces first (so the pre-update
+  // image is the current space again), then registry metadata, then the
+  // forwarding marks the aborted collection left in that image, then every
+  // root location. From-space was never mutated beyond object headers, so
+  // it serves as the undo log.
+  TheVM.heap().txRollback(HeapSnap);
+  TheVM.registry().restore(RegSnap);
+  clearForwardingMarks();
+  restoreRoots(Roots);
+  // The update is over; no barrier may stay armed.
+  for (auto &T : TheVM.scheduler().threads())
+    for (Frame &F : T->Frames)
+      F.ReturnBarrier = false;
+  TheVM.setTransformationInProgress(false);
+  Result.RollbackMs = Timer.elapsedMs();
+
+  if (Opts.CertifyAfterUpdate)
+    certify();
+
+  UpdateStatus Status = E.phase() == "transform"
+                            ? UpdateStatus::FailedTransformer
+                            : UpdateStatus::RolledBack;
+  Result.TicksToSafePoint = TheVM.scheduler().ticks() - ScheduleTick;
+  Result.Trace.record(UpdateEventKind::RolledBack, TheVM.scheduler().ticks(),
+                      0, E.str());
+  finish(Status, "update rolled back (" + E.str() + ")");
+  TheVM.resumeAfterYield();
+}
+
+void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
+                           const std::vector<MappedFrame> &MappedFrames) {
   Stopwatch PhaseTimer;
   ClassRegistry &Reg = TheVM.registry();
 
@@ -267,9 +460,14 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     RenameOld(Name);
 
   // --- Step 4b: load added and replacement classes. ----------------------
-  for (const auto &[Name, Def] : Bundle.NewProgram.classes())
-    if (Reg.idOf(Name) == InvalidClassId)
-      Reg.loadClass(Def, Bundle.NewProgram);
+  for (const auto &[Name, Def] : Bundle.NewProgram.classes()) {
+    if (Reg.idOf(Name) != InvalidClassId)
+      continue;
+    if (TheVM.faults().probe(FaultInjector::Site::ClassLoad))
+      throw UpdateError("class-load",
+                        "injected class-load failure for '" + Name + "'");
+    Reg.loadClass(Def, Bundle.NewProgram);
+  }
 
   // --- Step 4c: method-body updates on otherwise-unchanged classes. ------
   std::set<MethodId> BodyChangedIds;
@@ -277,12 +475,21 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     if (Bundle.Spec.isClassUpdated(R.ClassName))
       continue; // the freshly loaded replacement class already has it
     ClassId Cls = Reg.idOf(R.ClassName);
-    assert(Cls != InvalidClassId && "body update on unknown class");
+    if (Cls == InvalidClassId)
+      throw UpdateError("install",
+                        "body update on unknown class '" + R.ClassName + "'");
     MethodId Id = Reg.resolveMethod(Cls, R.Name, R.Sig);
-    assert(Id != InvalidMethodId && "body update on unknown method");
+    if (Id == InvalidMethodId)
+      throw UpdateError("install", "body update on unknown method " +
+                                       R.ClassName + "." + R.Name + R.Sig);
     const ClassDef *NewCls = Bundle.NewProgram.find(R.ClassName);
-    const MethodDef *NewBody = NewCls->findMethod(R.Name, R.Sig);
-    assert(NewBody && "spec references a method missing from new version");
+    const MethodDef *NewBody = NewCls ? NewCls->findMethod(R.Name, R.Sig)
+                                      : nullptr;
+    if (!NewBody)
+      throw UpdateError("install", "spec references " + R.ClassName + "." +
+                                       R.Name + R.Sig +
+                                       ", which is missing from the new "
+                                       "version");
     Reg.setMethodBody(Id, *NewBody);
     BodyChangedIds.insert(Id);
   }
@@ -324,10 +531,14 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
       auto It = OldIdToName.find(M.Owner);
       assert(It != OldIdToName.end() && "obsolete method of unrenamed class");
       ClassId NewCls = Reg.idOf(It->second);
-      assert(NewCls != InvalidClassId);
+      if (NewCls == InvalidClassId)
+        throw UpdateError("install", "replacement class '" + It->second +
+                                         "' failed to load before OSR");
       NewId = Reg.resolveMethod(NewCls, M.Name, M.Sig);
-      assert(NewId != InvalidMethodId &&
-             "OSR method vanished from the new class version");
+      if (NewId == InvalidMethodId)
+        throw UpdateError("install",
+                          "OSR method " + M.qualifiedName() +
+                              " vanished from the new class version");
     }
     RtMethod &NM = Reg.method(NewId);
     if (!NM.Code || NM.Code->T != Tier::Baseline)
@@ -354,10 +565,15 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     } else {
       NewCls = M.Owner;
     }
-    assert(NewCls != InvalidClassId);
+    if (NewCls == InvalidClassId)
+      throw UpdateError("install",
+                        "replacement class for remapped frame of " +
+                            M.qualifiedName() + " failed to load");
     MethodId NewId = Reg.resolveMethod(NewCls, M.Name, M.Sig);
-    assert(NewId != InvalidMethodId &&
-           "active mapping for a method absent from the new version");
+    if (NewId == InvalidMethodId)
+      throw UpdateError("install", "active mapping for " + M.qualifiedName() +
+                                       ", which is absent from the new "
+                                       "version");
     RtMethod &NM = Reg.method(NewId);
     if (!NM.Code || NM.Code->T != Tier::Baseline)
       NM.Code = TheVM.compiler().compile(NewId, Tier::Baseline);
@@ -394,7 +610,13 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     if (!Bundle.Spec.isClassUpdated(Name))
       continue; // deleted classes keep their (obsolete) identity
     ClassId NewId = Reg.idOf(Name);
-    assert(NewId != InvalidClassId && "updated class failed to load");
+    // A real checked error: when the replacement class did not load, its
+    // instances have no new version to transform into and the update must
+    // roll back (release builds used to sail past an assert here and
+    // install an invalid class id into the remap).
+    if (NewId == InvalidClassId)
+      throw UpdateError("class-load",
+                        "updated class '" + Name + "' failed to load");
     Remap.OldToNew[OldId] = NewId;
   }
 
@@ -425,15 +647,6 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     if (Opts.UseOldCopySpace)
       TheVM.heap().releaseOldCopySpace();
   }
-
-  TheVM.setProgram(Bundle.NewProgram);
-  Result.TotalPauseMs = TotalTimer.elapsedMs();
-  Result.TicksToSafePoint = TheVM.scheduler().ticks() - ScheduleTick;
-  Result.Trace.record(UpdateEventKind::Applied, TheVM.scheduler().ticks(),
-                      0,
-                      std::to_string(Result.TotalPauseMs) + " ms total pause");
-  finish(UpdateStatus::Applied, "update applied");
-  TheVM.resumeAfterYield();
 }
 
 void Updater::abortUpdate(UpdateStatus Status, const std::string &Message) {

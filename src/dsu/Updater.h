@@ -22,6 +22,7 @@
 #include "dsu/UpdateBundle.h"
 #include "dsu/UpdateTrace.h"
 #include "heap/Collector.h"
+#include "support/Error.h"
 #include "vm/VM.h"
 
 #include <set>
@@ -37,6 +38,8 @@ enum class UpdateStatus {
   TimedOut,              ///< no DSU safe point within the timeout
   RejectedNotVerifiable, ///< the new program version fails verification
   RejectedHierarchy,     ///< class hierarchy permutation (unsupported, §2.2)
+  RolledBack,            ///< install failed; snapshot restored, old version runs
+  FailedTransformer,     ///< a transformer failed; rolled back to old version
 };
 
 const char *updateStatusName(UpdateStatus S);
@@ -53,6 +56,16 @@ struct UpdateOptions {
   /// reclaimed right after transformation instead of to-space (where the
   /// next collection would reclaim them).
   bool UseOldCopySpace = false;
+  /// Run HeapVerifier plus a registry-consistency check after every applied
+  /// *or rolled-back* update (certification). Benchmarks can turn it off.
+  bool CertifyAfterUpdate = true;
+  /// Safe-point timeouts retry up to this many times before resolving
+  /// TimedOut; each retry extends the deadline by TimeoutTicks scaled by
+  /// BackoffFactor^retry, so transient starvation no longer immediately
+  /// fails the update. 0 (the default) keeps the paper's single-deadline
+  /// behavior: a busy server times out rather than waiting it out.
+  int MaxRetries = 0;
+  double BackoffFactor = 2.0;
 };
 
 /// Everything measured while applying one update.
@@ -74,6 +87,17 @@ struct UpdateResult {
   double TotalPauseMs = 0; ///< full disruption: install + GC + transform
   uint64_t ObjectsTransformed = 0;
   CollectionStats Gc;
+
+  /// Certification outcome (post-update heap + registry validation).
+  /// Certified stays false when certification was skipped via the options.
+  bool Certified = false;
+  std::vector<std::string> CertificationProblems;
+  double CertifyMs = 0;
+
+  /// Transaction bookkeeping: time spent restoring the snapshot after a
+  /// failed install, and safe-point deadline extensions consumed.
+  double RollbackMs = 0;
+  int RetriesUsed = 0;
 
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;
@@ -123,7 +147,8 @@ private:
 
   /// One DSU-safe-point attempt with every thread parked.
   void attempt();
-  /// Full installation (all stacks clear modulo OSR-able frames).
+  /// Full installation (all stacks clear modulo OSR-able frames), run as a
+  /// transaction: snapshot, install, and roll back on any UpdateError.
   /// Mapped frames carry the ActiveMethodMapping resolved at scan time
   /// (the owner class name changes during installation).
   using MappedFrame = std::pair<Frame *, const ActiveMethodMapping *>;
@@ -135,6 +160,52 @@ private:
   /// Re-resolves name-level restriction sets to current method/class ids.
   void resolveIdSets();
 
+  //===--- Transaction machinery -------------------------------------------===//
+
+  /// Value snapshot of every root location the DSU collection rewrites:
+  /// thread frames (including code pointers OSR replaces), exit values,
+  /// and pinned handles. Statics live in the registry snapshot.
+  struct FrameSnapshot {
+    MethodId Method = InvalidMethodId;
+    std::shared_ptr<CompiledMethod> Code;
+    uint32_t Pc = 0;
+    bool ReturnBarrier = false;
+    std::vector<Slot> Locals;
+    std::vector<Slot> Stack;
+  };
+  struct ThreadSnapshot {
+    VMThread *Thread = nullptr;
+    std::vector<FrameSnapshot> Frames;
+    Slot ExitValue;
+    bool HasExitValue = false;
+  };
+  struct RootSnapshot {
+    std::vector<ThreadSnapshot> Threads;
+    std::vector<Ref> Pinned;
+  };
+
+  RootSnapshot snapshotRoots() const;
+  void restoreRoots(const RootSnapshot &S);
+
+  /// The install steps proper (4a–5); throws UpdateError on failure.
+  void installSteps(const std::vector<Frame *> &OsrFrames,
+                    const std::vector<MappedFrame> &MappedFrames);
+
+  /// Restores all three snapshots, clears forwarding marks left in the
+  /// surviving from-space, certifies, and resolves the update to
+  /// RolledBack or FailedTransformer.
+  void rollback(const ClassRegistry::RegistrySnapshot &RegSnap,
+                const Heap::TxSnapshot &HeapSnap, const RootSnapshot &Roots,
+                const UpdateError &E);
+
+  /// Clears FlagForwarded from every object in the (restored) current
+  /// space; the aborted collection left marks on everything it visited.
+  void clearForwardingMarks();
+
+  /// Runs HeapVerifier + ClassRegistry::checkConsistency and records the
+  /// outcome in Result and the trace.
+  void certify();
+
   VM &TheVM;
   UpdateBundle Bundle;
   UpdateOptions Opts;
@@ -142,6 +213,9 @@ private:
 
   uint64_t ScheduleTick = 0;
   uint64_t DeadlineTick = 0;
+  /// When non-zero, re-request a yield at this tick (set after an injected
+  /// safe-point starvation resumed the application).
+  uint64_t ReattemptTick = 0;
 
   // Id-level views of the spec, resolved against the current registry.
   std::set<MethodId> RestrictedMethodIds; ///< categories (1) and (3)

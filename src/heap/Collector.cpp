@@ -9,6 +9,22 @@
 
 using namespace jvolve;
 
+Ref Collector::dsuAllocate(size_t Bytes, const char *What) {
+  if (Faults && Faults->probe(FaultInjector::Site::GcAllocExhaustion))
+    throw UpdateError("dsu-gc", std::string("injected to-space exhaustion "
+                                            "while allocating ") +
+                                    What);
+  Ref Obj = TheHeap.tryAllocateInOtherSpace(Bytes);
+  if (!Obj)
+    throw UpdateError("dsu-gc",
+                      std::string("to-space exhausted while allocating ") +
+                          What +
+                          "; the live heap plus duplicate old copies does "
+                          "not fit (enlarge the heap or enable the "
+                          "old-copy space)");
+  return Obj;
+}
+
 Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
                        std::vector<UpdateLogEntry> *UpdateLog,
                        std::unordered_map<Ref, size_t> *NewToLogIndex,
@@ -30,7 +46,7 @@ Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
       assert(!NewCls.IsArray && "array classes are never remapped");
 
       // Uninitialized new-version object: new class, zeroed fields.
-      Ref NewObj = TheHeap.allocateInOtherSpace(NewCls.InstanceSize);
+      Ref NewObj = dsuAllocate(NewCls.InstanceSize, "a new-version object");
       std::memset(NewObj, 0, NewCls.InstanceSize);
       ObjectHeader *NewH = header(NewObj);
       NewH->Class = NewCls.Id;
@@ -41,7 +57,7 @@ Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
       // §3.5 old-copy-space option.
       Ref OldCopy = Remap->OldCopiesInSeparateSpace
                         ? TheHeap.allocateInOldCopySpace(Bytes)
-                        : TheHeap.allocateInOtherSpace(Bytes);
+                        : dsuAllocate(Bytes, "an old-version duplicate");
       std::memcpy(OldCopy, Obj, Bytes);
       header(OldCopy)->Flags &= ~FlagForwarded;
 
@@ -59,7 +75,8 @@ Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
     }
   }
 
-  Ref Copy = TheHeap.allocateInOtherSpace(Bytes);
+  Ref Copy = Remap ? dsuAllocate(Bytes, "a live-object copy")
+                   : TheHeap.allocateInOtherSpace(Bytes);
   std::memcpy(Copy, Obj, Bytes);
   H->Flags |= FlagForwarded;
   H->Forward = Copy;

@@ -25,6 +25,7 @@
 
 #include "heap/Heap.h"
 #include "runtime/ClassRegistry.h"
+#include "support/FaultInjector.h"
 
 #include <functional>
 #include <unordered_map>
@@ -72,6 +73,10 @@ public:
   Collector(Heap &TheHeap, ClassRegistry &Registry)
       : TheHeap(TheHeap), Registry(Registry) {}
 
+  /// Installs the VM's fault injector. Only DSU collections probe it
+  /// (Site::GcAllocExhaustion); normal collections are never failed.
+  void setFaultInjector(FaultInjector *FI) { Faults = FI; }
+
   /// Enumerator over every root reference location. Implementations call
   /// the supplied callback once per root slot holding a non-null Ref.
   using RootEnumerator =
@@ -87,6 +92,12 @@ public:
   ///        transformer runtime can force-transform a referenced object in
   ///        O(1) (the paper caches a pointer to the old version instead of
   ///        scanning the log).
+  ///
+  /// A DSU collection (\p Remap non-null) throws UpdateError("dsu-gc", ...)
+  /// when to-space cannot hold the live heap plus the duplicate old copies,
+  /// or when the gc-alloc-exhaustion fault site fires — the heap is left
+  /// mid-copy and the updater must txRollback. Normal collections never
+  /// throw; to-space exhaustion there is a fatal VM bug.
   CollectionStats collect(const RootEnumerator &EnumerateRoots,
                           const DsuRemap *Remap = nullptr,
                           std::vector<UpdateLogEntry> *UpdateLog = nullptr,
@@ -99,8 +110,13 @@ private:
               std::unordered_map<Ref, size_t> *NewToLogIndex,
               CollectionStats &Stats);
 
+  /// Allocates \p Bytes in to-space for a DSU copy, throwing
+  /// UpdateError("dsu-gc") on exhaustion or an injected fault.
+  Ref dsuAllocate(size_t Bytes, const char *What);
+
   Heap &TheHeap;
   ClassRegistry &Registry;
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace jvolve

@@ -39,6 +39,29 @@ Ref Heap::allocateInOtherSpace(size_t Bytes) {
   return Obj;
 }
 
+Ref Heap::tryAllocateInOtherSpace(size_t Bytes) {
+  Bytes = alignUp(Bytes);
+  int Other = 1 - Current;
+  if (Bump[Other] + Bytes > SpaceBytes)
+    return nullptr;
+  Ref Obj = Spaces[Other].get() + Bump[Other];
+  Bump[Other] += Bytes;
+  return Obj;
+}
+
+void Heap::txRollback(const TxSnapshot &S) {
+  // Works whether or not the failed update reached flip(): make the
+  // snapshot's space current again at its snapshot fill level, and empty
+  // the other space (everything the aborted collection copied there is
+  // garbage). flip() zeroed the old space's bump, so the saved value is
+  // authoritative either way.
+  Current = S.CurrentIndex;
+  Bump[Current] = S.BumpBytes;
+  Bump[1 - Current] = 0;
+  if (OldCopy)
+    releaseOldCopySpace();
+}
+
 Ref Heap::allocateObject(const RtClass &Cls) {
   assert(!Cls.IsArray && "use allocateArray for arrays");
   Ref Obj = allocateRaw(Cls.InstanceSize);

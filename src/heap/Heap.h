@@ -37,6 +37,32 @@ public:
   /// to-space cannot make progress.
   Ref allocateInOtherSpace(size_t Bytes);
 
+  /// Like allocateInOtherSpace, but returns nullptr on exhaustion instead
+  /// of aborting. DSU collections use this: overflowing to-space with
+  /// duplicate + new-version copies is a recoverable update failure, not a
+  /// VM bug.
+  Ref tryAllocateInOtherSpace(size_t Bytes);
+
+  //===--------------------------------------------------------------------===//
+  // Update transaction support. A DSU collection moves the live heap into
+  // the other space and flips, but never mutates from-space object bodies
+  // (only header forwarding marks) — so from-space doubles as the undo
+  // log. A TxSnapshot taken before the update records which space was
+  // current and how full it was; txRollback() makes that space current
+  // again, discards everything the update copied or allocated, and frees
+  // any old-copy block. The caller must then clear the forwarding marks
+  // and restore the root set from its own snapshot.
+  //===--------------------------------------------------------------------===//
+
+  struct TxSnapshot {
+    int CurrentIndex = 0;
+    size_t BumpBytes = 0;
+  };
+
+  TxSnapshot txSnapshot() const { return {Current, Bump[Current]}; }
+
+  void txRollback(const TxSnapshot &S);
+
   //===--------------------------------------------------------------------===//
   // Old-copy space (paper §3.5): "We could instead copy the old versions
   // to a special block of memory and reclaim it when the collection

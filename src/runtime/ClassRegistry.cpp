@@ -286,3 +286,112 @@ void ClassRegistry::visitStaticRoots(
       if (S.IsRef && S.RefVal)
         Visit(S.RefVal);
 }
+
+ClassRegistry::RegistrySnapshot ClassRegistry::snapshot() const {
+  RegistrySnapshot S;
+  S.NumClasses = Classes.size();
+  S.NumMethods = Methods.size();
+  S.ByName = ByName;
+  S.ClassStates.reserve(Classes.size());
+  for (const auto &C : Classes)
+    S.ClassStates.push_back({C->Name, C->Obsolete, C->Statics});
+  S.MethodStates.reserve(Methods.size());
+  for (const auto &M : Methods)
+    S.MethodStates.push_back({M->Def, M->Code, M->Obsolete, M->InvokeCount});
+  return S;
+}
+
+void ClassRegistry::restore(const RegistrySnapshot &S) {
+  assert(Classes.size() >= S.NumClasses && Methods.size() >= S.NumMethods &&
+         "registry shrank since the snapshot was taken");
+  // Drop everything the failed install appended...
+  Classes.resize(S.NumClasses);
+  Methods.resize(S.NumMethods);
+  ByName = S.ByName;
+  // ...and undo the mutations to pre-existing entries: renames, obsolete
+  // marks, replaced bytecode, invalidated code, cleared statics.
+  for (size_t I = 0; I < S.NumClasses; ++I) {
+    RtClass &C = *Classes[I];
+    const RegistrySnapshot::ClassState &CS = S.ClassStates[I];
+    C.Name = CS.Name;
+    C.Obsolete = CS.Obsolete;
+    C.Statics = CS.Statics;
+  }
+  for (size_t I = 0; I < S.NumMethods; ++I) {
+    RtMethod &M = *Methods[I];
+    const RegistrySnapshot::MethodState &MS = S.MethodStates[I];
+    M.Def = MS.Def;
+    M.Code = MS.Code;
+    M.Obsolete = MS.Obsolete;
+    M.InvokeCount = MS.InvokeCount;
+  }
+}
+
+std::vector<std::string> ClassRegistry::checkConsistency() const {
+  std::vector<std::string> Problems;
+  auto Bad = [&](std::string Msg) { Problems.push_back(std::move(Msg)); };
+
+  for (const auto &[Name, Id] : ByName) {
+    if (Id >= Classes.size()) {
+      Bad("name '" + Name + "' maps to out-of-range class id");
+      continue;
+    }
+    if (Classes[Id]->Name != Name)
+      Bad("name '" + Name + "' maps to class named '" + Classes[Id]->Name +
+          "'");
+  }
+
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    const RtClass &C = *Classes[I];
+    if (C.Id != static_cast<ClassId>(I))
+      Bad("class '" + C.Name + "' has id " + std::to_string(C.Id) +
+          " but sits at index " + std::to_string(I));
+    auto It = ByName.find(C.Name);
+    if (It == ByName.end() || It->second != C.Id)
+      Bad("class '" + C.Name + "' is not bound to its name");
+    if (C.Super != InvalidClassId && C.Super >= Classes.size())
+      Bad("class '" + C.Name + "' has out-of-range superclass id");
+    // Superclass chains must terminate (no cycles).
+    ClassId Cur = C.Super;
+    size_t Steps = 0;
+    while (Cur != InvalidClassId && Cur < Classes.size()) {
+      if (++Steps > Classes.size()) {
+        Bad("superclass cycle reachable from '" + C.Name + "'");
+        break;
+      }
+      Cur = Classes[Cur]->Super;
+    }
+    for (MethodId MId : C.VTable)
+      if (MId >= Methods.size())
+        Bad("class '" + C.Name + "' has an out-of-range TIB entry");
+    for (MethodId MId : C.Methods) {
+      if (MId >= Methods.size()) {
+        Bad("class '" + C.Name + "' declares an out-of-range method id");
+        continue;
+      }
+      if (Methods[MId]->Owner != C.Id)
+        Bad("method '" + Methods[MId]->qualifiedName() +
+            "' is declared by '" + C.Name + "' but owned by another class");
+      if (C.Obsolete && !Methods[MId]->Obsolete)
+        Bad("obsolete class '" + C.Name + "' has non-obsolete method '" +
+            Methods[MId]->qualifiedName() + "'");
+    }
+    for (const RtField &F : C.StaticFields)
+      if (F.Offset >= C.Statics.size())
+        Bad("static field '" + C.Name + "." + F.Name +
+            "' points past the statics table");
+  }
+
+  for (size_t I = 0; I < Methods.size(); ++I) {
+    const RtMethod &M = *Methods[I];
+    if (M.Id != static_cast<MethodId>(I))
+      Bad("method '" + M.qualifiedName() + "' has id " +
+          std::to_string(M.Id) + " but sits at index " + std::to_string(I));
+    if (M.Owner >= Classes.size())
+      Bad("method '" + M.qualifiedName() + "' has an out-of-range owner");
+    if (!M.Def)
+      Bad("method '" + M.qualifiedName() + "' has no bytecode");
+  }
+
+  return Problems;
+}

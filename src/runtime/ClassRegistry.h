@@ -162,6 +162,46 @@ public:
   /// obsolete class as GC roots. \p Visit is called with each ref location.
   void visitStaticRoots(const std::function<void(Ref &)> &Visit);
 
+  //===--------------------------------------------------------------------===//
+  // Update transaction support. Installing an update appends classes and
+  // methods, rebinds names, marks old versions obsolete, swaps method
+  // bodies, and drops compiled code. A RegistrySnapshot taken before step
+  // (4) captures everything install can touch; restore() truncates the
+  // appended entries and puts every pre-existing class and method back,
+  // so a failed update leaves the registry exactly as it was.
+  //===--------------------------------------------------------------------===//
+
+  struct RegistrySnapshot {
+    size_t NumClasses = 0;
+    size_t NumMethods = 0;
+    std::unordered_map<std::string, ClassId> ByName;
+
+    struct ClassState {
+      std::string Name;
+      bool Obsolete = false;
+      std::vector<Slot> Statics;
+    };
+    std::vector<ClassState> ClassStates;
+
+    struct MethodState {
+      std::shared_ptr<const MethodDef> Def;
+      std::shared_ptr<CompiledMethod> Code;
+      bool Obsolete = false;
+      uint64_t InvokeCount = 0;
+    };
+    std::vector<MethodState> MethodStates;
+  };
+
+  RegistrySnapshot snapshot() const;
+  void restore(const RegistrySnapshot &S);
+
+  /// Structural self-check used by post-update certification: name map and
+  /// class/method tables agree, ids are in range, superclass chains are
+  /// acyclic, TIBs point at real methods, statics match their field lists.
+  /// \returns a human-readable description of every violation (empty when
+  /// the registry is consistent).
+  std::vector<std::string> checkConsistency() const;
+
 private:
   ClassId loadClassImpl(const ClassDef &Def, const ClassSet &Context,
                         std::vector<std::string> &Loading);

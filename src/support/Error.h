@@ -26,6 +26,32 @@ namespace jvolve {
 /// Marks a code path that must be unreachable if VM invariants hold.
 [[noreturn]] void unreachable(const char *Message);
 
+/// A recoverable failure inside an update transaction.
+///
+/// Thrown between the updater's pre-install snapshot and the commit point —
+/// by the install steps (failed class load or resolution), the DSU-extended
+/// collection (to-space exhaustion), and the transformer runtime (unknown
+/// field/class, transformer cycle, heap exhaustion). The updater catches it,
+/// restores the snapshot, and resolves the update to a terminal status
+/// (`RolledBack` / `FailedTransformer`) instead of killing the VM.
+///
+/// The phase tag names the update step that failed; the updater uses it to
+/// pick the terminal status and the trace records it verbatim. Well-known
+/// phases: "class-load", "install", "dsu-gc", "transform".
+class UpdateError {
+public:
+  UpdateError(std::string Phase, std::string Message)
+      : Phase(std::move(Phase)), Message(std::move(Message)) {}
+
+  const std::string &phase() const { return Phase; }
+  const std::string &message() const { return Message; }
+  std::string str() const { return Phase + ": " + Message; }
+
+private:
+  std::string Phase;
+  std::string Message;
+};
+
 } // namespace jvolve
 
 #endif // JVOLVE_SUPPORT_ERROR_H

@@ -1,0 +1,78 @@
+#include "support/FaultInjector.h"
+
+#include "support/Error.h"
+
+using namespace jvolve;
+
+const char *FaultInjector::siteName(Site S) {
+  switch (S) {
+  case Site::ClassLoad: return "class-load";
+  case Site::TransformerNthObject: return "transformer-nth-object";
+  case Site::TransformerCycle: return "transformer-cycle";
+  case Site::GcAllocExhaustion: return "gc-alloc-exhaustion";
+  case Site::SafePointStarvation: return "safe-point-starvation";
+  }
+  unreachable("bad fault site");
+}
+
+bool FaultInjector::siteByName(const std::string &Name, Site &Out) {
+  for (size_t I = 0; I < NumSites; ++I) {
+    Site S = static_cast<Site>(I);
+    if (Name == siteName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::arm(Site S, uint64_t Fire, uint64_t Skip) {
+  SiteState &St = state(S);
+  St.M = SiteState::Mode::Counted;
+  St.Skip = Skip;
+  St.Fire = Fire;
+  St.Probes = 0;
+  St.Fires = 0;
+}
+
+void FaultInjector::armRandom(Site S, double Probability, uint64_t Seed) {
+  SiteState &St = state(S);
+  St.M = SiteState::Mode::Random;
+  St.Probability = Probability;
+  St.R = Rng(Seed);
+  St.Probes = 0;
+  St.Fires = 0;
+}
+
+void FaultInjector::disarm(Site S) { state(S).M = SiteState::Mode::Off; }
+
+void FaultInjector::reset() {
+  for (SiteState &St : Sites)
+    St = SiteState();
+}
+
+bool FaultInjector::armed(Site S) const {
+  return state(S).M != SiteState::Mode::Off;
+}
+
+bool FaultInjector::probe(Site S) {
+  SiteState &St = state(S);
+  ++St.Probes;
+  bool Fail = false;
+  switch (St.M) {
+  case SiteState::Mode::Off:
+    break;
+  case SiteState::Mode::Counted:
+    Fail = St.Probes > St.Skip && St.Probes <= St.Skip + St.Fire;
+    break;
+  case SiteState::Mode::Random:
+    Fail = St.R.nextDouble() < St.Probability;
+    break;
+  }
+  St.Fires += Fail;
+  return Fail;
+}
+
+uint64_t FaultInjector::probeCount(Site S) const { return state(S).Probes; }
+
+uint64_t FaultInjector::fireCount(Site S) const { return state(S).Fires; }

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the update transaction.
+///
+/// Every abort path of the five-step update algorithm is guarded by a named
+/// *site*. Production code probes its site at the instrumented point; an
+/// armed site makes the probe fire, and the code under test then fails
+/// exactly as the real failure would (an UpdateError, or a deferred safe
+/// point). Tests arm sites either deterministically — skip the first K
+/// probes, fire the next N — or probabilistically from a seeded Rng, so
+/// every rollback path is exercisable and reproducible.
+///
+/// Sites:
+///   class-load             a class fails to load during install (step 4b)
+///   transformer-nth-object the object transformer faults on the N-th object
+///   transformer-cycle      a transformer cycle is detected (paper §3.4)
+///   gc-alloc-exhaustion    to-space allocation fails mid-DSU-collection
+///   safe-point-starvation  a safe-point attempt cannot park the threads
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_FAULTINJECTOR_H
+#define JVOLVE_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace jvolve {
+
+/// Per-VM registry of armable fault sites.
+class FaultInjector {
+public:
+  enum class Site : uint8_t {
+    ClassLoad,
+    TransformerNthObject,
+    TransformerCycle,
+    GcAllocExhaustion,
+    SafePointStarvation,
+  };
+  static constexpr size_t NumSites = 5;
+
+  /// \returns the stable site name used in traces and tool flags.
+  static const char *siteName(Site S);
+
+  /// Parses a site name ("class-load", ...). \returns false when unknown.
+  static bool siteByName(const std::string &Name, Site &Out);
+
+  /// Arms \p S deterministically: the first \p Skip probes pass, the next
+  /// \p Fire probes fail, every later probe passes again.
+  void arm(Site S, uint64_t Fire = 1, uint64_t Skip = 0);
+
+  /// Arms \p S probabilistically: each probe fails with \p Probability,
+  /// drawn from a dedicated Rng seeded with \p Seed (deterministic runs).
+  void armRandom(Site S, double Probability, uint64_t Seed);
+
+  void disarm(Site S);
+
+  /// Disarms every site and clears all counters.
+  void reset();
+
+  bool armed(Site S) const;
+
+  /// Probes \p S from production code. \returns true when the site should
+  /// fail now. Always counts, even when disarmed.
+  bool probe(Site S);
+
+  uint64_t probeCount(Site S) const;
+  uint64_t fireCount(Site S) const;
+
+private:
+  struct SiteState {
+    enum class Mode : uint8_t { Off, Counted, Random };
+    Mode M = Mode::Off;
+    uint64_t Skip = 0;
+    uint64_t Fire = 0;
+    double Probability = 0;
+    Rng R;
+    uint64_t Probes = 0;
+    uint64_t Fires = 0;
+  };
+
+  SiteState &state(Site S) { return Sites[static_cast<size_t>(S)]; }
+  const SiteState &state(Site S) const {
+    return Sites[static_cast<size_t>(S)];
+  }
+
+  SiteState Sites[NumSites];
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_FAULTINJECTOR_H

@@ -15,6 +15,7 @@ using namespace jvolve;
 VM::VM(Config C) : Cfg(C) {
   TheHeap = std::make_unique<Heap>(Cfg.HeapSpaceBytes);
   Gc = std::make_unique<Collector>(*TheHeap, Registry);
+  Gc->setFaultInjector(&Faults);
   Compiler::Options COpts;
   COpts.IndirectionChecks = Cfg.IndirectionMode;
   Comp = std::make_unique<Compiler>(Registry, Strings, COpts);
@@ -191,7 +192,9 @@ Ref VM::allocateObject(ClassId Cls) {
   if (Obj)
     return Obj;
   if (TransformationInProgress)
-    fatalError("heap exhausted while running transformers");
+    throw UpdateError("transform",
+                      "heap exhausted while the update transaction held "
+                      "off collection");
   collectGarbage();
   return TheHeap->allocateObject(C);
 }
@@ -202,7 +205,9 @@ Ref VM::allocateArray(ClassId ArrCls, int64_t Length) {
   if (Arr)
     return Arr;
   if (TransformationInProgress)
-    fatalError("heap exhausted while running transformers");
+    throw UpdateError("transform",
+                      "heap exhausted while the update transaction held "
+                      "off collection");
   collectGarbage();
   return TheHeap->allocateArray(C, Length);
 }

@@ -18,6 +18,7 @@
 #include "heap/Heap.h"
 #include "runtime/ClassRegistry.h"
 #include "runtime/StringTable.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 #include "threads/Scheduler.h"
 #include "vm/Network.h"
@@ -118,6 +119,9 @@ public:
 
   ClassRegistry &registry() { return Registry; }
   Heap &heap() { return *TheHeap; }
+  /// The VM-wide fault injector; disarmed by default. Tests and the tools'
+  /// --inject flag arm sites to exercise the update-rollback paths.
+  FaultInjector &faults() { return Faults; }
   StringTable &strings() { return Strings; }
   Network &net() { return Net; }
   Scheduler &scheduler() { return Sched; }
@@ -203,8 +207,9 @@ public:
     ReturnBarrierCallback = std::move(Fn);
   }
 
-  /// While transformers run, ordinary collection is impossible; allocation
-  /// failure becomes fatal instead of triggering GC.
+  /// While an update transaction runs, ordinary collection is impossible
+  /// (it would invalidate the rollback snapshot); allocation failure throws
+  /// UpdateError instead of triggering GC, and the updater rolls back.
   void setTransformationInProgress(bool V) { TransformationInProgress = V; }
   bool transformationInProgress() const { return TransformationInProgress; }
 
@@ -227,6 +232,7 @@ private:
   Network Net;
   std::unique_ptr<Interpreter> Interp;
   Rng TheRng;
+  FaultInjector Faults;
 
   std::vector<Ref> Pinned;
   std::vector<std::string> PrintLog;

@@ -1,0 +1,518 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactional-update tests: every FaultInjector site plus the organic
+/// failures they model must resolve to RolledBack / FailedTransformer /
+/// TimedOut — never process death — with the heap certifying clean and the
+/// old program version still serving correct answers afterwards. Also
+/// covers retry-with-backoff for safe-point starvation and the
+/// certification option.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "dsu/Transformers.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
+#include "heap/HeapVerifier.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+using namespace jvolve::test;
+
+using Site = FaultInjector::Site;
+
+namespace {
+
+/// Point program with a probe present in both versions. v1: Point{x},
+/// Probe.check() = p.x. v2: Point{x, y}, Probe.check() = p.x * 100 + p.y.
+/// A rolled-back update must keep answering the v1 value.
+ClassSet ptVersion(bool V2) {
+  ClassSet Set;
+  ClassBuilder P("Point");
+  P.field("x", "I");
+  if (V2)
+    P.field("y", "I");
+  Set.add(P.build());
+  ClassBuilder H("Holder");
+  H.staticField("p", "LPoint;");
+  Set.add(H.build());
+  ClassBuilder S("Setup");
+  S.staticMethod("init", "(I)V")
+      .locals(2)
+      .newobj("Point")
+      .store(1)
+      .load(1)
+      .load(0)
+      .putfield("Point", "x", "I")
+      .load(1)
+      .putstatic("Holder", "p", "LPoint;")
+      .ret();
+  Set.add(S.build());
+  ClassBuilder Pr("Probe");
+  MethodBuilder &M = Pr.staticMethod("check", "()I");
+  if (V2)
+    M.getstatic("Holder", "p", "LPoint;")
+        .getfield("Point", "x", "I")
+        .iconst(100)
+        .imul()
+        .getstatic("Holder", "p", "LPoint;")
+        .getfield("Point", "y", "I")
+        .iadd()
+        .iret();
+  else
+    M.getstatic("Holder", "p", "LPoint;")
+        .getfield("Point", "x", "I")
+        .iret();
+  Set.add(Pr.build());
+  return Set;
+}
+
+/// Array-of-points variant so per-object transformer faults can hit the
+/// N-th object. v1 sum = 0+1+..+7 = 28; v2 sum = sum(x*10 + y) = 280.
+ClassSet arrVersion(bool V2) {
+  constexpr int N = 8;
+  ClassSet Set;
+  ClassBuilder P("Point");
+  P.field("x", "I");
+  if (V2)
+    P.field("y", "I");
+  Set.add(P.build());
+  ClassBuilder H("ArrHolder");
+  H.staticField("arr", "[LPoint;");
+  Set.add(H.build());
+  ClassBuilder S("ArrSetup");
+  S.staticMethod("init", "()V")
+      .locals(2)
+      .iconst(N)
+      .newarray("LPoint;")
+      .putstatic("ArrHolder", "arr", "[LPoint;")
+      .iconst(0)
+      .store(0)
+      .label("loop")
+      .load(0)
+      .iconst(N)
+      .branch(Opcode::IfICmpGe, "done")
+      .newobj("Point")
+      .store(1)
+      .load(1)
+      .load(0)
+      .putfield("Point", "x", "I")
+      .getstatic("ArrHolder", "arr", "[LPoint;")
+      .load(0)
+      .load(1)
+      .astore()
+      .load(0)
+      .iconst(1)
+      .iadd()
+      .store(0)
+      .jump("loop")
+      .label("done")
+      .ret();
+  Set.add(S.build());
+  ClassBuilder Pr("ArrProbe");
+  MethodBuilder &M = Pr.staticMethod("sum", "()I").locals(3);
+  M.iconst(0)
+      .store(0)
+      .iconst(0)
+      .store(1)
+      .label("loop")
+      .load(1)
+      .iconst(N)
+      .branch(Opcode::IfICmpGe, "done")
+      .getstatic("ArrHolder", "arr", "[LPoint;")
+      .load(1)
+      .aload()
+      .store(2)
+      .load(0)
+      .load(2)
+      .getfield("Point", "x", "I");
+  if (V2)
+    M.iconst(10).imul().iadd().load(2).getfield("Point", "y", "I").iadd();
+  else
+    M.iadd();
+  M.store(0)
+      .load(1)
+      .iconst(1)
+      .iadd()
+      .store(1)
+      .jump("loop")
+      .label("done")
+      .load(0)
+      .iret();
+  Set.add(Pr.build());
+  return Set;
+}
+
+/// Server with a sleeping handle() inside an endless loop() — the fixture
+/// for safe-point-starvation tests (an update to handle() needs a return
+/// barrier, so the safe point is only reached once handle() returns).
+ClassSet serverVersion(int64_t HandleValue) {
+  ClassSet Set;
+  ClassBuilder S("Server");
+  S.staticField("total", "I");
+  S.staticMethod("handle", "()V")
+      .iconst(40)
+      .intrinsic(IntrinsicId::SleepTicks)
+      .getstatic("Server", "total", "I")
+      .iconst(HandleValue)
+      .iadd()
+      .putstatic("Server", "total", "I")
+      .ret();
+  S.staticMethod("loop", "()V")
+      .label("top")
+      .invokestatic("Server", "handle", "()V")
+      .iconst(10)
+      .intrinsic(IntrinsicId::SleepTicks)
+      .jump("top");
+  S.staticMethod("probeTotal", "()I")
+      .getstatic("Server", "total", "I")
+      .iret();
+  Set.add(S.build());
+  return Set;
+}
+
+/// Runs the full certification stack by hand (independent of the
+/// updater's own post-update pass).
+void expectHealthy(VM &TheVM, const char *Where) {
+  HeapVerifier V(TheVM.heap(), TheVM.registry());
+  std::vector<std::string> Problems = V.verify(
+      [&TheVM](const std::function<void(Ref &)> &Visit) {
+        TheVM.visitRoots(Visit);
+      });
+  EXPECT_TRUE(Problems.empty())
+      << Where << ": " << (Problems.empty() ? "" : Problems.front());
+  std::vector<std::string> Reg = TheVM.registry().checkConsistency();
+  EXPECT_TRUE(Reg.empty()) << Where << ": " << (Reg.empty() ? "" : Reg.front());
+}
+
+/// Common assertions for any rolled-back update: certification ran clean,
+/// the terminal trace event is the rollback, and the VM still certifies.
+void expectRolledBackCleanly(VM &TheVM, const UpdateResult &R,
+                             const char *Where) {
+  EXPECT_TRUE(R.Certified) << Where;
+  EXPECT_TRUE(R.CertificationProblems.empty())
+      << Where << ": "
+      << (R.CertificationProblems.empty() ? ""
+                                          : R.CertificationProblems.front());
+  ASSERT_FALSE(R.Trace.events().empty());
+  EXPECT_EQ(R.Trace.events().back().Kind, UpdateEventKind::RolledBack);
+  EXPECT_GE(R.Trace.count(UpdateEventKind::InstallFailed), 1);
+  EXPECT_EQ(R.Trace.count(UpdateEventKind::Certified), 1);
+  expectHealthy(TheVM, Where);
+}
+
+} // namespace
+
+//===--- Site: class-load --------------------------------------------------===//
+
+TEST(DsuRollback, ClassLoadFailureRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  TheVM.faults().arm(Site::ClassLoad);
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  EXPECT_EQ(R.Status, UpdateStatus::RolledBack);
+  EXPECT_NE(R.Message.find("class-load"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after class-load rollback");
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+
+  // With the fault disarmed the very same update applies cleanly.
+  TheVM.faults().reset();
+  UpdateResult R2 = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  ASSERT_EQ(R2.Status, UpdateStatus::Applied) << R2.Message;
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 900);
+}
+
+//===--- Site: transformer-nth-object --------------------------------------===//
+
+TEST(DsuRollback, TransformerFaultOnNthObjectRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(arrVersion(false));
+  TheVM.callStatic("ArrSetup", "init", "()V");
+  EXPECT_EQ(TheVM.callStatic("ArrProbe", "sum", "()I").IntVal, 28);
+
+  // Fail on the 4th transformed object: three Points are already done when
+  // the transaction aborts, so rollback must undo partial progress.
+  TheVM.faults().arm(Site::TransformerNthObject, /*Fire=*/1, /*Skip=*/3);
+  Updater U(TheVM);
+  UpdateResult R =
+      U.applyNow(Upt::prepare(arrVersion(false), arrVersion(true), "v1"));
+  EXPECT_EQ(R.Status, UpdateStatus::FailedTransformer);
+  EXPECT_NE(R.Message.find("transform"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after nth-object rollback");
+  EXPECT_EQ(TheVM.callStatic("ArrProbe", "sum", "()I").IntVal, 28);
+
+  TheVM.faults().reset();
+  UpdateResult R2 =
+      U.applyNow(Upt::prepare(arrVersion(false), arrVersion(true), "v1"));
+  ASSERT_EQ(R2.Status, UpdateStatus::Applied) << R2.Message;
+  EXPECT_EQ(R2.ObjectsTransformed, 8u);
+  EXPECT_EQ(TheVM.callStatic("ArrProbe", "sum", "()I").IntVal, 280);
+}
+
+TEST(DsuRollback, ThrowingCustomTransformerRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  UpdateBundle B = Upt::prepare(ptVersion(false), ptVersion(true), "v1");
+  B.ObjectTransformers["Point"] = [](TransformCtx &Ctx, Ref, Ref From) {
+    Ctx.getInt(From, "nope"); // no such field: UpdateError("transform")
+  };
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(B));
+  EXPECT_EQ(R.Status, UpdateStatus::FailedTransformer);
+  expectRolledBackCleanly(TheVM, R, "after throwing transformer");
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+}
+
+//===--- Site: transformer-cycle -------------------------------------------===//
+
+TEST(DsuRollback, InjectedTransformerCycleRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  TheVM.faults().arm(Site::TransformerCycle);
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  EXPECT_EQ(R.Status, UpdateStatus::FailedTransformer);
+  EXPECT_NE(R.Message.find("cycle"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after injected cycle");
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+}
+
+TEST(DsuRollback, RealTransformerCycleRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  // An ill-defined transformer that demands its own target be transformed
+  // first — the minimal genuine cycle (paper §3.4's "special VM function"
+  // with cycle detection).
+  UpdateBundle B = Upt::prepare(ptVersion(false), ptVersion(true), "v1");
+  B.ObjectTransformers["Point"] = [](TransformCtx &Ctx, Ref To, Ref) {
+    Ctx.ensureTransformed(To);
+  };
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(B));
+  EXPECT_EQ(R.Status, UpdateStatus::FailedTransformer);
+  EXPECT_NE(R.Message.find("cycle"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after real cycle");
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+}
+
+//===--- Site: gc-alloc-exhaustion -----------------------------------------===//
+
+TEST(DsuRollback, InjectedGcExhaustionRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  TheVM.faults().arm(Site::GcAllocExhaustion);
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  EXPECT_EQ(R.Status, UpdateStatus::RolledBack);
+  EXPECT_NE(R.Message.find("dsu-gc"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after injected gc exhaustion");
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+}
+
+TEST(DsuRollback, RealToSpaceExhaustionRollsBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  // Pin live Points until ~55% of a semispace is full. The DSU collection
+  // needs a new-version copy (one int bigger) *plus* an old-version
+  // duplicate per object — over 110% of the space — so it genuinely runs
+  // out of to-space mid-collection, with no fault injection at all.
+  ClassId PointId = TheVM.registry().idOf("Point");
+  TransformCtx Ctx(TheVM, nullptr);
+  size_t Budget = TheVM.heap().spaceBytes() * 55 / 100;
+  size_t NumPinned = 0;
+  while (TheVM.heap().bytesAllocated() < Budget) {
+    Ref P = TheVM.allocateObject(PointId);
+    ASSERT_NE(P, nullptr);
+    Ctx.setInt(P, "x", 7);
+    TheVM.pinnedRoots().push_back(P);
+    ++NumPinned;
+  }
+
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  EXPECT_EQ(R.Status, UpdateStatus::RolledBack);
+  EXPECT_NE(R.Message.find("dsu-gc"), std::string::npos) << R.Message;
+  expectRolledBackCleanly(TheVM, R, "after real to-space exhaustion");
+
+  // Old version intact: the static probe and every pinned object survived.
+  EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+  ASSERT_EQ(TheVM.pinnedRoots().size(), NumPinned);
+  for (size_t I = 0; I < NumPinned; I += NumPinned / 16 + 1)
+    EXPECT_EQ(Ctx.getInt(TheVM.pinnedRoots()[I], "x"), 7);
+}
+
+//===--- Site: safe-point-starvation ---------------------------------------===//
+
+TEST(DsuRollback, TransientStarvationResolvesWithRetry) {
+  ClassSet V1 = serverVersion(1);
+  ClassSet V2 = serverVersion(1000);
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(V1);
+  TheVM.spawnThread("Server", "loop", "()V", {}, "server", /*Daemon=*/true);
+  TheVM.run(20);
+
+  // The first safe-point attempt is starved; the backoff re-attempt must
+  // succeed and the update still applies.
+  TheVM.faults().arm(Site::SafePointStarvation, /*Fire=*/1);
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 1'000'000;
+  Opts.MaxRetries = 2;
+  UpdateResult R = U.applyNow(Upt::prepare(V1, V2, "v1"), Opts);
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_GE(R.SafePointAttempts, 2);
+  EXPECT_EQ(TheVM.faults().fireCount(Site::SafePointStarvation), 1u);
+  expectHealthy(TheVM, "after starvation retry");
+
+  int64_t Before = TheVM.callStatic("Server", "probeTotal", "()I").IntVal;
+  TheVM.run(500);
+  EXPECT_GE(TheVM.callStatic("Server", "probeTotal", "()I").IntVal - Before,
+            1000);
+}
+
+TEST(DsuRollback, PersistentStarvationTimesOutAfterRetries) {
+  ClassSet V1 = serverVersion(1);
+  ClassSet V2 = serverVersion(1000);
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(V1);
+  TheVM.spawnThread("Server", "loop", "()V", {}, "server", /*Daemon=*/true);
+  TheVM.run(20);
+
+  // Every attempt is starved: the updater burns its MaxRetries deadline
+  // extensions, then resolves TimedOut — not a crash, not a hang.
+  TheVM.faults().arm(Site::SafePointStarvation, /*Fire=*/1'000'000);
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 20'000;
+  Opts.MaxRetries = 2;
+  UpdateResult R = U.applyNow(Upt::prepare(V1, V2, "v1"), Opts);
+  EXPECT_EQ(R.Status, UpdateStatus::TimedOut);
+  EXPECT_EQ(R.RetriesUsed, 2);
+  EXPECT_EQ(R.Trace.count(UpdateEventKind::RetryScheduled), 2);
+  expectHealthy(TheVM, "after persistent starvation");
+
+  // The application is unharmed and still runs the old version.
+  int64_t Before = TheVM.callStatic("Server", "probeTotal", "()I").IntVal;
+  TheVM.run(500);
+  EXPECT_GT(TheVM.callStatic("Server", "probeTotal", "()I").IntVal, Before);
+}
+
+TEST(DsuRollback, BackoffExtendsDeadlineUntilStarvationClears) {
+  ClassSet V1 = serverVersion(1);
+  ClassSet V2 = serverVersion(1000);
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(V1);
+  TheVM.spawnThread("Server", "loop", "()V", {}, "server", /*Daemon=*/true);
+  TheVM.run(20);
+
+  // Enough starved attempts to blow the base deadline, few enough that a
+  // backoff-extended deadline reaches the safe point.
+  TheVM.faults().arm(Site::SafePointStarvation, /*Fire=*/12);
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 20'000;
+  Opts.MaxRetries = 3;
+  Opts.BackoffFactor = 2.0;
+  UpdateResult R = U.applyNow(Upt::prepare(V1, V2, "v1"), Opts);
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_GE(R.RetriesUsed, 1);
+  EXPECT_GE(R.Trace.count(UpdateEventKind::RetryScheduled), 1);
+  EXPECT_EQ(TheVM.faults().fireCount(Site::SafePointStarvation), 12u);
+  expectHealthy(TheVM, "after backoff success");
+}
+
+//===--- Certification -----------------------------------------------------===//
+
+TEST(DsuRollback, AppliedUpdateIsCertified) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_TRUE(R.Certified);
+  EXPECT_TRUE(R.CertificationProblems.empty());
+  EXPECT_EQ(R.Trace.count(UpdateEventKind::Certified), 1);
+  // Certification is part of the transaction: it precedes the terminal event.
+  EXPECT_EQ(R.Trace.events().back().Kind, UpdateEventKind::Applied);
+}
+
+TEST(DsuRollback, CertificationCanBeSkipped) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(ptVersion(false));
+  TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.CertifyAfterUpdate = false;
+  UpdateResult R =
+      U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"), Opts);
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_FALSE(R.Certified);
+  EXPECT_EQ(R.CertifyMs, 0);
+  EXPECT_EQ(R.Trace.count(UpdateEventKind::Certified), 0);
+}
+
+//===--- Acceptance sweep ---------------------------------------------------===//
+
+TEST(DsuRollback, EveryFaultSiteResolvesWithoutProcessDeath) {
+  for (size_t S = 0; S < FaultInjector::NumSites; ++S) {
+    for (uint64_t Skip : {uint64_t(0), uint64_t(2)}) {
+      Site Where = static_cast<Site>(S);
+      SCOPED_TRACE(std::string("site=") + FaultInjector::siteName(Where) +
+                   " skip=" + std::to_string(Skip));
+
+      VM TheVM(smallConfig());
+      TheVM.loadProgram(ptVersion(false));
+      TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+      TheVM.faults().arm(Where, /*Fire=*/1, Skip);
+
+      Updater U(TheVM);
+      UpdateOptions Opts;
+      Opts.TimeoutTicks = 20'000;
+      UpdateResult R =
+          U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true), "v1"), Opts);
+
+      // Terminal, recoverable statuses only — and with a high Skip the
+      // fault may simply never fire, which must mean a clean apply.
+      EXPECT_TRUE(R.Status == UpdateStatus::Applied ||
+                  R.Status == UpdateStatus::RolledBack ||
+                  R.Status == UpdateStatus::FailedTransformer ||
+                  R.Status == UpdateStatus::TimedOut)
+          << updateStatusName(R.Status) << ": " << R.Message;
+
+      expectHealthy(TheVM, "post-update certification");
+      int64_t Expect = R.Status == UpdateStatus::Applied ? 900 : 9;
+      EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, Expect);
+
+      // Whatever happened, the VM takes a clean retry of the same update.
+      TheVM.faults().reset();
+      UpdateResult R2 =
+          U.applyNow(Upt::prepare(ptVersion(false), ptVersion(true),
+                                  R.Status == UpdateStatus::Applied ? "v2" : "v1"),
+                     Opts);
+      if (R.Status != UpdateStatus::Applied) {
+        ASSERT_EQ(R2.Status, UpdateStatus::Applied) << R2.Message;
+        EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 900);
+      }
+    }
+  }
+}

@@ -153,5 +153,67 @@ TEST_P(GcFuzzTest, RandomMutationsSurviveCollectionsAndUpdates) {
   verifyInvariants(TheVM, "after post-update collection");
 }
 
+TEST_P(GcFuzzTest, RandomFaultsDuringUpdateNeverCorrupt) {
+  // A seeded random fault site fires probabilistically mid-update. Whatever
+  // terminal status results, the graph must checksum identically (the v2
+  // "tag" field never feeds the checksum), the heap must verify, and once
+  // the fault is disarmed the same update must land cleanly.
+  Rng R(GetParam() * 7919 + 17);
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(graphVersion(false));
+
+  ClassRegistry &Reg = TheVM.registry();
+  ClassId NodeId = Reg.idOf("GNode");
+  ClassId ArrId = Reg.arrayClassOf(Type::refTy("GNode"));
+  Reg.cls(Reg.idOf("GRoots")).Statics[0] =
+      Slot::ofRef(TheVM.allocateArray(ArrId, NumRootSlots));
+
+  TransformCtx Ctx(TheVM, nullptr);
+  for (int I = 0; I < 400; ++I) {
+    Ref Node = TheVM.allocateObject(NodeId);
+    ASSERT_NE(Node, nullptr);
+    Ref Arr = rootsArray(TheVM);
+    Ctx.setInt(Node, "v", I + 1);
+    Ctx.setRef(Node, "left",
+               Ctx.getElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots))));
+    Ctx.setRef(Node, "right",
+               Ctx.getElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots))));
+    Ctx.setElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots)), Node);
+  }
+  int64_t Before = graphChecksum(TheVM);
+
+  auto Where =
+      static_cast<FaultInjector::Site>(R.nextBelow(FaultInjector::NumSites));
+  TheVM.faults().armRandom(Where, 0.3, GetParam());
+
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 20'000;
+  Opts.UseOldCopySpace = GetParam() % 2 == 0;
+  UpdateResult Res = U.applyNow(
+      Upt::prepare(graphVersion(false), graphVersion(true), "v1"), Opts);
+  EXPECT_TRUE(Res.Status == UpdateStatus::Applied ||
+              Res.Status == UpdateStatus::RolledBack ||
+              Res.Status == UpdateStatus::FailedTransformer ||
+              Res.Status == UpdateStatus::TimedOut)
+      << updateStatusName(Res.Status) << ": " << Res.Message;
+  TheVM.faults().reset();
+
+  EXPECT_EQ(graphChecksum(TheVM), Before)
+      << "site " << FaultInjector::siteName(Where) << " corrupted the graph";
+  verifyInvariants(TheVM, "after faulted update");
+  TheVM.collectGarbage();
+  EXPECT_EQ(graphChecksum(TheVM), Before);
+  verifyInvariants(TheVM, "after post-fault collection");
+
+  if (Res.Status != UpdateStatus::Applied) {
+    UpdateResult Clean = U.applyNow(
+        Upt::prepare(graphVersion(false), graphVersion(true), "v1"), Opts);
+    ASSERT_EQ(Clean.Status, UpdateStatus::Applied) << Clean.Message;
+    EXPECT_EQ(graphChecksum(TheVM), Before);
+    verifyInvariants(TheVM, "after clean retry");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, GcFuzzTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

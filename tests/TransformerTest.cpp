@@ -100,8 +100,8 @@ TEST(Transformer, ForceTransformMakesReferencedStateReadable) {
 TEST(Transformer, CycleInForceTransformAborts) {
   // Two nodes pointing at each other, each transformer forcing the other
   // before initializing itself: an ill-defined transformer set, detected
-  // by the cycle check (paper §3.4 aborts the update; MiniVM reports it
-  // as a fatal error).
+  // by the cycle check (paper §3.4 aborts the update; MiniVM rolls the
+  // transaction back and resolves the update FailedTransformer).
   VM TheVM(smallConfig());
   TheVM.loadProgram(nodeVersion(false));
   // Build the 2-cycle by hand.
@@ -128,7 +128,15 @@ TEST(Transformer, CycleInForceTransformAborts) {
   };
 
   Updater U(TheVM);
-  EXPECT_DEATH(U.applyNow(std::move(Bundle)), "transformer cycle");
+  UpdateResult Res = U.applyNow(std::move(Bundle));
+  EXPECT_EQ(Res.Status, UpdateStatus::FailedTransformer);
+  EXPECT_NE(Res.Message.find("transformer cycle"), std::string::npos)
+      << Res.Message;
+  // The rollback preserved the old version: the cycle is intact.
+  Ref Head = Reg.cls(Reg.idOf("Holder")).Statics[0].RefVal;
+  ASSERT_EQ(Head, A);
+  EXPECT_EQ(getRefAt(A, Next->Offset), B);
+  EXPECT_EQ(getRefAt(B, Next->Offset), A);
 }
 
 TEST(Transformer, DefaultSkipsRetypedFields) {

@@ -3,17 +3,20 @@
 /// \file
 /// jvolve-run: load a MiniVM assembly program and execute it.
 ///
-///   jvolve-run program.mvm [Class.method] [int args...]
+///   jvolve-run [--verify-heap] program.mvm [Class.method] [int args...]
 ///
 /// The entry point defaults to Main.main()V; an explicit entry point may
 /// take int parameters supplied on the command line. Prints the program's
 /// output (print_int / print_str intrinsics) and the entry method's return
-/// value, then exits non-zero if any thread trapped.
+/// value, then exits non-zero if any thread trapped. --verify-heap runs
+/// the heap verifier and registry-consistency check after execution and
+/// fails the run on any violation.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
 #include "bytecode/Verifier.h"
+#include "heap/HeapVerifier.h"
 #include "vm/VM.h"
 
 #include <cstdio>
@@ -34,9 +37,15 @@ static std::string readFile(const char *Path) {
 }
 
 int main(int argc, char **argv) {
+  bool VerifyHeap = false;
+  if (argc >= 2 && std::string(argv[1]) == "--verify-heap") {
+    VerifyHeap = true;
+    --argc;
+    ++argv;
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: jvolve-run <program.mvm> [Class.method] [ints]\n");
+    std::fprintf(stderr, "usage: jvolve-run [--verify-heap] <program.mvm> "
+                         "[Class.method] [ints]\n");
     return 2;
   }
 
@@ -93,6 +102,22 @@ int main(int argc, char **argv) {
 
   for (const std::string &Line : TheVM.printLog())
     std::printf("%s\n", Line.c_str());
+
+  if (VerifyHeap) {
+    HeapVerifier HV(TheVM.heap(), TheVM.registry());
+    std::vector<std::string> Problems = HV.verify(
+        [&TheVM](const std::function<void(Ref &)> &Visit) {
+          TheVM.visitRoots(Visit);
+        });
+    for (const std::string &P : TheVM.registry().checkConsistency())
+      Problems.push_back("registry: " + P);
+    if (!Problems.empty()) {
+      for (const std::string &P : Problems)
+        std::fprintf(stderr, "heap-verify: %s\n", P.c_str());
+      return 1;
+    }
+    std::printf("heap-verify: ok\n");
+  }
 
   VMThread *T = TheVM.scheduler().findThread(Main);
   if (T->State == ThreadState::Trapped) {

@@ -8,7 +8,13 @@
 /// the paper's §4 experience, including the updates that cannot be
 /// applied.
 ///
-///   jvolve-serve jetty|email|crossftp [--trace]
+///   jvolve-serve jetty|email|crossftp [--trace] [--inject <site>[:fire[:skip]]]
+///
+/// --inject arms a FaultInjector site (class-load, transformer-nth-object,
+/// transformer-cycle, gc-alloc-exhaustion, safe-point-starvation) so the
+/// rollback path can be watched live: the doomed update rolls back, the
+/// certification verdict prints, and the server keeps serving the old
+/// version.
 ///
 /// When an update cannot reach a safe point (the changed method never
 /// leaves the stack), the tool retries once with the operator-supplied
@@ -23,9 +29,12 @@
 #include "apps/Workload.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 using namespace jvolve;
 
@@ -66,11 +75,40 @@ void addOperatorMappings(UpdateBundle &B, const AppModel &App,
 
 int main(int argc, char **argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: jvolve-serve jetty|email|crossftp "
-                         "[--trace]\n");
+    std::fprintf(stderr,
+                 "usage: jvolve-serve jetty|email|crossftp [--trace] "
+                 "[--inject <site>[:fire[:skip]]]\n");
     return 2;
   }
-  bool ShowTrace = argc >= 3 && std::strcmp(argv[2], "--trace") == 0;
+  bool ShowTrace = false;
+  FaultInjector::Site InjectSite{};
+  uint64_t InjectFire = 0, InjectSkip = 0;
+  bool Inject = false;
+  for (int I = 2; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--trace") == 0) {
+      ShowTrace = true;
+    } else if (std::strcmp(argv[I], "--inject") == 0 && I + 1 < argc) {
+      std::string Spec = argv[++I];
+      std::string Name = Spec.substr(0, Spec.find(':'));
+      if (!FaultInjector::siteByName(Name, InjectSite)) {
+        std::fprintf(stderr, "jvolve-serve: unknown fault site '%s'\n",
+                     Name.c_str());
+        return 2;
+      }
+      InjectFire = 1;
+      size_t C1 = Spec.find(':');
+      if (C1 != std::string::npos) {
+        InjectFire = std::strtoull(Spec.c_str() + C1 + 1, nullptr, 10);
+        size_t C2 = Spec.find(':', C1 + 1);
+        if (C2 != std::string::npos)
+          InjectSkip = std::strtoull(Spec.c_str() + C2 + 1, nullptr, 10);
+      }
+      Inject = true;
+    } else {
+      std::fprintf(stderr, "jvolve-serve: unknown argument '%s'\n", argv[I]);
+      return 2;
+    }
+  }
 
   AppModel App = std::strcmp(argv[1], "jetty") == 0 ? makeJettyApp()
                  : std::strcmp(argv[1], "email") == 0
@@ -90,6 +128,14 @@ int main(int argc, char **argv) {
     startEmailThreads(TheVM);
   else
     startCrossFtpThreads(TheVM);
+
+  if (Inject) {
+    TheVM.faults().arm(InjectSite, InjectFire, InjectSkip);
+    std::printf("fault armed: %s (fire %llu after %llu probe(s))\n",
+                FaultInjector::siteName(InjectSite),
+                static_cast<unsigned long long>(InjectFire),
+                static_cast<unsigned long long>(InjectSkip));
+  }
 
   LoadDriver::Options LO;
   LO.Port = Port;
@@ -145,6 +191,21 @@ int main(int argc, char **argv) {
       std::printf("  %s — still serving %s\n",
                   updateStatusName(R.Status),
                   App.versionName(Version).c_str());
+      if (R.RollbackMs > 0)
+        std::printf("  rolled back in %.2f ms: %s\n", R.RollbackMs,
+                    R.Message.c_str());
+    }
+    if (R.Certified) {
+      if (R.CertificationProblems.empty())
+        std::printf("  certified: heap and registry consistent (%.2f ms)\n",
+                    R.CertifyMs);
+      else {
+        std::printf("  CERTIFICATION FAILED: %zu problem(s)\n",
+                    R.CertificationProblems.size());
+        for (const std::string &P : R.CertificationProblems)
+          std::printf("    %s\n", P.c_str());
+        return 1;
+      }
     }
     if (ShowTrace)
       std::printf("%s", R.Trace.str().c_str());
