@@ -11,6 +11,7 @@
 
 #include "apps/Evaluation.h"
 #include "dsu/Updater.h"
+#include "support/Stats.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
@@ -18,6 +19,18 @@
 #include <vector>
 
 namespace jvolve {
+
+/// Pause-time distribution over the applied updates of one stream,
+/// rendered as "median [q1..q3] ms" ("n/a" when nothing applied).
+inline std::string pauseDistribution(const std::vector<ReleaseOutcome> &Rows) {
+  std::vector<double> Pauses;
+  for (const ReleaseOutcome &R : Rows)
+    if (R.Result.Status == UpdateStatus::Applied)
+      Pauses.push_back(R.Result.TotalPauseMs);
+  if (Pauses.empty())
+    return "n/a";
+  return summarizeQuartiles(Pauses).str(2) + " ms";
+}
 
 /// Prints one app's update stream in the paper's table shape, extended
 /// with the live Jvolve outcome and the E&C baseline verdict.
@@ -57,6 +70,8 @@ inline void printUpdateStreamTable(const std::string &Title,
                R.EcSupported ? "yes" : "no"});
   }
   std::printf("%s", TP.render().c_str());
+  std::printf("Applied pause distribution: %s\n",
+              pauseDistribution(Rows).c_str());
   std::printf("JVOLVE supported %d of %zu updates; a method-body-only "
               "system supports %d.\n\n",
               Supported, Rows.size(), Ec);

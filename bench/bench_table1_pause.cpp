@@ -28,8 +28,10 @@
 #include "runtime/ObjectModel.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 #include "vm/VM.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -59,10 +61,29 @@ ClassSet microProgram(bool Updated) {
 }
 
 struct CellResult {
+  // Phase timings read back from the telemetry registry's
+  // dsu.update.phase_ms{phase=...} histograms.
   double GcMs = 0;
   double TransformMs = 0;
   double TotalMs = 0;
+  // Whether the telemetry spans agreed with the UpdateResult's own timers.
+  bool Agrees = true;
 };
+
+/// Sum of the named update-phase histogram (one sample per trial, since
+/// the registry is reset before each update).
+double phaseSum(const char *Phase) {
+  const TelHistogram *H =
+      Telemetry::global().findHistogram(metrics::dsuPhaseMs(Phase));
+  return H ? H->sum() : 0.0;
+}
+
+/// Approximate agreement: the span carries the small bookkeeping between
+/// phase marks that the updater's dedicated timers exclude.
+bool agree(double TelemetryMs, double ResultMs) {
+  return std::fabs(TelemetryMs - ResultMs) <=
+         0.75 + 0.25 * std::max(TelemetryMs, ResultMs);
+}
 
 /// One trial: build a fresh VM holding \p NumObjects objects of which
 /// \p Fraction are Change instances, then apply the update and report the
@@ -113,6 +134,7 @@ CellResult runTrial(size_t NumObjects, double Fraction) {
   };
 
   Updater U(TheVM);
+  Telemetry::global().reset();
   UpdateResult R = U.applyNow(std::move(B));
   if (R.Status != UpdateStatus::Applied) {
     std::fprintf(stderr, "table1: update failed: %s\n", R.Message.c_str());
@@ -120,9 +142,12 @@ CellResult runTrial(size_t NumObjects, double Fraction) {
   }
 
   CellResult Cell;
-  Cell.GcMs = R.GcMs;
-  Cell.TransformMs = R.TransformMs;
-  Cell.TotalMs = R.TotalPauseMs;
+  Cell.GcMs = phaseSum("gc");
+  Cell.TransformMs = phaseSum("transform");
+  Cell.TotalMs = phaseSum("total");
+  Cell.Agrees = agree(Cell.GcMs, R.GcMs) &&
+                agree(Cell.TransformMs, R.TransformMs) &&
+                agree(Cell.TotalMs, R.TotalPauseMs);
   return Cell;
 }
 
@@ -134,6 +159,7 @@ int envInt(const char *Name, int Default) {
 } // namespace
 
 int main() {
+  Telemetry::global().setEnabled(true);
   int Trials = envInt("JVOLVE_TABLE1_TRIALS", 3);
   bool Quick = envInt("JVOLVE_TABLE1_QUICK", 0) != 0;
 
@@ -161,6 +187,7 @@ int main() {
 
   // Collect all cells first, then print the three groups like the paper.
   std::vector<std::vector<CellResult>> Cells(Rows.size());
+  int TrialCount = 0, TrialAgreements = 0;
   for (size_t RI = 0; RI < Rows.size(); ++RI) {
     for (double F : Fractions) {
       std::vector<double> Gc, Tr, Total;
@@ -169,11 +196,13 @@ int main() {
         Gc.push_back(C.GcMs);
         Tr.push_back(C.TransformMs);
         Total.push_back(C.TotalMs);
+        ++TrialCount;
+        TrialAgreements += C.Agrees;
       }
       CellResult Median;
-      Median.GcMs = summarizeQuartiles(Gc).Median;
-      Median.TransformMs = summarizeQuartiles(Tr).Median;
-      Median.TotalMs = summarizeQuartiles(Total).Median;
+      Median.GcMs = percentile(Gc, 50);
+      Median.TransformMs = percentile(Tr, 50);
+      Median.TotalMs = percentile(Total, 50);
       Cells[RI].push_back(Median);
     }
   }
@@ -223,5 +252,8 @@ int main() {
                       (AllUpdated.GcMs - NoneUpdated.GcMs)
                   ? "yes (matches paper)"
                   : "no");
-  return 0;
+  std::printf("Cross-check: telemetry phase spans agree with the updater's "
+              "own timers on %d of %d trials\n",
+              TrialAgreements, TrialCount);
+  return TrialAgreements == TrialCount ? 0 : 1;
 }

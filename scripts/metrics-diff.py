@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Diff two `jvolve-run --metrics=json` dumps.
+
+    scripts/metrics-diff.py before.json after.json [--threshold PCT]
+
+Prints a table of every metric whose value changed between the two
+snapshots: counters and gauges compare `value`, histograms compare
+`count`, `mean`, and `p95`. Metrics present in only one dump are listed
+as added/removed. Exits 0 when nothing changed beyond --threshold
+(relative percent, default 0: any change reports and exits 1), which
+makes the script usable as a regression gate between two runs of the
+same workload.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Returns {name: metric-dict}. Accepts a bare snapshot or a full
+    jvolve-run log where the snapshot is one {"metrics": ...} line."""
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+        for line in text.splitlines():
+            if line.startswith('{"metrics"'):
+                doc = json.loads(line)
+                break
+        if doc is None:
+            sys.exit(f"metrics-diff: no metrics snapshot found in {path}")
+    return {m["name"]: m for m in doc["metrics"]}
+
+
+def fields_of(metric):
+    """The comparable (field, value) pairs of one metric entry."""
+    if metric.get("kind") == "histogram":
+        return [(k, metric.get(k, 0)) for k in ("count", "mean", "p95")]
+    return [("value", metric.get("value", 0))]
+
+
+def rel_change(before, after):
+    if before == after:
+        return 0.0
+    if before == 0:
+        return float("inf")
+    return abs(after - before) / abs(before) * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two jvolve --metrics=json dumps")
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("--threshold", type=float, default=0.0,
+                    help="ignore relative changes below this percent")
+    args = ap.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+
+    rows = []
+    for name in sorted(set(before) | set(after)):
+        if name not in before:
+            rows.append((name, "(added)", "", "", ""))
+            continue
+        if name not in after:
+            rows.append((name, "(removed)", "", "", ""))
+            continue
+        b_fields = dict(fields_of(before[name]))
+        a_fields = dict(fields_of(after[name]))
+        for field in b_fields:
+            b, a = b_fields[field], a_fields.get(field, 0)
+            pct = rel_change(b, a)
+            if pct > args.threshold:
+                delta = "new" if pct == float("inf") else f"{pct:+.1f}%"
+                rows.append((name, field, f"{b:g}", f"{a:g}", delta))
+
+    if not rows:
+        print(f"metrics-diff: no changes above {args.threshold:g}%")
+        return 0
+
+    widths = [max(len(str(r[i])) for r in rows + [
+        ("metric", "field", "before", "after", "change")]) for i in range(5)]
+    header = ("metric", "field", "before", "after", "change")
+    for row in [header] + rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip())
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

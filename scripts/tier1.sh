@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full suite in the default configuration, then
-# the update-transaction (rollback) suite again under a sanitizer build.
+# Tier-1 verification: the full suite in the default configuration, the
+# same suite again with telemetry + JSONL tracing enabled (catches crashes
+# that only instrumented paths can hit), then the update-transaction
+# (rollback) suite under a sanitizer build.
 #
 #   scripts/tier1.sh [sanitizer]
 #
@@ -15,6 +17,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# Telemetry pass: every VM the suite builds records metrics and streams
+# trace events. Serial (-j 1) because the processes share one trace file.
+TRACE_OUT="$(mktemp /tmp/jvolve-tier1-trace.XXXXXX.jsonl)"
+JVOLVE_TELEMETRY=1 JVOLVE_TRACE_OUT="$TRACE_OUT" \
+  ctest --test-dir build --output-on-failure -j 1
+rm -f "$TRACE_OUT"
 
 if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"

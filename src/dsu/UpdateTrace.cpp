@@ -1,8 +1,18 @@
 #include "dsu/UpdateTrace.h"
 
 #include "support/Error.h"
+#include "support/Telemetry.h"
 
 using namespace jvolve;
+
+void UpdateTrace::forwardToSink(UpdateEventKind Kind, uint64_t Tick,
+                                int64_t Value, const std::string &Detail) {
+  Telemetry &Tel = Telemetry::global();
+  if (!Tel.tracing())
+    return;
+  Tel.emit({"dsu.update.event", updateEventKindName(Kind), Tick, Tick, 0,
+            Value, Detail});
+}
 
 const char *jvolve::updateEventKindName(UpdateEventKind K) {
   switch (K) {

@@ -58,8 +58,12 @@ struct UpdateEvent {
 /// The whole trace of one update.
 class UpdateTrace {
 public:
+  /// Appends an event. Also forwards it to the global telemetry trace sink
+  /// (as a "dsu.update.event" point event) when one is attached, so the
+  /// JSONL trace carries the full update narrative alongside phase spans.
   void record(UpdateEventKind Kind, uint64_t Tick, int64_t Value = 0,
               std::string Detail = "") {
+    forwardToSink(Kind, Tick, Value, Detail);
     Events.push_back({Kind, Tick, Value, std::move(Detail)});
   }
 
@@ -79,6 +83,9 @@ public:
   void clear() { Events.clear(); }
 
 private:
+  static void forwardToSink(UpdateEventKind Kind, uint64_t Tick,
+                            int64_t Value, const std::string &Detail);
+
   std::vector<UpdateEvent> Events;
 };
 

@@ -7,12 +7,33 @@
 #include "runtime/ObjectModel.h"
 #include "support/Error.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
 using namespace jvolve;
+
+static void bumpDsuCounter(const char *Name) {
+  if (Telemetry::isEnabled())
+    Telemetry::global().counter(Name).inc();
+}
+
+void Updater::markPhase(const std::string &Phase, int64_t Value,
+                        const std::string &Detail) {
+  double Now = PhaseClock.elapsedMs();
+  double Ms = Now - LastPhaseMark;
+  LastPhaseMark = Now;
+  if (!Telemetry::isEnabled())
+    return;
+  Telemetry &Tel = Telemetry::global();
+  Tel.histogram(metrics::dsuPhaseMs(Phase)).record(Ms);
+  // Virtual time stands still while the world is stopped, so the span's
+  // tick interval collapses; Ms carries the wall-clock duration.
+  uint64_t Tick = TheVM.scheduler().ticks();
+  Tel.emit({"dsu.update.phase", Phase, Tick, Tick, Ms, Value, Detail});
+}
 
 const char *jvolve::updateStatusName(UpdateStatus S) {
   switch (S) {
@@ -67,6 +88,7 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
     std::string Msg = "new version fails verification: " + Errs.front().str();
     Result.Trace.record(UpdateEventKind::Rejected,
                         TheVM.scheduler().ticks(), 0, Msg);
+    bumpDsuCounter(metrics::DsuUpdatesRejected);
     finish(UpdateStatus::RejectedNotVerifiable, Msg);
     return;
   }
@@ -75,11 +97,13 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
     Result.Trace.record(UpdateEventKind::Rejected,
                         TheVM.scheduler().ticks(), 0,
                         "hierarchy permutation");
+    bumpDsuCounter(metrics::DsuUpdatesRejected);
     finish(UpdateStatus::RejectedHierarchy,
            "update permutes the class hierarchy");
     return;
   }
 
+  bumpDsuCounter(metrics::DsuUpdatesScheduled);
   Result.Status = UpdateStatus::Pending;
   ScheduleTick = TheVM.scheduler().ticks();
   DeadlineTick = ScheduleTick + Opts.TimeoutTicks;
@@ -212,6 +236,7 @@ void Updater::onReturnBarrier(VMThread &T) {
     return;
   Result.Trace.record(UpdateEventKind::BarrierFired,
                       TheVM.scheduler().ticks(), 0, "thread " + T.Name);
+  bumpDsuCounter(metrics::DsuBarriersFired);
   TheVM.requestYield(); // restart the update process (paper §3.2)
 }
 
@@ -226,6 +251,7 @@ void Updater::onSafePoint() {
 
 void Updater::attempt() {
   ++Result.SafePointAttempts;
+  bumpDsuCounter(metrics::DsuSafePointAttempts);
 
   if (TheVM.faults().probe(FaultInjector::Site::SafePointStarvation)) {
     // Simulated park failure: some thread refused to reach its yield point
@@ -271,6 +297,7 @@ void Updater::attempt() {
       if (!TopRestricted->ReturnBarrier) {
         TopRestricted->ReturnBarrier = true;
         ++Result.ReturnBarriersInstalled;
+        bumpDsuCounter(metrics::DsuBarriersArmed);
         Result.Trace.record(
             UpdateEventKind::BarrierArmed, TheVM.scheduler().ticks(), 0,
             TheVM.registry().method(TopRestricted->Method).qualifiedName() +
@@ -366,11 +393,29 @@ void Updater::certify() {
                       static_cast<int64_t>(Problems.size()),
                       Problems.empty() ? "heap and registry consistent"
                                        : Problems.front());
+  // Mark after the trace record: its sink write is real wall-clock that
+  // must land inside the certify span, not after the last mark where it
+  // would be unaccounted for in the span/total tiling.
+  markPhase("certify", static_cast<int64_t>(Problems.size()));
+}
+
+/// Records the total-pause histogram sample and span once the update's
+/// wall-clock outcome is known (applied or rolled back).
+static void recordTotalPause(VM &TheVM, double TotalMs, const char *Outcome) {
+  if (!Telemetry::isEnabled())
+    return;
+  Telemetry &Tel = Telemetry::global();
+  Tel.histogram(metrics::DsuTotalPauseMs).record(TotalMs);
+  uint64_t Tick = TheVM.scheduler().ticks();
+  Tel.emit({"dsu.update.phase", "total", Tick, Tick, TotalMs, 0, Outcome});
 }
 
 void Updater::install(const std::vector<Frame *> &OsrFrames,
                       const std::vector<MappedFrame> &MappedFrames) {
-  Stopwatch TotalTimer;
+  // One clock serves both the reported total and the phase spans, so the
+  // spans tile the pause instead of drifting against a second timer.
+  PhaseClock.reset();
+  LastPhaseMark = 0;
 
   // ---- Begin the transaction: snapshot everything install can mutate ----
   // (registry contents, heap spaces, and every root location), and hold
@@ -380,12 +425,14 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
   Heap::TxSnapshot HeapSnap = TheVM.heap().txSnapshot();
   RootSnapshot Roots = snapshotRoots();
   TheVM.setTransformationInProgress(true);
+  markPhase("snapshot");
 
   try {
     installSteps(OsrFrames, MappedFrames);
   } catch (const UpdateError &E) {
     rollback(RegSnap, HeapSnap, Roots, E);
-    Result.TotalPauseMs = TotalTimer.elapsedMs();
+    Result.TotalPauseMs = PhaseClock.elapsedMs();
+    recordTotalPause(TheVM, Result.TotalPauseMs, "rolled-back");
     return;
   }
 
@@ -395,11 +442,13 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
   if (Opts.CertifyAfterUpdate)
     certify(); // reported in Result; an applied update is never undone here
 
-  Result.TotalPauseMs = TotalTimer.elapsedMs();
+  Result.TotalPauseMs = PhaseClock.elapsedMs();
   Result.TicksToSafePoint = TheVM.scheduler().ticks() - ScheduleTick;
   Result.Trace.record(UpdateEventKind::Applied, TheVM.scheduler().ticks(),
                       0,
                       std::to_string(Result.TotalPauseMs) + " ms total pause");
+  bumpDsuCounter(metrics::DsuUpdatesApplied);
+  recordTotalPause(TheVM, Result.TotalPauseMs, "applied");
   finish(UpdateStatus::Applied, "update applied");
   TheVM.resumeAfterYield();
 }
@@ -426,6 +475,8 @@ void Updater::rollback(const ClassRegistry::RegistrySnapshot &RegSnap,
       F.ReturnBarrier = false;
   TheVM.setTransformationInProgress(false);
   Result.RollbackMs = Timer.elapsedMs();
+  markPhase("rollback", 0, E.str());
+  bumpDsuCounter(metrics::DsuUpdatesRolledBack);
 
   if (Opts.CertifyAfterUpdate)
     certify();
@@ -511,10 +562,13 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
           Invalidate = true;
           break;
         }
-    if (Invalidate)
+    if (Invalidate) {
       Reg.invalidateCode(Id);
+      bumpDsuCounter(metrics::DsuCodeInvalidated);
+    }
   }
   Result.ClassLoadMs = PhaseTimer.elapsedMs();
+  markPhase("classload", static_cast<int64_t>(OldIdToName.size()));
   Result.Trace.record(UpdateEventKind::ClassesInstalled,
                       TheVM.scheduler().ticks(),
                       static_cast<int64_t>(OldIdToName.size()),
@@ -548,6 +602,7 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
     F->Method = NewId;
     F->Code = NM.Code;
     ++Result.OsrReplacements;
+    bumpDsuCounter(metrics::DsuOsrReplacements);
     Result.Trace.record(UpdateEventKind::OsrReplaced,
                         TheVM.scheduler().ticks(), 0,
                         Reg.method(NewId).qualifiedName());
@@ -599,10 +654,13 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
     // The operand stack is preserved as-is (the mapping's author asserts
     // pc compatibility, as in UpStare's stack reconstruction).
     ++Result.ActiveFramesRemapped;
+    bumpDsuCounter(metrics::DsuFramesRemapped);
     Result.Trace.record(UpdateEventKind::ActiveRemapped,
                         TheVM.scheduler().ticks(), 0,
                         Reg.method(NewId).qualifiedName());
   }
+  markPhase("stack_repair",
+            static_cast<int64_t>(OsrFrames.size() + MappedFrames.size()));
 
   // --- Step 5: DSU collection + transformers (§3.4). ---------------------
   DsuRemap Remap;
@@ -626,6 +684,7 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
     std::unordered_map<Ref, size_t> NewToLogIndex;
     Result.Gc = TheVM.collectGarbage(&Remap, &UpdateLog, &NewToLogIndex);
     Result.GcMs = Result.Gc.GcMs;
+    markPhase("gc", static_cast<int64_t>(Result.Gc.ObjectsRemapped));
     Result.Trace.record(UpdateEventKind::GcCompleted,
                         TheVM.scheduler().ticks(),
                         static_cast<int64_t>(Result.Gc.ObjectsRemapped),
@@ -634,6 +693,11 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
     TransformerRunner Runner(TheVM, Bundle, UpdateLog, NewToLogIndex);
     Result.TransformMs = Runner.runAll();
     Result.ObjectsTransformed = Runner.objectsTransformed();
+    markPhase("transform", static_cast<int64_t>(Result.ObjectsTransformed));
+    if (Telemetry::isEnabled())
+      Telemetry::global()
+          .counter(metrics::DsuObjectsTransformed)
+          .add(Result.ObjectsTransformed);
     Result.Trace.record(UpdateEventKind::Transformed,
                         TheVM.scheduler().ticks(),
                         static_cast<int64_t>(Result.ObjectsTransformed),
@@ -654,9 +718,11 @@ void Updater::abortUpdate(UpdateStatus Status, const std::string &Message) {
   for (auto &T : TheVM.scheduler().threads())
     for (Frame &F : T->Frames)
       F.ReturnBarrier = false;
-  if (Status == UpdateStatus::TimedOut)
+  if (Status == UpdateStatus::TimedOut) {
     Result.Trace.record(UpdateEventKind::TimedOut,
                         TheVM.scheduler().ticks(), 0, Message);
+    bumpDsuCounter(metrics::DsuUpdatesTimedOut);
+  }
   finish(Status, Message);
   TheVM.resumeAfterYield();
 }

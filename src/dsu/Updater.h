@@ -23,6 +23,7 @@
 #include "dsu/UpdateTrace.h"
 #include "heap/Collector.h"
 #include "support/Error.h"
+#include "support/Stopwatch.h"
 #include "vm/VM.h"
 
 #include <set>
@@ -205,6 +206,16 @@ private:
   /// Runs HeapVerifier + ClassRegistry::checkConsistency and records the
   /// outcome in Result and the trace.
   void certify();
+
+  /// Records the telemetry span for the phase ending now. Phases are
+  /// delimited by consecutive marks against one clock (PhaseClock, started
+  /// at install() entry), so the emitted spans tile the pause: their sum
+  /// matches TotalPauseMs up to the bookkeeping after the last mark.
+  void markPhase(const std::string &Phase, int64_t Value = 0,
+                 const std::string &Detail = "");
+
+  Stopwatch PhaseClock;
+  double LastPhaseMark = 0;
 
   VM &TheVM;
   UpdateBundle Bundle;

@@ -2,6 +2,7 @@
 
 #include "bytecode/Builtins.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -260,5 +261,10 @@ std::shared_ptr<CompiledMethod> Compiler::compile(MethodId Method, Tier T) {
   assert((T != Tier::Baseline || CM->Code.size() == M.Def->Code.size()) &&
          "baseline translation must be 1:1 for OSR");
   ++NumCompilations;
+  if (Telemetry::isEnabled())
+    Telemetry::global()
+        .counter(T == Tier::Baseline ? metrics::JitCompilationsBaseline
+                                     : metrics::JitCompilationsOpt)
+        .inc();
   return CM;
 }

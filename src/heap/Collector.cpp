@@ -3,6 +3,7 @@
 #include "runtime/ObjectModel.h"
 #include "support/Error.h"
 #include "support/Stopwatch.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cstring>
@@ -91,6 +92,7 @@ CollectionStats Collector::collect(
     std::unordered_map<Ref, size_t> *NewToLogIndex) {
   Stopwatch Timer;
   CollectionStats Stats;
+  size_t LiveBeforeBytes = TheHeap.bytesAllocated();
 
   assert(TheHeap.otherBytesAllocated() == 0 &&
          "to-space must be empty at the start of a collection");
@@ -159,5 +161,23 @@ CollectionStats Collector::collect(
     Stats.OldCopySpaceBytes = TheHeap.oldCopyBytesUsed();
   TheHeap.flip();
   Stats.GcMs = Timer.elapsedMs();
+
+  if (Telemetry::isEnabled()) {
+    Telemetry &Tel = Telemetry::global();
+    Tel.counter(metrics::GcCollections).inc();
+    Tel.histogram(metrics::GcPauseMs).record(Stats.GcMs);
+    Tel.counter(metrics::GcBytesCopied).add(Stats.BytesCopied);
+    Tel.counter(metrics::GcObjectsCopied).add(Stats.ObjectsCopied);
+    if (LiveBeforeBytes > 0)
+      Tel.histogram(metrics::GcSurvivorRate)
+          .record(static_cast<double>(Stats.BytesCopied) /
+                  static_cast<double>(LiveBeforeBytes));
+    if (Remap) {
+      Tel.counter(metrics::GcDsuCollections).inc();
+      Tel.histogram(metrics::GcDsuPauseMs).record(Stats.GcMs);
+      Tel.counter(metrics::GcDsuBytesCopied).add(Stats.BytesCopied);
+      Tel.counter(metrics::GcDsuObjectsRemapped).add(Stats.ObjectsRemapped);
+    }
+  }
   return Stats;
 }

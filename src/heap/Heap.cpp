@@ -10,7 +10,12 @@ using namespace jvolve;
 /// Keep every object 8-byte aligned.
 static size_t alignUp(size_t Bytes) { return (Bytes + 7) & ~size_t(7); }
 
-Heap::Heap(size_t Bytes) : SpaceBytes(alignUp(Bytes)) {
+Heap::Heap(size_t Bytes)
+    : SpaceBytes(alignUp(Bytes)),
+      TelObjectsAllocated(
+          Telemetry::global().counter(metrics::HeapObjectsAllocated)),
+      TelBytesAllocated(
+          Telemetry::global().counter(metrics::HeapBytesAllocated)) {
   if (SpaceBytes < 4096)
     fatalError("heap semi-space too small");
   // Spaces are never read before being written (objects are zeroed at
@@ -72,6 +77,8 @@ Ref Heap::allocateObject(const RtClass &Cls) {
   H->Class = Cls.Id;
   H->Flags = 0;
   ++NumAllocated;
+  TelObjectsAllocated.inc();
+  TelBytesAllocated.add(Cls.InstanceSize);
   return Obj;
 }
 
@@ -88,6 +95,8 @@ Ref Heap::allocateArray(const RtClass &ArrCls, int64_t Length) {
   H->Flags = FlagArray | (ArrCls.ElemIsRef ? FlagRefArray : 0u);
   setIntAt(Obj, ArrayLengthOffset, Length);
   ++NumAllocated;
+  TelObjectsAllocated.inc();
+  TelBytesAllocated.add(Bytes);
   return Obj;
 }
 

@@ -15,6 +15,7 @@
 
 #include "runtime/ClassRegistry.h"
 #include "runtime/Slot.h"
+#include "support/Telemetry.h"
 
 #include <cstddef>
 #include <memory>
@@ -123,6 +124,11 @@ private:
   std::unique_ptr<uint8_t[]> OldCopy;
   size_t OldCopyBump = 0;
   size_t OldCopyCapacity = 0;
+
+  // Telemetry handles, resolved once at construction (allocation paths
+  // must not do name lookups).
+  TelCounter &TelObjectsAllocated;
+  TelCounter &TelBytesAllocated;
 };
 
 } // namespace jvolve

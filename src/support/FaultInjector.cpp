@@ -1,8 +1,16 @@
 #include "support/FaultInjector.h"
 
 #include "support/Error.h"
+#include "support/Telemetry.h"
 
 using namespace jvolve;
+
+std::vector<std::string> FaultInjector::allSiteNames() {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I < NumSites; ++I)
+    Names.push_back(siteName(static_cast<Site>(I)));
+  return Names;
+}
 
 const char *FaultInjector::siteName(Site S) {
   switch (S) {
@@ -70,6 +78,8 @@ bool FaultInjector::probe(Site S) {
     break;
   }
   St.Fires += Fail;
+  if (Fail && Telemetry::isEnabled())
+    Telemetry::global().counter(metrics::faultFired(siteName(S))).inc();
   return Fail;
 }
 

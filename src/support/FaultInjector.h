@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace jvolve {
 
@@ -47,6 +48,10 @@ public:
 
   /// Parses a site name ("class-load", ...). \returns false when unknown.
   static bool siteByName(const std::string &Name, Site &Out);
+
+  /// Every valid site name, in Site enumeration order — for usage strings
+  /// and "unknown site" diagnostics.
+  static std::vector<std::string> allSiteNames();
 
   /// Arms \p S deterministically: the first \p Skip probes pass, the next
   /// \p Fire probes fail, every later probe passes again.

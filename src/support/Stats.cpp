@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace jvolve;
 
@@ -26,6 +27,20 @@ QuartileSummary jvolve::summarizeQuartiles(std::vector<double> Samples) {
   S.LowerQuartile = quantileOfSorted(Samples, 0.25);
   S.UpperQuartile = quantileOfSorted(Samples, 0.75);
   return S;
+}
+
+double jvolve::percentile(std::vector<double> Samples, double P) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  return quantileOfSorted(Samples, std::clamp(P, 0.0, 100.0) / 100.0);
+}
+
+std::string QuartileSummary::str(int Decimals) const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.*f [%.*f..%.*f]", Decimals, Median,
+                Decimals, LowerQuartile, Decimals, UpperQuartile);
+  return Buf;
 }
 
 double jvolve::mean(const std::vector<double> &Samples) {

@@ -12,6 +12,7 @@
 #define JVOLVE_SUPPORT_STATS_H
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace jvolve {
@@ -24,11 +25,20 @@ struct QuartileSummary {
 
   /// Inter-quartile range, the paper's confidence-interval proxy.
   double iqr() const { return UpperQuartile - LowerQuartile; }
+
+  /// Renders "median [lower..upper]" with \p Decimals fractional digits —
+  /// the cell format the bench tables share.
+  std::string str(int Decimals = 1) const;
 };
 
 /// Computes median and quartiles of \p Samples (which it copies and sorts).
 /// An empty sample set yields an all-zero summary.
 QuartileSummary summarizeQuartiles(std::vector<double> Samples);
+
+/// Linear-interpolated \p P-th percentile (0..100) of \p Samples (which it
+/// copies and sorts); 0 for an empty sample set. percentile(S, 50) equals
+/// summarizeQuartiles(S).Median.
+double percentile(std::vector<double> Samples, double P);
 
 /// Arithmetic mean; 0 for an empty sample set.
 double mean(const std::vector<double> &Samples);

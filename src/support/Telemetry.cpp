@@ -1,0 +1,426 @@
+#include "support/Telemetry.h"
+
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace jvolve;
+
+bool Telemetry::Enabled = false;
+
+std::string metrics::dsuPhaseMs(const std::string &Phase) {
+  return "dsu.update.phase_ms{phase=" + Phase + "}";
+}
+
+std::string metrics::faultFired(const std::string &Site) {
+  return "dsu.faults.fired{site=" + Site + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// TelHistogram
+//===----------------------------------------------------------------------===//
+
+/// Retaining this many raw samples keeps percentiles exact for every
+/// realistic pause/latency series (Table 1 uses 21 trials; a long server
+/// run keeps the most recent window) while bounding memory per histogram.
+static constexpr size_t HistogramSampleCap = 4096;
+
+TelHistogram::TelHistogram(std::vector<double> InBounds, size_t SampleCap)
+    : Bounds(std::move(InBounds)), Buckets(Bounds.size() + 1),
+      Samples(SampleCap, 0.0) {
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         "histogram bucket bounds must ascend");
+}
+
+void TelHistogram::record(double V) {
+  if (!Telemetry::isEnabled())
+    return;
+  size_t B = std::upper_bound(Bounds.begin(), Bounds.end(), V) -
+             Bounds.begin();
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  uint64_t N = Count.fetch_add(1, std::memory_order_relaxed);
+  Sum += V;
+  Min = N == 0 ? V : std::min(Min, V);
+  Max = N == 0 ? V : std::max(Max, V);
+  Samples[NextSample] = V;
+  NextSample = (NextSample + 1) % Samples.size();
+  ++SamplesSeen;
+}
+
+double TelHistogram::mean() const {
+  uint64_t N = count();
+  return N ? Sum / static_cast<double>(N) : 0;
+}
+
+size_t TelHistogram::samplesRetained() const {
+  return static_cast<size_t>(
+      std::min<uint64_t>(SamplesSeen, Samples.size()));
+}
+
+double TelHistogram::percentile(double P) const {
+  size_t N = samplesRetained();
+  if (N == 0)
+    return 0;
+  return jvolve::percentile(
+      std::vector<double>(Samples.begin(),
+                          Samples.begin() + static_cast<ptrdiff_t>(N)),
+      P);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceEvent JSONL
+//===----------------------------------------------------------------------===//
+
+static void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string TraceEvent::jsonLine() const {
+  std::string Out = "{\"name\":";
+  appendJsonString(Out, Name);
+  Out += ",\"phase\":";
+  appendJsonString(Out, Phase);
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"start_tick\":%llu,\"end_tick\":%llu,\"ms\":%.6f,"
+                "\"value\":%lld,\"detail\":",
+                static_cast<unsigned long long>(StartTick),
+                static_cast<unsigned long long>(EndTick), Ms,
+                static_cast<long long>(Value));
+  Out += Buf;
+  appendJsonString(Out, Detail);
+  Out += '}';
+  return Out;
+}
+
+/// Extracts the JSON string value following "\"<Key>\":" in \p Line.
+/// Handles the escapes jsonLine() produces.
+static bool parseStringField(const std::string &Line, const char *Key,
+                             std::string &Out) {
+  std::string Needle = std::string("\"") + Key + "\":\"";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Pos += Needle.size();
+  Out.clear();
+  while (Pos < Line.size() && Line[Pos] != '"') {
+    char C = Line[Pos];
+    if (C == '\\' && Pos + 1 < Line.size()) {
+      char E = Line[++Pos];
+      switch (E) {
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 >= Line.size())
+          return false;
+        Out += static_cast<char>(
+            std::strtol(Line.substr(Pos + 1, 4).c_str(), nullptr, 16));
+        Pos += 4;
+        break;
+      }
+      default: Out += E; break;
+      }
+    } else {
+      Out += C;
+    }
+    ++Pos;
+  }
+  return Pos < Line.size();
+}
+
+static bool parseNumberField(const std::string &Line, const char *Key,
+                             double &Out) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Out = std::strtod(Line.c_str() + Pos + Needle.size(), nullptr);
+  return true;
+}
+
+bool TraceEvent::parseLine(const std::string &Line, TraceEvent &Out) {
+  TraceEvent E;
+  if (!parseStringField(Line, "name", E.Name) ||
+      !parseStringField(Line, "phase", E.Phase) ||
+      !parseStringField(Line, "detail", E.Detail))
+    return false;
+  double Start = 0, End = 0, Val = 0;
+  if (!parseNumberField(Line, "start_tick", Start) ||
+      !parseNumberField(Line, "end_tick", End) ||
+      !parseNumberField(Line, "ms", E.Ms) ||
+      !parseNumberField(Line, "value", Val))
+    return false;
+  E.StartTick = static_cast<uint64_t>(Start);
+  E.EndTick = static_cast<uint64_t>(End);
+  E.Value = static_cast<int64_t>(Val);
+  Out = std::move(E);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSink
+//===----------------------------------------------------------------------===//
+
+TraceSink::TraceSink(const std::string &InPath, size_t BufferEvents)
+    : Path(InPath), BufferCap(std::max<size_t>(BufferEvents, 1)) {
+  Out = std::fopen(Path.c_str(), "w");
+  Buffer.reserve(BufferCap);
+}
+
+TraceSink::~TraceSink() {
+  flush();
+  if (Out)
+    std::fclose(Out);
+}
+
+void TraceSink::emit(TraceEvent E) {
+  if (!Out)
+    return;
+  Buffer.push_back(std::move(E));
+  ++NumEmitted;
+  if (Buffer.size() >= BufferCap)
+    flush();
+}
+
+void TraceSink::flush() {
+  if (!Out)
+    return;
+  for (const TraceEvent &E : Buffer) {
+    std::string Line = E.jsonLine();
+    std::fwrite(Line.data(), 1, Line.size(), Out);
+    std::fputc('\n', Out);
+  }
+  Buffer.clear();
+  std::fflush(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry registry
+//===----------------------------------------------------------------------===//
+
+Telemetry &Telemetry::global() {
+  static Telemetry *T = new Telemetry(); // immortal: handles never dangle
+  return *T;
+}
+
+Telemetry::Telemetry() {
+  const char *Env = std::getenv("JVOLVE_TELEMETRY");
+  if (Env && Env[0] && std::strcmp(Env, "0") != 0)
+    Enabled = true;
+  const char *TraceOut = std::getenv("JVOLVE_TRACE_OUT");
+  if (TraceOut && TraceOut[0])
+    openTrace(TraceOut);
+}
+
+std::vector<double> Telemetry::defaultBuckets() {
+  // Doubling ladder from 1e-3 to ~1e7: covers sub-ms GC pauses, multi-ms
+  // update pauses, and tick-denominated waits in one shape.
+  std::vector<double> B;
+  for (double V = 0.001; V < 2e7; V *= 2)
+    B.push_back(V);
+  return B;
+}
+
+TelCounter &Telemetry::counter(const std::string &Name) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(Name, std::unique_ptr<TelCounter>(new TelCounter()))
+             .first;
+  return *It->second;
+}
+
+TelGauge &Telemetry::gauge(const std::string &Name) {
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(Name, std::unique_ptr<TelGauge>(new TelGauge()))
+             .first;
+  return *It->second;
+}
+
+TelHistogram &Telemetry::histogram(const std::string &Name,
+                                   std::vector<double> BucketBounds) {
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end()) {
+    if (BucketBounds.empty())
+      BucketBounds = defaultBuckets();
+    It = Histograms
+             .emplace(Name, std::unique_ptr<TelHistogram>(new TelHistogram(
+                                std::move(BucketBounds),
+                                HistogramSampleCap)))
+             .first;
+  }
+  return *It->second;
+}
+
+const TelCounter *Telemetry::findCounter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? nullptr : It->second.get();
+}
+
+const TelGauge *Telemetry::findGauge(const std::string &Name) const {
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? nullptr : It->second.get();
+}
+
+const TelHistogram *Telemetry::findHistogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : It->second.get();
+}
+
+void Telemetry::reset() {
+  for (auto &[Name, C] : Counters)
+    C->Value.store(0, std::memory_order_relaxed);
+  for (auto &[Name, G] : Gauges)
+    G->Value.store(0, std::memory_order_relaxed);
+  for (auto &[Name, H] : Histograms) {
+    for (auto &B : H->Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H->Count.store(0, std::memory_order_relaxed);
+    H->Sum = H->Min = H->Max = 0;
+    H->NextSample = 0;
+    H->SamplesSeen = 0;
+  }
+}
+
+Telemetry::Snapshot Telemetry::snapshot() const {
+  Snapshot S;
+  // The three maps iterate sorted; merge into one name-sorted list so two
+  // snapshots of the same state render byte-identically.
+  for (const auto &[Name, C] : Counters) {
+    MetricSnapshot M;
+    M.Name = Name;
+    M.K = MetricSnapshot::Kind::Counter;
+    M.Value = static_cast<int64_t>(C->value());
+    S.Metrics.push_back(std::move(M));
+  }
+  for (const auto &[Name, G] : Gauges) {
+    MetricSnapshot M;
+    M.Name = Name;
+    M.K = MetricSnapshot::Kind::Gauge;
+    M.Value = G->value();
+    S.Metrics.push_back(std::move(M));
+  }
+  for (const auto &[Name, H] : Histograms) {
+    MetricSnapshot M;
+    M.Name = Name;
+    M.K = MetricSnapshot::Kind::Histogram;
+    M.Value = static_cast<int64_t>(H->count());
+    M.Sum = H->sum();
+    M.Min = H->min();
+    M.Max = H->max();
+    M.Mean = H->mean();
+    M.P50 = H->percentile(50);
+    M.P95 = H->percentile(95);
+    M.P99 = H->percentile(99);
+    S.Metrics.push_back(std::move(M));
+  }
+  std::sort(S.Metrics.begin(), S.Metrics.end(),
+            [](const MetricSnapshot &A, const MetricSnapshot &B) {
+              return A.Name < B.Name;
+            });
+  return S;
+}
+
+const Telemetry::MetricSnapshot *
+Telemetry::Snapshot::find(const std::string &Name) const {
+  for (const MetricSnapshot &M : Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+static const char *kindName(Telemetry::MetricSnapshot::Kind K) {
+  switch (K) {
+  case Telemetry::MetricSnapshot::Kind::Counter: return "counter";
+  case Telemetry::MetricSnapshot::Kind::Gauge: return "gauge";
+  case Telemetry::MetricSnapshot::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string Telemetry::Snapshot::json() const {
+  std::string Out = "{\"metrics\":[";
+  bool First = true;
+  for (const MetricSnapshot &M : Metrics) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":";
+    appendJsonString(Out, M.Name);
+    Out += ",\"kind\":\"";
+    Out += kindName(M.K);
+    Out += '"';
+    char Buf[256];
+    if (M.K == MetricSnapshot::Kind::Histogram) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\"count\":%lld,\"sum\":%.6f,\"min\":%.6f,"
+                    "\"max\":%.6f,\"mean\":%.6f,\"p50\":%.6f,"
+                    "\"p95\":%.6f,\"p99\":%.6f",
+                    static_cast<long long>(M.Value), M.Sum, M.Min, M.Max,
+                    M.Mean, M.P50, M.P95, M.P99);
+    } else {
+      std::snprintf(Buf, sizeof(Buf), ",\"value\":%lld",
+                    static_cast<long long>(M.Value));
+    }
+    Out += Buf;
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string Telemetry::Snapshot::table() const {
+  TablePrinter TP;
+  TP.setHeader({"metric", "kind", "count/value", "sum", "mean", "p50",
+                "p95", "p99", "max"});
+  for (const MetricSnapshot &M : Metrics) {
+    if (M.K == MetricSnapshot::Kind::Histogram)
+      TP.addRow({M.Name, kindName(M.K), std::to_string(M.Value),
+                 TablePrinter::fmt(M.Sum, 3), TablePrinter::fmt(M.Mean, 3),
+                 TablePrinter::fmt(M.P50, 3), TablePrinter::fmt(M.P95, 3),
+                 TablePrinter::fmt(M.P99, 3), TablePrinter::fmt(M.Max, 3)});
+    else
+      TP.addRow({M.Name, kindName(M.K), std::to_string(M.Value)});
+  }
+  return TP.render();
+}
+
+bool Telemetry::openTrace(const std::string &Path) {
+  Sink = std::make_unique<TraceSink>(Path);
+  if (!Sink->ok()) {
+    Sink.reset();
+    return false;
+  }
+  Enabled = true;
+  return true;
+}
+
+void Telemetry::closeTrace() { Sink.reset(); }
+
+void Telemetry::emit(TraceEvent E) {
+  if (Sink)
+    Sink->emit(std::move(E));
+}

@@ -1,0 +1,341 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VM-wide telemetry: a process-wide registry of named counters, gauges,
+/// and fixed-bucket histograms, plus a JSONL trace sink for span events.
+///
+/// The paper's entire evaluation is measurement (Table 1's pause
+/// breakdown, Figure 5's throughput dip, §4.2's barrier narrative); this
+/// module turns those one-off bench measurements into a subsystem. Every
+/// VM layer records into the registry through cheap handles; tools dump a
+/// snapshot (`jvolve-run --metrics`), servers answer an in-band stats
+/// probe (`jvolve-serve`), and benches cross-check their private timers
+/// against the registry.
+///
+/// Cost model: telemetry is **disabled by default**. Each record path is
+/// one predictable branch on a global flag when disabled; when enabled,
+/// counters are relaxed atomics and histograms write into preallocated
+/// storage — the record path never allocates. Registration (name lookup)
+/// happens once at subsystem construction, never per event.
+///
+/// Metric naming scheme (see docs/INTERNALS.md §10):
+///   <namespace>.<subsystem>.<metric>[{label=value}]
+/// e.g. `vm.gc.pause_ms`, `dsu.update.phase_ms{phase=gc}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_SUPPORT_TELEMETRY_H
+#define JVOLVE_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+//===----------------------------------------------------------------------===//
+// Standard metric names. Shared constants so producers (VM subsystems),
+// consumers (tools, benches), and the pre-registration list in VM.cpp
+// cannot drift apart.
+//===----------------------------------------------------------------------===//
+
+namespace metrics {
+// threads/Scheduler
+inline constexpr const char *SchedSafePoints = "vm.sched.safepoints";
+inline constexpr const char *SchedSafePointWaitTicks =
+    "vm.sched.safepoint.wait_ticks";
+inline constexpr const char *SchedQuantumTicks = "vm.sched.quantum_ticks";
+// heap/Heap + heap/Collector
+inline constexpr const char *HeapObjectsAllocated =
+    "vm.heap.objects_allocated";
+inline constexpr const char *HeapBytesAllocated = "vm.heap.bytes_allocated";
+inline constexpr const char *GcCollections = "vm.gc.collections";
+inline constexpr const char *GcPauseMs = "vm.gc.pause_ms";
+inline constexpr const char *GcBytesCopied = "vm.gc.bytes_copied";
+inline constexpr const char *GcObjectsCopied = "vm.gc.objects_copied";
+inline constexpr const char *GcSurvivorRate = "vm.gc.survivor_rate";
+inline constexpr const char *GcDsuCollections = "vm.gc.dsu.collections";
+inline constexpr const char *GcDsuPauseMs = "vm.gc.dsu.pause_ms";
+inline constexpr const char *GcDsuBytesCopied = "vm.gc.dsu.bytes_copied";
+inline constexpr const char *GcDsuObjectsRemapped =
+    "vm.gc.dsu.objects_remapped";
+// vm/Interpreter
+inline constexpr const char *InterpInstructions = "vm.interp.instructions";
+inline constexpr const char *InterpCallsVirtual = "vm.interp.calls_virtual";
+inline constexpr const char *InterpCallsDirect = "vm.interp.calls_direct";
+inline constexpr const char *InterpTraps = "vm.interp.traps";
+// exec/Compiler
+inline constexpr const char *JitCompilationsBaseline =
+    "vm.jit.compilations{tier=baseline}";
+inline constexpr const char *JitCompilationsOpt =
+    "vm.jit.compilations{tier=opt}";
+inline constexpr const char *JitTierPromotions = "vm.jit.tier_promotions";
+// dsu/Updater
+inline constexpr const char *DsuUpdatesScheduled = "dsu.updates.scheduled";
+inline constexpr const char *DsuUpdatesApplied = "dsu.updates.applied";
+inline constexpr const char *DsuUpdatesRolledBack = "dsu.updates.rolled_back";
+inline constexpr const char *DsuUpdatesTimedOut = "dsu.updates.timed_out";
+inline constexpr const char *DsuUpdatesRejected = "dsu.updates.rejected";
+inline constexpr const char *DsuSafePointAttempts = "dsu.safepoint.attempts";
+inline constexpr const char *DsuBarriersArmed = "dsu.barriers.armed";
+inline constexpr const char *DsuBarriersFired = "dsu.barriers.fired";
+inline constexpr const char *DsuOsrReplacements = "dsu.osr.replacements";
+inline constexpr const char *DsuFramesRemapped = "dsu.frames.remapped";
+inline constexpr const char *DsuObjectsTransformed =
+    "dsu.objects.transformed";
+inline constexpr const char *DsuCodeInvalidated = "dsu.code.invalidated";
+inline constexpr const char *DsuTotalPauseMs =
+    "dsu.update.phase_ms{phase=total}";
+
+/// Update-phase histogram name: `dsu.update.phase_ms{phase=<Phase>}`.
+/// Phases: snapshot, classload, stack_repair, gc, transform, certify,
+/// rollback, total.
+std::string dsuPhaseMs(const std::string &Phase);
+
+/// Fault-firing counter name: `dsu.faults.fired{site=<Site>}`.
+std::string faultFired(const std::string &Site);
+} // namespace metrics
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+class Telemetry;
+
+/// A monotonically increasing counter. Handles stay valid for the process
+/// lifetime; recording is one branch when telemetry is disabled.
+class TelCounter {
+public:
+  void add(uint64_t N = 1);
+  void inc() { add(1); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class Telemetry;
+  TelCounter() = default;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A last-value-wins signed gauge.
+class TelGauge {
+public:
+  void set(int64_t V);
+  void add(int64_t Delta);
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class Telemetry;
+  TelGauge() = default;
+  std::atomic<int64_t> Value{0};
+};
+
+/// A fixed-bucket histogram plus count/sum/min/max and a bounded,
+/// preallocated reservoir of raw samples for percentile computation.
+/// record() never allocates.
+class TelHistogram {
+public:
+  void record(double V);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const { return Sum; }
+  double min() const { return count() ? Min : 0; }
+  double max() const { return count() ? Max : 0; }
+  double mean() const;
+  /// Linear-interpolated percentile (0..100) over the retained samples;
+  /// 0 when empty. Exact while fewer than sampleCapacity() values were
+  /// recorded, approximate (most recent window) afterwards.
+  double percentile(double P) const;
+
+  const std::vector<double> &bucketBounds() const { return Bounds; }
+  /// Bucket I counts samples <= Bounds[I]; the last bucket is +inf.
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  size_t numBuckets() const { return Bounds.size() + 1; }
+  /// Number of raw samples currently retained (<= sampleCapacity()).
+  size_t samplesRetained() const;
+  size_t sampleCapacity() const { return Samples.size(); }
+
+private:
+  friend class Telemetry;
+  TelHistogram(std::vector<double> InBounds, size_t SampleCap);
+
+  std::vector<double> Bounds; ///< ascending upper bounds
+  std::vector<std::atomic<uint64_t>> Buckets;
+  std::atomic<uint64_t> Count{0};
+  // Sum/min/max and the reservoir are plain values: the green-thread VM
+  // records from a single OS thread. The atomic counters above keep the
+  // layout ready for striping if that ever changes.
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+  std::vector<double> Samples; ///< preallocated ring of recent samples
+  size_t NextSample = 0;
+  uint64_t SamplesSeen = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Trace sink
+//===----------------------------------------------------------------------===//
+
+/// One structured trace event: either a span (a phase with a duration) or
+/// a point event (EndTick == StartTick, Ms == 0 allowed). Timestamps are
+/// virtual ticks; Ms carries wall-clock duration for spans that elapse
+/// inside a stop-the-world pause where virtual time stands still.
+struct TraceEvent {
+  std::string Name;    ///< e.g. "dsu.update.phase", "dsu.update.event"
+  std::string Phase;   ///< label: phase name or event kind
+  uint64_t StartTick = 0;
+  uint64_t EndTick = 0;
+  double Ms = 0;
+  int64_t Value = 0;
+  std::string Detail;
+
+  /// Renders one JSONL line (no trailing newline).
+  std::string jsonLine() const;
+  /// Parses a line produced by jsonLine(). \returns false on malformed
+  /// input. Unknown keys are ignored.
+  static bool parseLine(const std::string &Line, TraceEvent &Out);
+};
+
+/// Ring-buffered JSONL writer: events accumulate in a fixed-size buffer
+/// and stream to the file whenever it fills (bounded memory, complete
+/// file). Owned by the Telemetry registry; see Telemetry::openTrace.
+class TraceSink {
+public:
+  explicit TraceSink(const std::string &Path, size_t BufferEvents = 4096);
+  ~TraceSink();
+
+  TraceSink(const TraceSink &) = delete;
+  TraceSink &operator=(const TraceSink &) = delete;
+
+  bool ok() const { return Out != nullptr; }
+  const std::string &path() const { return Path; }
+
+  void emit(TraceEvent E);
+  /// Writes every buffered event to the file and empties the buffer.
+  void flush();
+
+  uint64_t eventsEmitted() const { return NumEmitted; }
+
+private:
+  std::string Path;
+  std::FILE *Out = nullptr;
+  std::vector<TraceEvent> Buffer;
+  size_t BufferCap;
+  uint64_t NumEmitted = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// The process-wide telemetry registry.
+class Telemetry {
+public:
+  /// The singleton. First call honors the JVOLVE_TELEMETRY=1 and
+  /// JVOLVE_TRACE_OUT=<file> environment variables, so instrumented runs
+  /// need no code changes (scripts/tier1.sh uses this).
+  static Telemetry &global();
+
+  /// Global enabled flag; the single branch every record path takes.
+  static bool isEnabled() { return Enabled; }
+  void setEnabled(bool V) { Enabled = V; }
+
+  /// Finds or creates an instrument. Creation allocates; call once at
+  /// subsystem construction and keep the handle. Handles are never
+  /// invalidated. A histogram's bucket bounds are fixed by its first
+  /// registration; \p BucketBounds must be ascending.
+  TelCounter &counter(const std::string &Name);
+  TelGauge &gauge(const std::string &Name);
+  TelHistogram &histogram(const std::string &Name,
+                          std::vector<double> BucketBounds = {});
+
+  /// \returns the registered instrument, or nullptr. (Snapshot-free reads
+  /// for tests and the stats probe.)
+  const TelCounter *findCounter(const std::string &Name) const;
+  const TelGauge *findGauge(const std::string &Name) const;
+  const TelHistogram *findHistogram(const std::string &Name) const;
+
+  /// Zeroes every instrument's values; registrations persist.
+  void reset();
+
+  //===--- Snapshots --------------------------------------------------------===//
+
+  struct MetricSnapshot {
+    enum class Kind { Counter, Gauge, Histogram };
+    std::string Name;
+    Kind K = Kind::Counter;
+    int64_t Value = 0;   ///< counter/gauge value; histogram count
+    double Sum = 0;      ///< histogram only
+    double Min = 0, Max = 0, Mean = 0;
+    double P50 = 0, P95 = 0, P99 = 0;
+  };
+
+  /// Deterministic (name-sorted) snapshot of every registered metric.
+  struct Snapshot {
+    std::vector<MetricSnapshot> Metrics;
+
+    const MetricSnapshot *find(const std::string &Name) const;
+    /// One JSON object: {"metrics":[{...},...]} with stable ordering.
+    std::string json() const;
+    /// Column-aligned table via TablePrinter.
+    std::string table() const;
+  };
+
+  Snapshot snapshot() const;
+
+  //===--- Trace sink -------------------------------------------------------===//
+
+  /// Opens (replacing any previous) JSONL sink at \p Path. \returns false
+  /// when the file cannot be created. Also enables telemetry: a trace
+  /// without metrics is never what the operator meant.
+  bool openTrace(const std::string &Path);
+  void closeTrace();
+  bool tracing() const { return Sink && Sink->ok(); }
+  TraceSink *traceSink() { return Sink.get(); }
+
+  /// Emits \p E to the sink when one is attached; no-op otherwise.
+  void emit(TraceEvent E);
+
+  /// Default histogram bucket upper bounds (powers-of-two style ladder
+  /// covering sub-ms pauses through multi-second stalls and tick counts).
+  static std::vector<double> defaultBuckets();
+
+private:
+  Telemetry();
+
+  static bool Enabled;
+
+  // std::map: deterministic iteration order for snapshots.
+  std::map<std::string, std::unique_ptr<TelCounter>> Counters;
+  std::map<std::string, std::unique_ptr<TelGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<TelHistogram>> Histograms;
+  std::unique_ptr<TraceSink> Sink;
+};
+
+inline void TelCounter::add(uint64_t N) {
+  if (!Telemetry::isEnabled())
+    return;
+  Value.fetch_add(N, std::memory_order_relaxed);
+}
+
+inline void TelGauge::set(int64_t V) {
+  if (!Telemetry::isEnabled())
+    return;
+  Value.store(V, std::memory_order_relaxed);
+}
+
+inline void TelGauge::add(int64_t Delta) {
+  if (!Telemetry::isEnabled())
+    return;
+  Value.fetch_add(Delta, std::memory_order_relaxed);
+}
+
+} // namespace jvolve
+
+#endif // JVOLVE_SUPPORT_TELEMETRY_H

@@ -1,11 +1,21 @@
 #include "threads/Scheduler.h"
 
 #include "support/Error.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <limits>
 
 using namespace jvolve;
+
+void Scheduler::noteSafePointReached() {
+  if (!Telemetry::isEnabled())
+    return;
+  Telemetry &Tel = Telemetry::global();
+  Tel.counter(metrics::SchedSafePoints).inc();
+  Tel.histogram(metrics::SchedSafePointWaitTicks)
+      .record(static_cast<double>(Ticks - YieldRequestTick));
+}
 
 VMThread &Scheduler::spawn(const std::string &Name, bool Daemon) {
   auto T = std::make_unique<VMThread>();

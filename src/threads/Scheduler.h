@@ -40,9 +40,19 @@ public:
   void setTicks(uint64_t Tick);
 
   /// Requests that all threads stop at their next yield point.
-  void requestYield() { YieldRequested = true; }
+  void requestYield() {
+    if (!YieldRequested)
+      YieldRequestTick = Ticks;
+    YieldRequested = true;
+  }
   void clearYield() { YieldRequested = false; }
   bool yieldRequested() const { return YieldRequested; }
+
+  /// Records the stop-the-world rendezvous latency — virtual ticks between
+  /// the oldest outstanding requestYield() and now — into the
+  /// `vm.sched.safepoint.wait_ticks` histogram. The VM calls this once per
+  /// safe-point rendezvous, right before running the safe-point action.
+  void noteSafePointReached();
 
   /// Moves every Parked thread back to Runnable.
   void unparkAll();
@@ -70,6 +80,7 @@ private:
   std::vector<std::unique_ptr<VMThread>> Threads;
   uint64_t Ticks = 0;
   bool YieldRequested = false;
+  uint64_t YieldRequestTick = 0;
   size_t NextIndex = 0;
   ThreadId NextId = 1;
 };

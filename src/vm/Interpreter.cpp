@@ -65,6 +65,7 @@ bool Interpreter::doReturn(VMThread &T, bool HasValue) {
 
 uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
   uint64_t Executed = 0;
+  uint64_t VirtCalls = 0, DirectCalls = 0;
   Scheduler &Sched = TheVM.scheduler();
   ClassRegistry &Reg = TheVM.registry();
 
@@ -331,6 +332,7 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
       assert(static_cast<size_t>(I.A) < C.VTable.size() &&
              "TIB slot out of range");
       PushFrame(C.VTable[static_cast<size_t>(I.A)], NArgs);
+      ++VirtCalls;
       Advance = false;
       break;
     }
@@ -344,6 +346,7 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         }
       }
       PushFrame(static_cast<MethodId>(I.A), I.B);
+      ++DirectCalls;
       Advance = false;
       break;
     }
@@ -588,5 +591,8 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
   }
 
   TheVM.stats().InstructionsExecuted += Executed;
+  TelInstructions.add(Executed);
+  TelCallsVirtual.add(VirtCalls);
+  TelCallsDirect.add(DirectCalls);
   return Executed;
 }

@@ -10,6 +10,7 @@
 #ifndef JVOLVE_VM_INTERPRETER_H
 #define JVOLVE_VM_INTERPRETER_H
 
+#include "support/Telemetry.h"
 #include "threads/Thread.h"
 
 #include <cstdint>
@@ -21,7 +22,14 @@ class VM;
 /// Executes threads against a VM.
 class Interpreter {
 public:
-  explicit Interpreter(VM &TheVM) : TheVM(TheVM) {}
+  explicit Interpreter(VM &TheVM)
+      : TheVM(TheVM),
+        TelInstructions(
+            Telemetry::global().counter(metrics::InterpInstructions)),
+        TelCallsVirtual(
+            Telemetry::global().counter(metrics::InterpCallsVirtual)),
+        TelCallsDirect(
+            Telemetry::global().counter(metrics::InterpCallsDirect)) {}
 
   /// Runs \p T for at most \p Budget instructions. \returns the number of
   /// instructions executed. On return, \p T is Runnable (budget expired) or
@@ -39,6 +47,12 @@ private:
   bool doReturn(VMThread &T, bool HasValue);
 
   VM &TheVM;
+
+  // Telemetry handles resolved once; the dispatch loop counts into plain
+  // locals and flushes per quantum, so the hot path stays branch-only.
+  TelCounter &TelInstructions;
+  TelCounter &TelCallsVirtual;
+  TelCounter &TelCallsDirect;
 };
 
 } // namespace jvolve

@@ -4,6 +4,7 @@
 #include "bytecode/Verifier.h"
 #include "runtime/ObjectModel.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -12,7 +13,40 @@
 
 using namespace jvolve;
 
+/// Registers every standard metric name up front so a snapshot taken after
+/// any run — even one that never updates, collects, or traps — still lists
+/// the full scheduler/heap/interpreter/dsu surface (with zero values)
+/// instead of only the names that happened to record.
+static void preregisterStandardMetrics() {
+  Telemetry &Tel = Telemetry::global();
+  for (const char *C :
+       {metrics::SchedSafePoints, metrics::HeapObjectsAllocated,
+        metrics::HeapBytesAllocated, metrics::GcCollections,
+        metrics::GcBytesCopied, metrics::GcObjectsCopied,
+        metrics::GcDsuCollections, metrics::GcDsuBytesCopied,
+        metrics::GcDsuObjectsRemapped, metrics::InterpInstructions,
+        metrics::InterpCallsVirtual, metrics::InterpCallsDirect,
+        metrics::InterpTraps, metrics::JitCompilationsBaseline,
+        metrics::JitCompilationsOpt, metrics::JitTierPromotions,
+        metrics::DsuUpdatesScheduled, metrics::DsuUpdatesApplied,
+        metrics::DsuUpdatesRolledBack, metrics::DsuUpdatesTimedOut,
+        metrics::DsuUpdatesRejected, metrics::DsuSafePointAttempts,
+        metrics::DsuBarriersArmed, metrics::DsuBarriersFired,
+        metrics::DsuOsrReplacements, metrics::DsuFramesRemapped,
+        metrics::DsuObjectsTransformed, metrics::DsuCodeInvalidated})
+    Tel.counter(C);
+  for (const char *H :
+       {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
+        metrics::GcPauseMs, metrics::GcSurvivorRate, metrics::GcDsuPauseMs,
+        metrics::DsuTotalPauseMs})
+    Tel.histogram(H);
+  for (const char *Phase : {"snapshot", "classload", "stack_repair", "gc",
+                            "transform", "certify", "rollback"})
+    Tel.histogram(metrics::dsuPhaseMs(Phase));
+}
+
 VM::VM(Config C) : Cfg(C) {
+  preregisterStandardMetrics();
   TheHeap = std::make_unique<Heap>(Cfg.HeapSpaceBytes);
   Gc = std::make_unique<Collector>(*TheHeap, Registry);
   Gc->setFaultInjector(&Faults);
@@ -97,6 +131,8 @@ std::shared_ptr<CompiledMethod> VM::ensureCompiledForInvoke(MethodId Method) {
              M.InvokeCount == Cfg.OptThreshold) {
     // The adaptive system promotes hot methods to the opt tier.
     M.Code = Comp->compile(Method, Tier::Opt);
+    if (Telemetry::isEnabled())
+      Telemetry::global().counter(metrics::JitTierPromotions).inc();
   }
   return M.Code;
 }
@@ -112,6 +148,7 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
     Sched.wakeReadyThreads();
 
     if (Sched.yieldRequested() && Sched.allAtSafePoints()) {
+      Sched.noteSafePointReached();
       if (SafePointCallback) {
         SafePointCallback();
         // The callback must resume or finish; guard against a stall.
@@ -143,6 +180,10 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
     uint64_t Budget = std::min<uint64_t>(Cfg.Quantum, End - Sched.ticks());
     uint64_t Executed = Interp->runThread(*T, Budget);
     Sched.advanceTicks(Executed);
+    if (Telemetry::isEnabled() && Executed > 0)
+      Telemetry::global()
+          .histogram(metrics::SchedQuantumTicks)
+          .record(static_cast<double>(Executed));
     if (Executed == 0 && T->State == ThreadState::Runnable)
       fatalError("scheduler made no progress on runnable thread " + T->Name);
   }
@@ -278,5 +319,7 @@ void VM::onTrap(VMThread &T, const std::string &Message) {
   T.State = ThreadState::Trapped;
   T.TrapMessage = Message;
   ++Stats.Traps;
+  if (Telemetry::isEnabled())
+    Telemetry::global().counter(metrics::InterpTraps).inc();
   PrintLog.push_back("TRAP[" + T.Name + "]: " + Message);
 }

@@ -49,6 +49,36 @@ TEST(Stats, Mean) {
   EXPECT_DOUBLE_EQ(mean({}), 0);
 }
 
+TEST(Stats, PercentileMatchesQuartiles) {
+  std::vector<double> V;
+  for (int I = 1; I <= 21; ++I)
+    V.push_back(I);
+  QuartileSummary S = summarizeQuartiles(V);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), S.Median);
+  EXPECT_DOUBLE_EQ(percentile(V, 25), S.LowerQuartile);
+  EXPECT_DOUBLE_EQ(percentile(V, 75), S.UpperQuartile);
+}
+
+TEST(Stats, PercentileExtremesAndInterpolation) {
+  std::vector<double> V = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 25);
+  // Rank 0.95 * 3 = 2.85 interpolates between 30 and 40.
+  EXPECT_DOUBLE_EQ(percentile(V, 95), 38.5);
+  // Out-of-range P clamps rather than reading past the ends.
+  EXPECT_DOUBLE_EQ(percentile(V, -5), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 150), 40);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7);
+}
+
+TEST(Stats, QuartileSummaryRendersMedianAndSpread) {
+  QuartileSummary S = summarizeQuartiles({1, 2, 3, 4, 5});
+  EXPECT_EQ(S.str(), "3.0 [2.0..4.0]");
+  EXPECT_EQ(S.str(2), "3.00 [2.00..4.00]");
+}
+
 TEST(StringUtils, SplitBasic) {
   std::vector<std::string> P = splitString("a@b@c", '@');
   ASSERT_EQ(P.size(), 3u);

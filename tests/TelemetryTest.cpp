@@ -1,0 +1,247 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the VM-wide telemetry layer: counter/gauge/histogram
+/// semantics, snapshot determinism, the disabled-mode guarantee, and the
+/// JSONL trace sink.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+namespace {
+
+/// Every test runs against the process-global registry, so each one
+/// starts from zeroed instruments and leaves telemetry disabled (the
+/// process default) for whatever test binary runs next.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Telemetry::global().reset();
+    Telemetry::global().setEnabled(true);
+  }
+  void TearDown() override {
+    Telemetry::global().closeTrace();
+    Telemetry::global().setEnabled(false);
+    Telemetry::global().reset();
+  }
+};
+
+TEST_F(TelemetryTest, CounterAccumulates) {
+  TelCounter &C = Telemetry::global().counter("test.counter");
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST_F(TelemetryTest, GaugeLastValueWinsAndDeltas) {
+  TelGauge &G = Telemetry::global().gauge("test.gauge");
+  G.set(7);
+  EXPECT_EQ(G.value(), 7);
+  G.set(-3);
+  EXPECT_EQ(G.value(), -3);
+  G.add(10);
+  EXPECT_EQ(G.value(), 7);
+}
+
+TEST_F(TelemetryTest, HandleIdentityIsStable) {
+  TelCounter &A = Telemetry::global().counter("test.same");
+  TelCounter &B = Telemetry::global().counter("test.same");
+  EXPECT_EQ(&A, &B);
+}
+
+TEST_F(TelemetryTest, HistogramStatsAndBuckets) {
+  TelHistogram &H =
+      Telemetry::global().histogram("test.hist", {1.0, 10.0, 100.0});
+  EXPECT_EQ(H.numBuckets(), 4u); // 3 bounds + overflow
+  for (double V : {0.5, 5.0, 50.0, 500.0, 5.0})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.sum(), 560.5);
+  EXPECT_DOUBLE_EQ(H.min(), 0.5);
+  EXPECT_DOUBLE_EQ(H.max(), 500.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 112.1);
+  EXPECT_EQ(H.bucketCount(0), 1u); // <= 1
+  EXPECT_EQ(H.bucketCount(1), 2u); // <= 10
+  EXPECT_EQ(H.bucketCount(2), 1u); // <= 100
+  EXPECT_EQ(H.bucketCount(3), 1u); // overflow
+  EXPECT_DOUBLE_EQ(H.percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(H.percentile(100), 500.0);
+  EXPECT_DOUBLE_EQ(H.percentile(50), 5.0);
+}
+
+TEST_F(TelemetryTest, HistogramBoundaryValueGoesToUpperBucket) {
+  // Bucket i covers [bound_{i-1}, bound_i): a value exactly on a bound
+  // belongs to the bucket that starts there.
+  TelHistogram &H = Telemetry::global().histogram("test.bound", {1.0, 10.0});
+  H.record(0.99);
+  H.record(1.0);
+  H.record(10.0);
+  EXPECT_EQ(H.bucketCount(0), 1u); // < 1
+  EXPECT_EQ(H.bucketCount(1), 1u); // [1, 10)
+  EXPECT_EQ(H.bucketCount(2), 1u); // >= 10
+}
+
+TEST_F(TelemetryTest, HistogramRecordNeverAllocates) {
+  TelHistogram &H = Telemetry::global().histogram("test.ring", {1.0});
+  size_t Cap = H.sampleCapacity();
+  ASSERT_GT(Cap, 0u);
+  // Overfill the reservoir: retained count saturates at the preallocated
+  // capacity while count() keeps rising — record() wrote into the ring
+  // rather than growing anything.
+  for (size_t I = 0; I < Cap + 100; ++I)
+    H.record(static_cast<double>(I));
+  EXPECT_EQ(H.count(), Cap + 100);
+  EXPECT_EQ(H.samplesRetained(), Cap);
+  EXPECT_EQ(H.sampleCapacity(), Cap);
+}
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing) {
+  TelCounter &C = Telemetry::global().counter("test.disabled.counter");
+  TelGauge &G = Telemetry::global().gauge("test.disabled.gauge");
+  TelHistogram &H = Telemetry::global().histogram("test.disabled.hist");
+  Telemetry::global().setEnabled(false);
+  C.add(5);
+  G.set(5);
+  H.record(5);
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.samplesRetained(), 0u);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesButKeepsRegistrations) {
+  Telemetry &Tel = Telemetry::global();
+  Tel.counter("test.reset.c").add(3);
+  Tel.histogram("test.reset.h").record(1.5);
+  Tel.reset();
+  ASSERT_NE(Tel.findCounter("test.reset.c"), nullptr);
+  ASSERT_NE(Tel.findHistogram("test.reset.h"), nullptr);
+  EXPECT_EQ(Tel.findCounter("test.reset.c")->value(), 0u);
+  EXPECT_EQ(Tel.findHistogram("test.reset.h")->count(), 0u);
+}
+
+TEST_F(TelemetryTest, SnapshotIsDeterministic) {
+  Telemetry &Tel = Telemetry::global();
+  // Register in non-sorted order; snapshots must still agree byte-for-byte.
+  Tel.counter("test.z").add(1);
+  Tel.counter("test.a").add(2);
+  Tel.gauge("test.m").set(-4);
+  Tel.histogram("test.h").record(2.5);
+  std::string A = Tel.snapshot().json();
+  std::string B = Tel.snapshot().json();
+  EXPECT_EQ(A, B);
+
+  Telemetry::Snapshot S = Tel.snapshot();
+  ASSERT_GE(S.Metrics.size(), 4u);
+  for (size_t I = 1; I < S.Metrics.size(); ++I)
+    EXPECT_LT(S.Metrics[I - 1].Name, S.Metrics[I].Name);
+  const Telemetry::MetricSnapshot *M = S.find("test.m");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Value, -4);
+  EXPECT_EQ(S.find("test.no-such-metric"), nullptr);
+}
+
+TEST_F(TelemetryTest, SnapshotTableRendersEveryMetric) {
+  Telemetry &Tel = Telemetry::global();
+  Tel.counter("test.table.c").add(9);
+  Tel.histogram("test.table.h").record(3.0);
+  std::string Table = Tel.snapshot().table();
+  EXPECT_NE(Table.find("test.table.c"), std::string::npos);
+  EXPECT_NE(Table.find("test.table.h"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceEventJsonRoundTrip) {
+  TraceEvent E;
+  E.Name = "dsu.update.phase";
+  E.Phase = "gc";
+  E.StartTick = 12345;
+  E.EndTick = 12345;
+  E.Ms = 1.25;
+  E.Value = -7;
+  E.Detail = "quotes \" backslash \\ newline \n tab \t done";
+  TraceEvent Back;
+  ASSERT_TRUE(TraceEvent::parseLine(E.jsonLine(), Back));
+  EXPECT_EQ(Back.Name, E.Name);
+  EXPECT_EQ(Back.Phase, E.Phase);
+  EXPECT_EQ(Back.StartTick, E.StartTick);
+  EXPECT_EQ(Back.EndTick, E.EndTick);
+  EXPECT_DOUBLE_EQ(Back.Ms, E.Ms);
+  EXPECT_EQ(Back.Value, E.Value);
+  EXPECT_EQ(Back.Detail, E.Detail);
+}
+
+TEST_F(TelemetryTest, ParseLineRejectsMalformedInput) {
+  TraceEvent Out;
+  EXPECT_FALSE(TraceEvent::parseLine("", Out));
+  EXPECT_FALSE(TraceEvent::parseLine("not json", Out));
+  EXPECT_FALSE(TraceEvent::parseLine("{\"name\":\"x\"}", Out));
+}
+
+TEST_F(TelemetryTest, TraceSinkWritesCompleteFile) {
+  std::string Path = ::testing::TempDir() + "telemetry_sink_test.jsonl";
+  {
+    // A buffer far smaller than the event count forces mid-stream flushes;
+    // the file must still hold every event in order.
+    TraceSink Sink(Path, 4);
+    ASSERT_TRUE(Sink.ok());
+    for (int I = 0; I < 10; ++I) {
+      TraceEvent E;
+      E.Name = "test.event";
+      E.Phase = "p" + std::to_string(I);
+      E.Value = I;
+      Sink.emit(std::move(E));
+    }
+    EXPECT_EQ(Sink.eventsEmitted(), 10u);
+  } // destructor flushes the tail
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  int N = 0;
+  while (std::getline(In, Line)) {
+    TraceEvent E;
+    ASSERT_TRUE(TraceEvent::parseLine(Line, E)) << Line;
+    EXPECT_EQ(E.Value, N);
+    ++N;
+  }
+  EXPECT_EQ(N, 10);
+  std::remove(Path.c_str());
+}
+
+TEST_F(TelemetryTest, OpenTraceEnablesTelemetryAndEmits) {
+  Telemetry &Tel = Telemetry::global();
+  Tel.setEnabled(false);
+  std::string Path = ::testing::TempDir() + "telemetry_open_test.jsonl";
+  ASSERT_TRUE(Tel.openTrace(Path));
+  EXPECT_TRUE(Telemetry::isEnabled());
+  EXPECT_TRUE(Tel.tracing());
+  TraceEvent E;
+  E.Name = "test.open";
+  Tel.emit(std::move(E));
+  Tel.closeTrace();
+  EXPECT_FALSE(Tel.tracing());
+
+  std::ifstream In(Path);
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  TraceEvent Back;
+  ASSERT_TRUE(TraceEvent::parseLine(Line, Back));
+  EXPECT_EQ(Back.Name, "test.open");
+  std::remove(Path.c_str());
+}
+
+TEST_F(TelemetryTest, DsuMetricNameBuilders) {
+  EXPECT_EQ(metrics::dsuPhaseMs("gc"), "dsu.update.phase_ms{phase=gc}");
+  EXPECT_EQ(std::string(metrics::DsuTotalPauseMs), metrics::dsuPhaseMs("total"));
+  EXPECT_EQ(metrics::faultFired("class-load"),
+            "dsu.faults.fired{site=class-load}");
+}
+
+} // namespace

@@ -11,7 +11,9 @@
 
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
+#include "support/Telemetry.h"
 
+#include <fstream>
 #include <gtest/gtest.h>
 
 using namespace jvolve;
@@ -144,6 +146,43 @@ TEST(UpdateTrace, RejectionRecorded) {
       U.applyNow(Upt::prepare(traceVersion(1, false), Broken, "v1"));
   EXPECT_EQ(R.Status, UpdateStatus::RejectedNotVerifiable);
   EXPECT_EQ(R.Trace.count(UpdateEventKind::Rejected), 1);
+}
+
+TEST(UpdateTrace, EveryEventKindNamedAndRoundTripsThroughSink) {
+  // Every kind must render a non-empty name, and a trace containing one
+  // event of each kind must survive the JSONL sink byte-for-byte.
+  constexpr int NumKinds = static_cast<int>(UpdateEventKind::TimedOut) + 1;
+  std::string Path =
+      ::testing::TempDir() + "update_trace_roundtrip_test.jsonl";
+  Telemetry &Tel = Telemetry::global();
+  ASSERT_TRUE(Tel.openTrace(Path));
+
+  UpdateTrace T;
+  for (int K = 0; K < NumKinds; ++K) {
+    UpdateEventKind Kind = static_cast<UpdateEventKind>(K);
+    EXPECT_STRNE(updateEventKindName(Kind), "") << "kind " << K;
+    T.record(Kind, /*Tick=*/100 + K, /*Value=*/K, "detail-" + std::to_string(K));
+  }
+  Tel.closeTrace();
+  Tel.setEnabled(false);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  int K = 0;
+  while (std::getline(In, Line)) {
+    TraceEvent E;
+    ASSERT_TRUE(TraceEvent::parseLine(Line, E)) << Line;
+    EXPECT_EQ(E.Name, "dsu.update.event");
+    EXPECT_EQ(E.Phase,
+              updateEventKindName(static_cast<UpdateEventKind>(K)));
+    EXPECT_EQ(E.StartTick, static_cast<uint64_t>(100 + K));
+    EXPECT_EQ(E.Value, K);
+    EXPECT_EQ(E.Detail, "detail-" + std::to_string(K));
+    ++K;
+  }
+  EXPECT_EQ(K, NumKinds);
+  std::remove(Path.c_str());
 }
 
 TEST(UpdateTrace, RendersReadableLog) {

@@ -3,23 +3,28 @@
 /// \file
 /// jvolve-run: load a MiniVM assembly program and execute it.
 ///
-///   jvolve-run [--verify-heap] program.mvm [Class.method] [int args...]
+///   jvolve-run [--verify-heap] [--metrics[=json|table]]
+///              [--trace-out <file>] program.mvm [Class.method] [ints...]
 ///
 /// The entry point defaults to Main.main()V; an explicit entry point may
 /// take int parameters supplied on the command line. Prints the program's
 /// output (print_int / print_str intrinsics) and the entry method's return
 /// value, then exits non-zero if any thread trapped. --verify-heap runs
 /// the heap verifier and registry-consistency check after execution and
-/// fails the run on any violation.
+/// fails the run on any violation. --metrics enables telemetry and dumps
+/// the registry snapshot at exit (table by default, JSON with =json);
+/// --trace-out enables telemetry and streams JSONL trace events to <file>.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
 #include "bytecode/Verifier.h"
 #include "heap/HeapVerifier.h"
+#include "support/Telemetry.h"
 #include "vm/VM.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -38,14 +43,42 @@ static std::string readFile(const char *Path) {
 
 int main(int argc, char **argv) {
   bool VerifyHeap = false;
-  if (argc >= 2 && std::string(argv[1]) == "--verify-heap") {
-    VerifyHeap = true;
+  enum class MetricsMode { Off, Table, Json } Metrics = MetricsMode::Off;
+
+  while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
+    std::string Flag = argv[1];
+    if (Flag == "--verify-heap") {
+      VerifyHeap = true;
+    } else if (Flag == "--metrics" || Flag == "--metrics=table") {
+      Metrics = MetricsMode::Table;
+    } else if (Flag == "--metrics=json") {
+      Metrics = MetricsMode::Json;
+    } else if (Flag == "--trace-out") {
+      if (argc < 3) {
+        std::fprintf(stderr, "jvolve-run: --trace-out requires a file\n");
+        return 2;
+      }
+      if (!Telemetry::global().openTrace(argv[2])) {
+        std::fprintf(stderr, "jvolve-run: cannot create trace file '%s'\n",
+                     argv[2]);
+        return 2;
+      }
+      --argc;
+      ++argv;
+    } else {
+      std::fprintf(stderr, "jvolve-run: unknown flag '%s'\n", Flag.c_str());
+      return 2;
+    }
     --argc;
     ++argv;
   }
+  if (Metrics != MetricsMode::Off)
+    Telemetry::global().setEnabled(true);
+
   if (argc < 2) {
-    std::fprintf(stderr, "usage: jvolve-run [--verify-heap] <program.mvm> "
-                         "[Class.method] [ints]\n");
+    std::fprintf(stderr,
+                 "usage: jvolve-run [--verify-heap] [--metrics[=json|table]] "
+                 "[--trace-out <file>] <program.mvm> [Class.method] [ints]\n");
     return 2;
   }
 
@@ -118,6 +151,12 @@ int main(int argc, char **argv) {
     }
     std::printf("heap-verify: ok\n");
   }
+
+  if (Metrics == MetricsMode::Json)
+    std::printf("%s\n", Telemetry::global().snapshot().json().c_str());
+  else if (Metrics == MetricsMode::Table)
+    std::printf("%s", Telemetry::global().snapshot().table().c_str());
+  Telemetry::global().closeTrace(); // flush any buffered JSONL events
 
   VMThread *T = TheVM.scheduler().findThread(Main);
   if (T->State == ThreadState::Trapped) {

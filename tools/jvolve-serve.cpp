@@ -8,13 +8,21 @@
 /// the paper's §4 experience, including the updates that cannot be
 /// applied.
 ///
-///   jvolve-serve jetty|email|crossftp [--trace] [--inject <site>[:fire[:skip]]]
+///   jvolve-serve jetty|email|crossftp [--trace] [--stats]
+///                [--trace-out <file>] [--inject <site>[:fire[:skip]]]
 ///
-/// --inject arms a FaultInjector site (class-load, transformer-nth-object,
-/// transformer-cycle, gc-alloc-exhaustion, safe-point-starvation) so the
-/// rollback path can be watched live: the doomed update rolls back, the
-/// certification verdict prints, and the server keeps serving the old
-/// version.
+/// --inject arms a FaultInjector site — one of class-load,
+/// transformer-nth-object, transformer-cycle, gc-alloc-exhaustion, or
+/// safe-point-starvation — so the rollback path can be watched live: the
+/// doomed update rolls back, the certification verdict prints, and the
+/// server keeps serving the old version.
+///
+/// --stats enables telemetry and issues an in-band stats request after
+/// boot and after every update: a probe connection travels the same
+/// simulated network path as client traffic, and when the server's
+/// response comes back the current telemetry registry snapshot prints —
+/// the live stats surface. --trace-out streams JSONL trace events (update
+/// phase spans and lifecycle events) to <file>.
 ///
 /// When an update cannot reach a safe point (the changed method never
 /// leaves the stack), the tool retries once with the operator-supplied
@@ -30,6 +38,7 @@
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,28 +80,80 @@ void addOperatorMappings(UpdateBundle &B, const AppModel &App,
   }
 }
 
+/// Comma-separated list of every valid --inject site name.
+std::string injectSiteList() {
+  std::string Out;
+  for (const std::string &Name : FaultInjector::allSiteNames()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name;
+  }
+  return Out;
+}
+
+/// The in-band stats request: a probe connection is injected through the
+/// same simulated network path as client traffic, and the VM runs until
+/// the server's response to it comes back — so the snapshot reflects a
+/// server that has caught up with everything ahead of the probe. \returns
+/// false when the server never answered (e.g. every worker trapped).
+bool serveStatsRequest(VM &TheVM, int Port) {
+  int Conn = TheVM.injectConnection(Port, {1});
+  for (int Round = 0; Round < 500; ++Round) {
+    // Run first, drain second: a server that answers the probe and then
+    // blocks again reports Idle on the same run() that produced the
+    // response.
+    bool Idle = TheVM.run(2'000).Idle;
+    for (const NetResponse &R : TheVM.net().drainResponses())
+      if (R.Conn == Conn) {
+        std::printf("stats @ tick %llu:\n%s",
+                    static_cast<unsigned long long>(TheVM.scheduler().ticks()),
+                    Telemetry::global().snapshot().table().c_str());
+        return true;
+      }
+    if (Idle)
+      break;
+  }
+  std::fprintf(stderr, "jvolve-serve: stats request got no response\n");
+  return false;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
-                 "[--inject <site>[:fire[:skip]]]\n");
+                 "[--stats] [--trace-out <file>] "
+                 "[--inject <site>[:fire[:skip]]]\n"
+                 "  valid --inject sites: %s\n",
+                 injectSiteList().c_str());
     return 2;
   }
   bool ShowTrace = false;
+  bool ShowStats = false;
   FaultInjector::Site InjectSite{};
   uint64_t InjectFire = 0, InjectSkip = 0;
   bool Inject = false;
   for (int I = 2; I < argc; ++I) {
     if (std::strcmp(argv[I], "--trace") == 0) {
       ShowTrace = true;
+    } else if (std::strcmp(argv[I], "--stats") == 0) {
+      ShowStats = true;
+      Telemetry::global().setEnabled(true);
+    } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
+      if (!Telemetry::global().openTrace(argv[++I])) {
+        std::fprintf(stderr, "jvolve-serve: cannot create trace file '%s'\n",
+                     argv[I]);
+        return 2;
+      }
     } else if (std::strcmp(argv[I], "--inject") == 0 && I + 1 < argc) {
       std::string Spec = argv[++I];
       std::string Name = Spec.substr(0, Spec.find(':'));
       if (!FaultInjector::siteByName(Name, InjectSite)) {
-        std::fprintf(stderr, "jvolve-serve: unknown fault site '%s'\n",
-                     Name.c_str());
+        std::fprintf(stderr,
+                     "jvolve-serve: unknown fault site '%s'\n"
+                     "  valid sites: %s\n",
+                     Name.c_str(), injectSiteList().c_str());
         return 2;
       }
       InjectFire = 1;
@@ -143,6 +204,8 @@ int main(int argc, char **argv) {
   std::printf("booted %s; serving...\n", App.versionName(0).c_str());
   LoadResult Warm = Driver.measure(10'000);
   std::printf("  throughput %.1f resp/ktick\n", Warm.Throughput);
+  if (ShowStats)
+    serveStatsRequest(TheVM, Port);
 
   size_t Version = 0; // currently running version index
   for (size_t V = 1; V < App.numVersions(); ++V) {
@@ -212,8 +275,11 @@ int main(int argc, char **argv) {
 
     LoadResult After = Driver.measure(6'000);
     std::printf("  throughput %.1f resp/ktick\n", After.Throughput);
+    if (ShowStats)
+      serveStatsRequest(TheVM, Port);
   }
 
+  Telemetry::global().closeTrace(); // flush any buffered JSONL events
   std::printf("final version: %s\n", App.versionName(Version).c_str());
   for (auto &T : TheVM.scheduler().threads())
     if (T->State == ThreadState::Trapped) {
