@@ -11,7 +11,9 @@
 ///   - changed transient method     -> return barrier, then applied
 ///   - category-(2) infinite loop   -> OSR applies it; without OSR it
 ///                                     times out
-///   - changed infinite loop        -> timeout (no mechanism suffices)
+///   - changed infinite loop        -> retry-only: timeout (no mechanism
+///                                     suffices); rescue rung: identity
+///                                     remap admits the same-size body
 ///
 //===----------------------------------------------------------------------===//
 
@@ -153,7 +155,7 @@ int main() {
                       Opts);
   }});
 
-  Scenarios.push_back({"changed infinite loop (no mechanism suffices)", [] {
+  Scenarios.push_back({"changed infinite loop, retry-only", [] {
     VM TheVM(benchConfig());
     TheVM.loadProgram(serverProgram(1, false));
     TheVM.spawnThread("Server", "loop", "()V", {}, "srv", true);
@@ -166,13 +168,28 @@ int main() {
         Opts);
   }});
 
+  Scenarios.push_back({"changed infinite loop, rescue enabled", [] {
+    VM TheVM(benchConfig());
+    TheVM.loadProgram(serverProgram(1, false));
+    TheVM.spawnThread("Server", "loop", "()V", {}, "srv", true);
+    TheVM.run(100);
+    Updater U(TheVM);
+    UpdateOptions Opts;
+    Opts.TimeoutTicks = 40'000;
+    Opts.EnableRescue = true;
+    return U.applyNow(
+        Upt::prepare(serverProgram(1, false), serverProgram(1, true), "v"),
+        Opts);
+  }});
+
   std::printf("=== DSU safe-point mechanisms (paper §3.2) ===\n\n");
   TablePrinter TP;
-  TP.setHeader({"Scenario", "outcome", "attempts", "barriers", "OSR",
-                "ticks-to-safe-point"});
+  TP.setHeader({"Scenario", "outcome", "rung", "attempts", "barriers", "OSR",
+                "ticks-to-quiescence"});
   for (Scenario &S : Scenarios) {
     UpdateResult R = S.Run();
     TP.addRow({S.Name, updateStatusName(R.Status),
+               quiescenceRungName(R.ResolvedRung),
                std::to_string(R.SafePointAttempts),
                std::to_string(R.ReturnBarriersInstalled),
                std::to_string(R.OsrReplacements),
@@ -185,6 +202,10 @@ int main() {
               "on-stack changed methods; OSR admits updates whose only "
               "on-stack dependence is category (2); a changed method that "
               "never leaves the stack defeats both (the paper's two "
-              "unsupported updates).\n");
+              "unsupported updates). The rung column shows where the "
+              "escalation ladder resolved each attempt: retry-only leaves "
+              "the infinite-loop update at 'abort', while the rescue rung "
+              "synthesizes an identity stack map for the same-size body "
+              "and reaches quiescence anyway.\n");
   return 0;
 }

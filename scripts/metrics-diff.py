@@ -10,6 +10,11 @@ as added/removed. Exits 0 when nothing changed beyond --threshold
 (relative percent, default 0: any change reports and exits 1), which
 makes the script usable as a regression gate between two runs of the
 same workload.
+
+`--require METRIC` (repeatable) asserts that METRIC exists in the after
+dump; a missing required metric prints a diagnostic and exits 2, so
+experiment scripts can verify an instrumented path actually ran (e.g.
+`--require net.shed_total` after a drain/shed experiment).
 """
 
 import argparse
@@ -57,10 +62,21 @@ def main():
     ap.add_argument("after")
     ap.add_argument("--threshold", type=float, default=0.0,
                     help="ignore relative changes below this percent")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="METRIC",
+                    help="fail (exit 2) unless METRIC is present in the "
+                         "after dump; repeatable")
     args = ap.parse_args()
 
     before = load(args.before)
     after = load(args.after)
+
+    missing = [m for m in args.require if m not in after]
+    if missing:
+        for m in missing:
+            print(f"metrics-diff: required metric missing: {m}",
+                  file=sys.stderr)
+        return 2
 
     rows = []
     for name in sorted(set(before) | set(after)):

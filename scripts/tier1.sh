@@ -2,7 +2,9 @@
 # Tier-1 verification: the full suite in the default configuration, the
 # same suite again with telemetry + JSONL tracing enabled (catches crashes
 # that only instrumented paths can hit), then the update-transaction
-# (rollback) suite under a sanitizer build.
+# (rollback), quiescence-escalation, and GC-fuzz suites under a sanitizer
+# build — including a pass with both update-time fault sites armed via the
+# environment.
 #
 #   scripts/tier1.sh [sanitizer]
 #
@@ -27,7 +29,13 @@ rm -f "$TRACE_OUT"
 
 if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"
-  cmake --build "build-$SAN" -j "$JOBS" --target dsu_rollback_test gc_fuzz_test
+  cmake --build "build-$SAN" -j "$JOBS" \
+    --target dsu_rollback_test quiescence_test gc_fuzz_test
   ctest --test-dir "build-$SAN" --output-on-failure -j "$JOBS" \
-    -R 'DsuRollback|GcFuzz'
+    -R 'DsuRollback|Quiescence|GcFuzz'
+  # Escalation under injected faults: arm the watchdog-expiry and
+  # slow-client sites through the environment (the path production VMs
+  # take) and rerun the fault-driven cases under the sanitizer.
+  JVOLVE_INJECT='quiescence-watchdog-expiry:1:3,net-slow-client:1:2' \
+    "build-$SAN/tests/quiescence_test" --gtest_filter='QuiescenceFault.*'
 fi

@@ -32,6 +32,12 @@ const char *jvolve::updateEventKindName(UpdateEventKind K) {
   case UpdateEventKind::RetryScheduled: return "retry-scheduled";
   case UpdateEventKind::Applied: return "applied";
   case UpdateEventKind::TimedOut: return "timed-out";
+  case UpdateEventKind::WatchdogExpired: return "watchdog-expired";
+  case UpdateEventKind::Rescued: return "rescued";
+  case UpdateEventKind::Degraded: return "degraded";
+  case UpdateEventKind::DeferredResumed: return "deferred-resumed";
+  case UpdateEventKind::DrainStarted: return "drain-started";
+  case UpdateEventKind::DrainEnded: return "drain-ended";
   }
   unreachable("bad update event kind");
 }

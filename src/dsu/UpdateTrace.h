@@ -41,6 +41,12 @@ enum class UpdateEventKind : uint8_t {
   RetryScheduled,   ///< safe-point timeout; retrying with a longer deadline
   Applied,          ///< update complete
   TimedOut,         ///< safe point never reached
+  WatchdogExpired,  ///< quiescence watchdog fired; threads diagnosed
+  Rescued,          ///< rescue rung: forced yields / synthesized remaps
+  Degraded,         ///< method-body subset applied; remainder deferred
+  DeferredResumed,  ///< a degraded update's full bundle rescheduled
+  DrainStarted,     ///< network drain began for the pending update
+  DrainEnded,       ///< network drain lifted after the update resolved
 };
 
 const char *updateEventKindName(UpdateEventKind K);

@@ -2,6 +2,7 @@
 
 #include "bytecode/Builtins.h"
 #include "bytecode/Verifier.h"
+#include "dsu/EcUpdater.h"
 #include "dsu/Transformers.h"
 #include "heap/HeapVerifier.h"
 #include "runtime/ObjectModel.h"
@@ -45,6 +46,7 @@ const char *jvolve::updateStatusName(UpdateStatus S) {
   case UpdateStatus::RejectedHierarchy: return "rejected (hierarchy)";
   case UpdateStatus::RolledBack: return "rolled-back";
   case UpdateStatus::FailedTransformer: return "failed-transformer";
+  case UpdateStatus::Degraded: return "degraded";
   }
   unreachable("bad update status");
 }
@@ -108,9 +110,15 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   ScheduleTick = TheVM.scheduler().ticks();
   DeadlineTick = ScheduleTick + Opts.TimeoutTicks;
   ReattemptTick = 0;
+  RescueTried = false;
   Result.Trace.record(UpdateEventKind::Scheduled, ScheduleTick, 0,
                       "timeout in " + std::to_string(Opts.TimeoutTicks) +
                           " ticks");
+  if (ResumingDeferred)
+    Result.Trace.record(UpdateEventKind::DeferredResumed, ScheduleTick, 0,
+                        "resuming deferred remainder of a degraded update");
+  if (Opts.DrainNetwork)
+    beginDrain();
 
   resolveIdSets();
 
@@ -206,11 +214,34 @@ void Updater::onTick(uint64_t Now) {
     ReattemptTick = 0;
     TheVM.requestYield();
   }
-  if (Now < DeadlineTick)
+  // The watchdog's deadline, or an injected expiry (armed() gates the
+  // probe so an idle injector is not flooded with per-tick probes).
+  bool Forced =
+      TheVM.faults().armed(FaultInjector::Site::QuiescenceWatchdogExpiry) &&
+      TheVM.faults().probe(FaultInjector::Site::QuiescenceWatchdogExpiry);
+  if (!Forced && Now < DeadlineTick)
     return;
+  escalate(Now, Forced);
+}
+
+void Updater::escalate(uint64_t Now, bool Forced, const char *AbortReason) {
+  // Diagnose first: every rung (and the final result) gets the freshest
+  // picture of what pins the update.
+  Result.Quiescence =
+      QuiescenceWatchdog(TheVM, Bundle, RestrictedMethodIds,
+                         UpdatedOldClassIds, Opts.EnableOsr)
+          .diagnose(ScheduleTick, DeadlineTick, Result.SafePointAttempts,
+                    Forced);
+  bumpDsuCounter(metrics::DsuQuiescenceExpiries);
+  Result.Trace.record(
+      UpdateEventKind::WatchdogExpired, Now,
+      static_cast<int64_t>(Result.Quiescence.Threads.size()),
+      Forced ? "injected expiry" : "deadline expired");
+
+  // Rung 1 — Retry: extend the deadline with backoff instead of failing on
+  // the first transient starvation.
   if (Result.RetriesUsed < Opts.MaxRetries) {
-    // Bounded retry with backoff: extend the deadline and ask for a safe
-    // point again instead of failing on the first transient starvation.
+    Result.ResolvedRung = QuiescenceRung::Retry;
     ++Result.RetriesUsed;
     double Scale = 1.0;
     for (int I = 0; I < Result.RetriesUsed; ++I)
@@ -227,8 +258,182 @@ void Updater::onTick(uint64_t Now) {
     TheVM.requestYield();
     return;
   }
-  abortUpdate(UpdateStatus::TimedOut,
-              "no DSU safe point reached within the timeout");
+
+  // Rung 2 — Rescue: act on what the diagnosis found, once, then grant one
+  // more full deadline for the rescued threads to reach their barriers.
+  if (Opts.EnableRescue && !RescueTried) {
+    RescueTried = true;
+    Result.ResolvedRung = QuiescenceRung::Rescue;
+    rescue(Now);
+    DeadlineTick = Now + std::max<uint64_t>(1, Opts.TimeoutTicks);
+    TheVM.requestYield();
+    return;
+  }
+
+  // Rung 3 — Degrade: land the method-body-only subset now, defer the rest.
+  if (Opts.AllowDegraded && degrade(Now))
+    return;
+
+  // Rung 4 — Abort, naming the reason the report found.
+  Result.ResolvedRung = QuiescenceRung::Abort;
+  std::string Message = AbortReason;
+  std::vector<std::string> Looping = Result.Quiescence.loopingMethods();
+  if (!Looping.empty()) {
+    Message += ":";
+    for (const std::string &M : Looping)
+      Message += " " + M + " never returns (infinite loop);";
+    Message.pop_back();
+  }
+  abortUpdate(UpdateStatus::TimedOut, Message);
+}
+
+void Updater::rescue(uint64_t Now) {
+  QuiescenceWatchdog Watchdog(TheVM, Bundle, RestrictedMethodIds,
+                              UpdatedOldClassIds, Opts.EnableOsr);
+  ClassRegistry &Reg = TheVM.registry();
+  int Mapped = 0, Yanked = 0;
+  for (auto &T : TheVM.scheduler().threads()) {
+    if (T->stopped())
+      continue;
+    bool Pinned = false;
+    for (Frame &F : T->Frames) {
+      if (classifyFrame(F) != FrameKind::Restricted)
+        continue;
+      Pinned = true;
+      if (!Watchdog.rescuableBodySwap(F))
+        continue;
+      // The changed body has the same instruction count as the old one in
+      // base-compiled code, so the identity pc map an operator would write
+      // by hand (§3.5) can be synthesized. The next attempt classifies the
+      // frame MappedOsr and replaces it in place.
+      const RtMethod &M = Reg.method(F.Method);
+      MethodRef Ref{Reg.cls(M.Owner).Name, M.Name, M.Sig};
+      if (Bundle.ActiveMappings.count(Ref.key()))
+        continue;
+      const MethodDef *NewBody =
+          Bundle.NewProgram.find(Ref.ClassName)->findMethod(Ref.Name, Ref.Sig);
+      Bundle.addActiveMapping(
+          ActiveMethodMapping::identity(Ref, NewBody->Code.size()));
+      ++Mapped;
+      Result.Trace.record(UpdateEventKind::Rescued, Now, 0,
+                          "identity remap for " + M.qualifiedName() +
+                              " on thread " + T->Name);
+    }
+    // A pinned thread waiting out a sleep or a quiet connection holds its
+    // restricted frame on stack for the whole wait; cutting the wait short
+    // lets the frame run to its return (or its remap) now.
+    if (Pinned &&
+        (T->State == ThreadState::Sleeping ||
+         T->State == ThreadState::BlockedRecv) &&
+        T->WakeTick > Now) {
+      T->WakeTick = Now;
+      ++Yanked;
+      Result.Trace.record(UpdateEventKind::Rescued, Now, 0,
+                          "forced yield of thread " + T->Name + " (" +
+                              threadStateName(T->State) + ")");
+    }
+  }
+  Result.RescuedFrames += Mapped;
+  Result.ForcedYields += Yanked;
+  if (Telemetry::isEnabled()) {
+    Telemetry &Tel = Telemetry::global();
+    Tel.counter(metrics::DsuQuiescenceRescuedFrames).add(Mapped);
+    Tel.counter(metrics::DsuQuiescenceForcedYields).add(Yanked);
+  }
+}
+
+bool Updater::degrade(uint64_t Now) {
+  ClassRegistry &Reg = TheVM.registry();
+
+  // Candidate body swaps: every changed body whose method still resolves
+  // under its original name and signature. Bodies on class-updated classes
+  // are included — only the class-shape changes themselves must wait — but
+  // when one of those bodies fails whole-program verification against the
+  // old class shapes, fall back to the conservative subset.
+  auto Collect = [&](bool IncludeClassUpdated) {
+    std::vector<MethodRef> Out;
+    for (const MethodRef &R : Bundle.Spec.MethodBodyUpdates) {
+      if (!IncludeClassUpdated && Bundle.Spec.isClassUpdated(R.ClassName))
+        continue;
+      ClassId Cls = Reg.idOf(R.ClassName);
+      if (Cls == InvalidClassId ||
+          Reg.resolveMethod(Cls, R.Name, R.Sig) == InvalidMethodId)
+        continue;
+      const ClassDef *NewCls = Bundle.NewProgram.find(R.ClassName);
+      if (!NewCls || !NewCls->findMethod(R.Name, R.Sig))
+        continue;
+      if (!TheVM.program().find(R.ClassName))
+        continue;
+      Out.push_back(R);
+    }
+    return Out;
+  };
+
+  auto TryApply = [&](const std::vector<MethodRef> &Subset,
+                      std::string *Why) {
+    if (Subset.empty()) {
+      *Why = "no method-body-only subset exists";
+      return false;
+    }
+    // The degraded program is the *running* program with only the subset's
+    // bodies swapped in — never the full new version.
+    ClassSet Degraded = TheVM.program();
+    for (const MethodRef &R : Subset)
+      *Degraded.find(R.ClassName)->findMethod(R.Name, R.Sig) =
+          *Bundle.NewProgram.find(R.ClassName)->findMethod(R.Name, R.Sig);
+    UpdateSpec Spec;
+    Spec.MethodBodyUpdates = Subset;
+    return EcUpdater(TheVM).apply(Degraded, Spec, Why);
+  };
+
+  std::string Why;
+  std::vector<MethodRef> Subset = Collect(true);
+  if (!TryApply(Subset, &Why)) {
+    Subset = Collect(false);
+    if (!TryApply(Subset, &Why)) {
+      Result.Trace.record(UpdateEventKind::Degraded, Now, 0,
+                          "degrade impossible: " + Why);
+      return false;
+    }
+  }
+
+  Result.ResolvedRung = QuiescenceRung::Degrade;
+  for (const MethodRef &R : Subset)
+    Result.DegradedApplied.push_back(R.key());
+  for (const std::string &C : Bundle.Spec.ClassUpdates)
+    Result.DegradedDeferred.push_back("class update " + C);
+  for (const std::string &C : Bundle.Spec.AddedClasses)
+    Result.DegradedDeferred.push_back("added class " + C);
+  for (const std::string &C : Bundle.Spec.DeletedClasses)
+    Result.DegradedDeferred.push_back("deleted class " + C);
+  for (const MethodRef &R : Bundle.Spec.RemovedMethods)
+    Result.DegradedDeferred.push_back("removed method " + R.key());
+  for (const MethodRef &R : Bundle.Spec.MethodBodyUpdates)
+    if (std::find(Subset.begin(), Subset.end(), R) == Subset.end())
+      Result.DegradedDeferred.push_back("method body " + R.key());
+
+  bumpDsuCounter(metrics::DsuQuiescenceDegraded);
+  Result.Trace.record(UpdateEventKind::Degraded, Now,
+                      static_cast<int64_t>(Subset.size()),
+                      std::to_string(Subset.size()) +
+                          " body swap(s) applied via EcUpdater, " +
+                          std::to_string(Result.DegradedDeferred.size()) +
+                          " change(s) deferred");
+
+  // The full bundle stays resumable; its body swaps are idempotent over
+  // the degraded state, so resuming simply reschedules it whole.
+  DeferredBundle = std::move(Bundle);
+  HasDeferredUpdate = true;
+
+  for (auto &T : TheVM.scheduler().threads())
+    for (Frame &F : T->Frames)
+      F.ReturnBarrier = false;
+  finish(UpdateStatus::Degraded,
+         "degraded: method-body subset applied; " +
+             std::to_string(Result.DegradedDeferred.size()) +
+             " change(s) deferred");
+  TheVM.resumeAfterYield();
+  return true;
 }
 
 void Updater::onReturnBarrier(VMThread &T) {
@@ -730,9 +935,52 @@ void Updater::abortUpdate(UpdateStatus Status, const std::string &Message) {
 void Updater::finish(UpdateStatus Status, const std::string &Message) {
   Result.Status = Status;
   Result.Message = Message;
+  // The retry histogram samples only outcomes that actually sought a safe
+  // point to the end: applied, timed-out, or degraded. A rollback abort
+  // happens *after* quiescence was reached — counting its attempt here
+  // used to skew the retry distribution.
+  if (Telemetry::isEnabled() &&
+      (Status == UpdateStatus::Applied || Status == UpdateStatus::TimedOut ||
+       Status == UpdateStatus::Degraded))
+    Telemetry::global()
+        .histogram(metrics::DsuUpdateRetries)
+        .record(static_cast<double>(Result.RetriesUsed));
+  if (DrainActive)
+    endDrain();
   TheVM.setSafePointCallback(nullptr);
   TheVM.setTickCallback(nullptr);
   TheVM.setReturnBarrierCallback(nullptr);
+}
+
+void Updater::beginDrain() {
+  DrainActive = true;
+  DrainWatch.reset();
+  DrainStartTick = TheVM.scheduler().ticks();
+  ShedAtDrainStart = TheVM.net().shedTotal();
+  TheVM.beginNetDrain();
+  Result.Trace.record(UpdateEventKind::DrainStarted, DrainStartTick, 0,
+                      "accepts gated until the update resolves");
+}
+
+void Updater::endDrain() {
+  DrainActive = false;
+  TheVM.endNetDrain();
+  Result.DrainMs = DrainWatch.elapsedMs();
+  Result.RequestsShed = TheVM.net().shedTotal() - ShedAtDrainStart;
+  uint64_t Tick = TheVM.scheduler().ticks();
+  Result.Trace.record(UpdateEventKind::DrainEnded, Tick,
+                      static_cast<int64_t>(Result.RequestsShed),
+                      std::to_string(Result.RequestsShed) +
+                          " request(s) shed while draining");
+  if (Telemetry::isEnabled()) {
+    Telemetry &Tel = Telemetry::global();
+    Tel.counter(metrics::NetDrains).inc();
+    Tel.histogram(metrics::NetDrainMs).record(Result.DrainMs);
+    // A dedicated span name: drain windows bracket the pause and must not
+    // disturb the dsu.update.phase spans that tile TotalPauseMs.
+    Tel.emit({"net.drain", "drain", DrainStartTick, Tick, Result.DrainMs,
+              static_cast<int64_t>(Result.RequestsShed), ""});
+  }
 }
 
 UpdateResult Updater::applyNow(UpdateBundle InBundle, UpdateOptions InOpts,
@@ -744,13 +992,28 @@ UpdateResult Updater::applyNow(UpdateBundle InBundle, UpdateOptions InOpts,
     VM::RunResult R = TheVM.run(Chunk);
     Driven += Chunk;
     if (R.Idle && pending()) {
-      // Every thread is blocked for good below an armed barrier; no safe
-      // point can ever be reached.
-      abortUpdate(UpdateStatus::TimedOut,
-                  "VM idle with restricted methods still on stack");
+      // Every thread is blocked for good below an armed barrier; the
+      // deadline will never arrive on its own because the clock has
+      // stopped. Run the escalation ladder now: rescue can wake the
+      // blocked threads, degrade can land the body subset, and an abort
+      // carries the diagnosis of what pinned the update.
+      escalate(TheVM.scheduler().ticks(), /*Forced=*/false,
+               "VM idle with restricted methods still on stack");
     }
   }
   if (pending())
     abortUpdate(UpdateStatus::TimedOut, "drive budget exhausted");
   return Result;
+}
+
+UpdateResult Updater::resumeDeferred(UpdateOptions InOpts,
+                                     uint64_t MaxDriveTicks) {
+  if (!HasDeferredUpdate)
+    fatalError("resumeDeferred: no degraded update left a deferred bundle");
+  HasDeferredUpdate = false;
+  ResumingDeferred = true;
+  UpdateResult R =
+      applyNow(std::move(DeferredBundle), InOpts, MaxDriveTicks);
+  ResumingDeferred = false;
+  return R;
 }

@@ -19,6 +19,7 @@
 #ifndef JVOLVE_DSU_UPDATER_H
 #define JVOLVE_DSU_UPDATER_H
 
+#include "dsu/Quiescence.h"
 #include "dsu/UpdateBundle.h"
 #include "dsu/UpdateTrace.h"
 #include "heap/Collector.h"
@@ -41,6 +42,7 @@ enum class UpdateStatus {
   RejectedHierarchy,     ///< class hierarchy permutation (unsupported, §2.2)
   RolledBack,            ///< install failed; snapshot restored, old version runs
   FailedTransformer,     ///< a transformer failed; rolled back to old version
+  Degraded,              ///< method-body subset applied; remainder deferred
 };
 
 const char *updateStatusName(UpdateStatus S);
@@ -67,6 +69,23 @@ struct UpdateOptions {
   /// behavior: a busy server times out rather than waiting it out.
   int MaxRetries = 0;
   double BackoffFactor = 2.0;
+  /// Escalation ladder rung 2: when the deadline expires, force-yield
+  /// sleeping/blocked threads pinned by restricted frames and synthesize
+  /// identity ActiveMethodMappings for changed-but-body-compatible methods
+  /// (same instruction count, base-compiled, nothing inlined), then grant
+  /// one more deadline. Off by default: the paper's protocol never touches
+  /// a thread it cannot park.
+  bool EnableRescue = false;
+  /// Escalation ladder rung 3: when rescue is exhausted, apply the
+  /// method-body-only subset of the bundle via EcUpdater (HotSwap-style),
+  /// record the deferred class/field changes, and leave the full update
+  /// resumable via resumeDeferred(). Off by default.
+  bool AllowDegraded = false;
+  /// Put the VM's network into drain mode while the update is pending:
+  /// accepts are gated, in-flight connections run to request boundaries,
+  /// and jvolve-serve-style admission limits shed the overflow. Off by
+  /// default.
+  bool DrainNetwork = false;
 };
 
 /// Everything measured while applying one update.
@@ -100,6 +119,25 @@ struct UpdateResult {
   double RollbackMs = 0;
   int RetriesUsed = 0;
 
+  /// Watchdog findings from the last deadline expiry (empty when the
+  /// update quiesced before the deadline), and the highest escalation
+  /// ladder rung the update climbed to.
+  QuiescenceReport Quiescence;
+  QuiescenceRung ResolvedRung = QuiescenceRung::None;
+  /// Rescue rung bookkeeping: frames released via synthesized identity
+  /// mappings, and sleeping/blocked threads whose wake was cut short.
+  int RescuedFrames = 0;
+  int ForcedYields = 0;
+  /// Degrade rung bookkeeping: method bodies the EcUpdater swapped, and a
+  /// description of every change that was deferred.
+  std::vector<std::string> DegradedApplied;
+  std::vector<std::string> DegradedDeferred;
+  /// Drain bookkeeping (DrainNetwork option): requests shed while this
+  /// update held the network in drain mode, and the wall-clock duration of
+  /// the drain window.
+  uint64_t RequestsShed = 0;
+  double DrainMs = 0;
+
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;
 };
@@ -127,6 +165,17 @@ public:
   UpdateResult applyNow(UpdateBundle Bundle) {
     return applyNow(std::move(Bundle), UpdateOptions());
   }
+
+  /// True when a degraded update left its full bundle pending-and-
+  /// resumable: the method-body subset is live, the class/field remainder
+  /// waits for quieter conditions.
+  bool hasDeferred() const { return HasDeferredUpdate; }
+
+  /// Reschedules the deferred remainder of a degraded update (the original
+  /// full bundle — its body swaps are idempotent over the degraded state)
+  /// and drives the VM until it resolves.
+  UpdateResult resumeDeferred(UpdateOptions Opts,
+                              uint64_t MaxDriveTicks = 50'000'000);
 
 private:
   /// Frame classification relative to the pending update.
@@ -157,6 +206,25 @@ private:
                const std::vector<MappedFrame> &MappedFrames);
   void abortUpdate(UpdateStatus Status, const std::string &Message);
   void finish(UpdateStatus Status, const std::string &Message);
+
+  /// The escalation ladder, entered when the safe-point deadline expires
+  /// (or the quiescence-watchdog-expiry fault forces it): diagnose, then
+  /// Retry -> Rescue -> Degrade -> Abort, taking the first rung whose
+  /// preconditions hold.
+  void escalate(uint64_t Now, bool Forced,
+                const char *AbortReason =
+                    "no DSU safe point reached within the timeout");
+  /// Rung 2: synthesize identity mappings for changed-but-body-compatible
+  /// pinned frames and cut short the waits of pinned sleeping/blocked-recv
+  /// threads so their barriers can fire.
+  void rescue(uint64_t Now);
+  /// Rung 3: apply the method-body-only subset via EcUpdater. \returns
+  /// false when no applicable subset exists (the ladder falls through to
+  /// Abort).
+  bool degrade(uint64_t Now);
+  /// Begins/ends the DrainNetwork window around a pending update.
+  void beginDrain();
+  void endDrain();
 
   /// Re-resolves name-level restriction sets to current method/class ids.
   void resolveIdSets();
@@ -227,6 +295,19 @@ private:
   /// When non-zero, re-request a yield at this tick (set after an injected
   /// safe-point starvation resumed the application).
   uint64_t ReattemptTick = 0;
+
+  /// Ladder state for the pending update.
+  bool RescueTried = false;
+  /// Drain state: active flag, wall clock, and the shed baseline at drain
+  /// start (shedTotal is cumulative per Network).
+  bool DrainActive = false;
+  Stopwatch DrainWatch;
+  uint64_t DrainStartTick = 0;
+  uint64_t ShedAtDrainStart = 0;
+  /// A degraded update's full bundle, kept resumable.
+  UpdateBundle DeferredBundle;
+  bool HasDeferredUpdate = false;
+  bool ResumingDeferred = false;
 
   // Id-level views of the spec, resolved against the current registry.
   std::set<MethodId> RestrictedMethodIds; ///< categories (1) and (3)

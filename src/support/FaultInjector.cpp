@@ -3,6 +3,8 @@
 #include "support/Error.h"
 #include "support/Telemetry.h"
 
+#include <cstdlib>
+
 using namespace jvolve;
 
 std::vector<std::string> FaultInjector::allSiteNames() {
@@ -19,8 +21,38 @@ const char *FaultInjector::siteName(Site S) {
   case Site::TransformerCycle: return "transformer-cycle";
   case Site::GcAllocExhaustion: return "gc-alloc-exhaustion";
   case Site::SafePointStarvation: return "safe-point-starvation";
+  case Site::QuiescenceWatchdogExpiry: return "quiescence-watchdog-expiry";
+  case Site::NetSlowClient: return "net-slow-client";
   }
   unreachable("bad fault site");
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  size_t C1 = Spec.find(':');
+  std::string Name = Spec.substr(0, C1);
+  Site S;
+  if (!siteByName(Name, S))
+    return Fail("unknown fault site '" + Name + "'");
+  uint64_t Fire = 1, Skip = 0;
+  if (C1 != std::string::npos) {
+    char *End = nullptr;
+    Fire = std::strtoull(Spec.c_str() + C1 + 1, &End, 10);
+    if (End == Spec.c_str() + C1 + 1)
+      return Fail("malformed fire count in '" + Spec + "'");
+    if (*End == ':') {
+      char *End2 = nullptr;
+      Skip = std::strtoull(End + 1, &End2, 10);
+      if (End2 == End + 1)
+        return Fail("malformed skip count in '" + Spec + "'");
+    }
+  }
+  arm(S, Fire, Skip);
+  return true;
 }
 
 bool FaultInjector::siteByName(const std::string &Name, Site &Out) {

@@ -17,6 +17,10 @@
 ///   transformer-cycle      a transformer cycle is detected (paper §3.4)
 ///   gc-alloc-exhaustion    to-space allocation fails mid-DSU-collection
 ///   safe-point-starvation  a safe-point attempt cannot park the threads
+///   quiescence-watchdog-expiry  the safe-point deadline fires even when
+///                          the threads would have quiesced in time
+///   net-slow-client        a connection's inter-arrival gap stretches
+///                          mid-update (drain/shed robustness)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,8 +44,10 @@ public:
     TransformerCycle,
     GcAllocExhaustion,
     SafePointStarvation,
+    QuiescenceWatchdogExpiry,
+    NetSlowClient,
   };
-  static constexpr size_t NumSites = 5;
+  static constexpr size_t NumSites = 7;
 
   /// \returns the stable site name used in traces and tool flags.
   static const char *siteName(Site S);
@@ -56,6 +62,11 @@ public:
   /// Arms \p S deterministically: the first \p Skip probes pass, the next
   /// \p Fire probes fail, every later probe passes again.
   void arm(Site S, uint64_t Fire = 1, uint64_t Skip = 0);
+
+  /// Arms one site from a "site[:fire[:skip]]" spec (the tools' --inject
+  /// syntax, also accepted via the JVOLVE_INJECT environment variable).
+  /// \returns false with \p Err set on an unknown site or malformed spec.
+  bool armFromSpec(const std::string &Spec, std::string *Err = nullptr);
 
   /// Arms \p S probabilistically: each probe fails with \p Probability,
   /// drawn from a dedicated Rng seeded with \p Seed (deterministic runs).

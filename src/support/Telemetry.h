@@ -90,6 +90,23 @@ inline constexpr const char *DsuObjectsTransformed =
 inline constexpr const char *DsuCodeInvalidated = "dsu.code.invalidated";
 inline constexpr const char *DsuTotalPauseMs =
     "dsu.update.phase_ms{phase=total}";
+/// Safe-point deadline extensions per resolved update; samples only
+/// quiescence-path outcomes (applied / timed-out / degraded), never
+/// rollback aborts, which consume no retries.
+inline constexpr const char *DsuUpdateRetries = "dsu.update.retries";
+// dsu/Quiescence (escalation ladder)
+inline constexpr const char *DsuQuiescenceExpiries =
+    "dsu.quiescence.expiries";
+inline constexpr const char *DsuQuiescenceRescuedFrames =
+    "dsu.quiescence.rescued_frames";
+inline constexpr const char *DsuQuiescenceForcedYields =
+    "dsu.quiescence.forced_yields";
+inline constexpr const char *DsuQuiescenceDegraded =
+    "dsu.quiescence.degraded";
+// vm/Network (update-time traffic draining)
+inline constexpr const char *NetShedTotal = "net.shed_total";
+inline constexpr const char *NetDrains = "net.drains";
+inline constexpr const char *NetDrainMs = "net.drain_ms";
 
 /// Update-phase histogram name: `dsu.update.phase_ms{phase=<Phase>}`.
 /// Phases: snapshot, classload, stack_repair, gc, transform, certify,

@@ -49,6 +49,20 @@ enum class ThreadState : uint8_t {
   Trapped,       ///< runtime error (null deref, cast failure, OOM, ...)
 };
 
+/// Stable state name for diagnostics (quiescence reports, traces).
+inline const char *threadStateName(ThreadState S) {
+  switch (S) {
+  case ThreadState::Runnable: return "runnable";
+  case ThreadState::Parked: return "parked";
+  case ThreadState::Sleeping: return "sleeping";
+  case ThreadState::BlockedAccept: return "blocked-accept";
+  case ThreadState::BlockedRecv: return "blocked-recv";
+  case ThreadState::Finished: return "finished";
+  case ThreadState::Trapped: return "trapped";
+  }
+  return "unknown";
+}
+
 /// A green thread.
 struct VMThread {
   ThreadId Id = 0;

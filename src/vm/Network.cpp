@@ -1,6 +1,7 @@
 #include "vm/Network.h"
 
 #include "support/Error.h"
+#include "support/Telemetry.h"
 
 using namespace jvolve;
 
@@ -8,6 +9,28 @@ int Network::inject(int Port, const std::vector<int64_t> &Values,
                     uint64_t Now, uint64_t InterArrival,
                     uint64_t FirstDelay) {
   int Id = NextConnId++;
+  // Admission control: a full accept backlog sheds the whole connection —
+  // every request gets an immediate Rejected response so the client learns
+  // its fate instead of waiting on a queue the server will never reach.
+  auto Lim = AdmissionLimits.find(Port);
+  if (Lim != AdmissionLimits.end() && Lim->second > 0 &&
+      AcceptQueues[Port].size() >= Lim->second) {
+    Connection Shed;
+    Shed.Port = Port;
+    Shed.Closed = true;
+    Connections.emplace(Id, std::move(Shed));
+    ++NumConnections;
+    for (size_t I = 0; I < Values.size(); ++I) {
+      Responses.push_back({Id, RejectedResponse, Now});
+      ++NumResponses;
+    }
+    NumShed += Values.size();
+    if (Telemetry::isEnabled())
+      Telemetry::global()
+          .counter(metrics::NetShedTotal)
+          .add(Values.size());
+    return Id;
+  }
   Connection C;
   C.Port = Port;
   uint64_t Arrival = Now + FirstDelay;
@@ -21,12 +44,28 @@ int Network::inject(int Port, const std::vector<int64_t> &Values,
   return Id;
 }
 
+void Network::setAdmissionLimit(int Port, size_t MaxBacklog) {
+  if (MaxBacklog == 0)
+    AdmissionLimits.erase(Port);
+  else
+    AdmissionLimits[Port] = MaxBacklog;
+}
+
+size_t Network::admissionLimit(int Port) const {
+  auto It = AdmissionLimits.find(Port);
+  return It == AdmissionLimits.end() ? 0 : It->second;
+}
+
 bool Network::hasPendingAccept(int Port) const {
+  if (Draining)
+    return false;
   auto It = AcceptQueues.find(Port);
   return It != AcceptQueues.end() && !It->second.empty();
 }
 
 int Network::tryAccept(int Port) {
+  if (Draining)
+    return -1;
   auto It = AcceptQueues.find(Port);
   if (It == AcceptQueues.end() || It->second.empty())
     return -1;

@@ -15,6 +15,7 @@
 #ifndef JVOLVE_VM_NETWORK_H
 #define JVOLVE_VM_NETWORK_H
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -30,7 +31,8 @@ struct NetResponse {
 };
 
 /// The simulated network: per-port accept queues and per-connection
-/// request streams.
+/// request streams, with per-port admission control and an update-time
+/// drain mode.
 class Network {
 public:
   /// Result of a receive attempt.
@@ -40,11 +42,36 @@ public:
     NotReady, ///< the next request arrives at ReadyTick
   };
 
+  /// The response value every request of a shed connection receives — a
+  /// counted refusal, never a silent drop (HTTP 503 in spirit).
+  static constexpr int64_t RejectedResponse = -503;
+
   /// Opens a connection carrying \p Values as requests. The first request
   /// arrives at \p Now + \p FirstDelay, subsequent requests
   /// \p InterArrival ticks apart. \returns the connection id.
+  ///
+  /// When \p Port has an admission limit and its accept backlog is full,
+  /// the connection is shed instead: every request is answered immediately
+  /// with RejectedResponse, the connection closes, and shedTotal() counts
+  /// the rejected requests.
   int inject(int Port, const std::vector<int64_t> &Values, uint64_t Now,
              uint64_t InterArrival = 0, uint64_t FirstDelay = 0);
+
+  /// Caps \p Port's accept backlog at \p MaxBacklog queued connections
+  /// (0 = unlimited, the default). Connections past the cap are shed.
+  void setAdmissionLimit(int Port, std::size_t MaxBacklog);
+  std::size_t admissionLimit(int Port) const;
+
+  /// Drain mode: accepts are gated (tryAccept fails, hasPendingAccept
+  /// reports false) while already-accepted connections keep flowing, so
+  /// in-flight work runs to its request boundaries. Queued connections
+  /// stay queued and are delivered when the drain lifts.
+  void beginDrain() { Draining = true; }
+  void endDrain() { Draining = false; }
+  bool draining() const { return Draining; }
+
+  /// Total requests shed by admission control since construction.
+  uint64_t shedTotal() const { return NumShed; }
 
   /// Non-destructively checks whether a connection is waiting on \p Port.
   bool hasPendingAccept(int Port) const;
@@ -87,11 +114,14 @@ private:
 
   std::map<int, std::deque<int>> AcceptQueues;
   std::map<int, Connection> Connections;
+  std::map<int, std::size_t> AdmissionLimits;
   std::vector<NetResponse> Responses;
   std::vector<double> Latencies;
   int NextConnId = 1;
   uint64_t NumResponses = 0;
   uint64_t NumConnections = 0;
+  uint64_t NumShed = 0;
+  bool Draining = false;
 };
 
 } // namespace jvolve

@@ -4,11 +4,13 @@
 #include "bytecode/Verifier.h"
 #include "runtime/ObjectModel.h"
 #include "support/Error.h"
+#include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 
 using namespace jvolve;
@@ -33,12 +35,16 @@ static void preregisterStandardMetrics() {
         metrics::DsuUpdatesRejected, metrics::DsuSafePointAttempts,
         metrics::DsuBarriersArmed, metrics::DsuBarriersFired,
         metrics::DsuOsrReplacements, metrics::DsuFramesRemapped,
-        metrics::DsuObjectsTransformed, metrics::DsuCodeInvalidated})
+        metrics::DsuObjectsTransformed, metrics::DsuCodeInvalidated,
+        metrics::DsuQuiescenceExpiries, metrics::DsuQuiescenceRescuedFrames,
+        metrics::DsuQuiescenceForcedYields, metrics::DsuQuiescenceDegraded,
+        metrics::NetShedTotal, metrics::NetDrains})
     Tel.counter(C);
   for (const char *H :
        {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
         metrics::GcPauseMs, metrics::GcSurvivorRate, metrics::GcDsuPauseMs,
-        metrics::DsuTotalPauseMs})
+        metrics::DsuTotalPauseMs, metrics::DsuUpdateRetries,
+        metrics::NetDrainMs})
     Tel.histogram(H);
   for (const char *Phase : {"snapshot", "classload", "stack_repair", "gc",
                             "transform", "certify", "rollback"})
@@ -47,6 +53,16 @@ static void preregisterStandardMetrics() {
 
 VM::VM(Config C) : Cfg(C) {
   preregisterStandardMetrics();
+  // JVOLVE_INJECT=<site>[:fire[:skip]][,<spec>...] arms fault sites on
+  // every VM the process builds — the environment-level counterpart of the
+  // tools' --inject flag (tier1.sh uses it for the sanitizer fault pass).
+  if (const char *Specs = std::getenv("JVOLVE_INJECT"))
+    for (const std::string &Spec : splitString(Specs, ',')) {
+      std::string Err;
+      if (!Spec.empty() && !Faults.armFromSpec(Spec, &Err))
+        std::fprintf(stderr, "jvolve: ignoring JVOLVE_INJECT entry '%s': %s\n",
+                     Spec.c_str(), Err.c_str());
+    }
   TheHeap = std::make_unique<Heap>(Cfg.HeapSpaceBytes);
   Gc = std::make_unique<Collector>(*TheHeap, Registry);
   Gc->setFaultInjector(&Faults);
@@ -302,12 +318,27 @@ VM::collectGarbage(const DsuRemap *Remap,
 
 int VM::injectConnection(int Port, const std::vector<int64_t> &Requests,
                          uint64_t InterArrival, uint64_t FirstDelay) {
+  if (Faults.probe(FaultInjector::Site::NetSlowClient))
+    // A slow client: the connection arrives, but its requests trickle in
+    // far apart — the drain/shed machinery must cope without dropping a
+    // response.
+    InterArrival = InterArrival ? InterArrival * 50 : 5'000;
   int Conn = Net.inject(Port, Requests, Sched.ticks(), InterArrival,
                         FirstDelay);
-  for (auto &T : Sched.threads())
-    if (T->State == ThreadState::BlockedAccept && T->BlockedPort == Port)
-      T->State = ThreadState::Runnable;
+  // While draining, acceptors stay parked; endNetDrain delivers the queue.
+  if (!Net.draining())
+    for (auto &T : Sched.threads())
+      if (T->State == ThreadState::BlockedAccept && T->BlockedPort == Port)
+        T->State = ThreadState::Runnable;
   return Conn;
+}
+
+void VM::endNetDrain() {
+  Net.endDrain();
+  for (auto &T : Sched.threads())
+    if (T->State == ThreadState::BlockedAccept &&
+        Net.hasPendingAccept(T->BlockedPort))
+      T->State = ThreadState::Runnable;
 }
 
 void VM::onReturnBarrierFired(VMThread &T) {

@@ -160,8 +160,19 @@ public:
   std::shared_ptr<CompiledMethod> ensureCompiledForInvoke(MethodId Method);
 
   /// Injects a client connection and wakes threads blocked in accept.
+  /// While the network is draining, arriving connections queue (or are
+  /// shed by admission control) without waking acceptors. The
+  /// net-slow-client fault site stretches the connection's inter-arrival
+  /// gap when armed.
   int injectConnection(int Port, const std::vector<int64_t> &Requests,
                        uint64_t InterArrival = 0, uint64_t FirstDelay = 0);
+
+  /// Update-time traffic draining (Updater's DrainNetwork option): gates
+  /// accepts while in-flight connections run to request boundaries.
+  /// endNetDrain wakes acceptors for any connections that queued up while
+  /// the drain held.
+  void beginNetDrain() { Net.beginDrain(); }
+  void endNetDrain();
 
   /// Advances the virtual clock to \p Tick if it lies in the future (idle
   /// time passing with no work to run); no-op otherwise. Load generators

@@ -10,6 +10,8 @@
 #include "TestUtil.h"
 
 #include "bytecode/Builder.h"
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
 #include "vm/Network.h"
 #include "vm/VM.h"
 
@@ -250,6 +252,49 @@ TEST(Network, BlockedRecvWakesAtArrivalTick) {
   EXPECT_GE(TheVM.scheduler().ticks(), 10'000u);
 }
 
+TEST(Network, AdmissionControlShedsPastDepth) {
+  Network Net;
+  Net.setAdmissionLimit(80, 1);
+  EXPECT_EQ(Net.admissionLimit(80), 1u);
+
+  int C1 = Net.inject(80, {1}, /*Now=*/0);
+  int C2 = Net.inject(80, {5, 6}, /*Now=*/0);
+  // C1 filled the backlog; C2 was shed: closed, every request refused.
+  EXPECT_FALSE(Net.isClosed(C1));
+  EXPECT_TRUE(Net.isClosed(C2));
+  EXPECT_EQ(Net.shedTotal(), 2u);
+
+  std::vector<NetResponse> Rs = Net.drainResponses();
+  ASSERT_EQ(Rs.size(), 2u);
+  for (const NetResponse &R : Rs) {
+    EXPECT_EQ(R.Conn, C2);
+    EXPECT_EQ(R.Value, Network::RejectedResponse);
+  }
+
+  // The admitted connection is still there to accept.
+  EXPECT_EQ(Net.tryAccept(80), C1);
+  EXPECT_EQ(Net.tryAccept(80), -1);
+
+  // Limit 0 means unlimited again.
+  Net.setAdmissionLimit(80, 0);
+  int C3 = Net.inject(80, {9}, /*Now=*/0);
+  EXPECT_FALSE(Net.isClosed(C3));
+  EXPECT_EQ(Net.shedTotal(), 2u);
+}
+
+TEST(Network, DrainGatesAcceptsUntilEnded) {
+  Network Net;
+  int Conn = Net.inject(80, {1}, /*Now=*/0);
+  Net.beginDrain();
+  EXPECT_TRUE(Net.draining());
+  // The queued connection is invisible while draining, but not dropped.
+  EXPECT_FALSE(Net.hasPendingAccept(80));
+  EXPECT_EQ(Net.tryAccept(80), -1);
+  Net.endDrain();
+  EXPECT_TRUE(Net.hasPendingAccept(80));
+  EXPECT_EQ(Net.tryAccept(80), Conn);
+}
+
 TEST(Network, TryAcceptDoesNotBlock) {
   ClassSet Set;
   ClassBuilder CB("Srv");
@@ -266,4 +311,72 @@ TEST(Network, TryAcceptDoesNotBlock) {
   EXPECT_EQ(
       TheVM.callStatic("Srv", "poll", "(I)I", {Slot::ofInt(5)}).IntVal,
       Conn);
+}
+
+namespace {
+
+/// Echo.run(I)V: accept one connection, answer each request with
+/// request + K, close on EOF. K is the version-visible constant.
+ClassSet echoProgram(int64_t K) {
+  ClassSet Set;
+  ClassBuilder CB("Echo");
+  CB.staticMethod("run", "(I)V")
+      .locals(3)
+      .load(0)
+      .intrinsic(IntrinsicId::NetAccept)
+      .store(1)
+      .label("loop")
+      .load(1)
+      .intrinsic(IntrinsicId::NetRecv)
+      .store(2)
+      .load(2)
+      .iconst(0)
+      .branch(Opcode::IfICmpLt, "done")
+      .load(1)
+      .load(2)
+      .iconst(K)
+      .iadd()
+      .intrinsic(IntrinsicId::NetSend)
+      .jump("loop")
+      .label("done")
+      .load(1)
+      .intrinsic(IntrinsicId::NetClose)
+      .ret();
+  Set.add(CB.build());
+  return Set;
+}
+
+} // namespace
+
+TEST(Scheduler, BlockedRecvThreadRescuedMidUpdate) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(echoProgram(7));
+  TheVM.spawnThread("Echo", "run", "(I)V", {Slot::ofInt(9)}, "echo");
+  // Two requests far apart: the thread answers the first, then blocks in
+  // recv until the distant second arrival.
+  TheVM.injectConnection(9, {10, 20}, /*InterArrival=*/200'000);
+  TheVM.run(5'000);
+  std::vector<NetResponse> First = TheVM.net().drainResponses();
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_EQ(First[0].Value, 17);
+
+  // run(I)V changes body (same instruction count), so the blocked-recv
+  // frame pins the update until the rescue rung remaps it in place.
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.TimeoutTicks = 10'000;
+  Opts.EnableRescue = true;
+  UpdateResult R =
+      U.applyNow(Upt::prepare(echoProgram(7), echoProgram(9), "v2"), Opts);
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_EQ(R.ResolvedRung, QuiescenceRung::Rescue);
+  EXPECT_GE(R.RescuedFrames, 1);
+
+  // The still-blocked thread wakes at the second arrival and serves it
+  // with the NEW body: 20 + 9, not 20 + 7. No in-flight response is lost.
+  TheVM.runToCompletion(500'000);
+  std::vector<NetResponse> Second = TheVM.net().drainResponses();
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_EQ(Second[0].Value, 29);
+  EXPECT_EQ(TheVM.net().totalResponses(), 2u);
 }

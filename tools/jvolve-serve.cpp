@@ -10,6 +10,17 @@
 ///
 ///   jvolve-serve jetty|email|crossftp [--trace] [--stats]
 ///                [--trace-out <file>] [--inject <site>[:fire[:skip]]]
+///                [--admit <N>]
+///
+/// While an update attempt is in flight the server drains its network:
+/// accepts are gated, in-flight connections run to request boundaries,
+/// and --admit (default 16) caps the accept backlog — overflow
+/// connections are shed with counted Rejected responses instead of
+/// piling up behind the stalled pause. When a safe point cannot be
+/// reached, the escalation ladder's rescue rung force-yields parked
+/// threads and synthesizes identity stack maps for body-compatible
+/// changed methods, and a timeout prints the quiescence report naming
+/// the threads and frames that pinned the update.
 ///
 /// --inject arms a FaultInjector site — one of class-load,
 /// transformer-nth-object, transformer-cycle, gc-alloc-exhaustion, or
@@ -124,13 +135,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
                  "[--stats] [--trace-out <file>] "
-                 "[--inject <site>[:fire[:skip]]]\n"
+                 "[--inject <site>[:fire[:skip]]] [--admit <N>]\n"
                  "  valid --inject sites: %s\n",
                  injectSiteList().c_str());
     return 2;
   }
   bool ShowTrace = false;
   bool ShowStats = false;
+  size_t AdmitLimit = 16;
   FaultInjector::Site InjectSite{};
   uint64_t InjectFire = 0, InjectSkip = 0;
   bool Inject = false;
@@ -165,6 +177,8 @@ int main(int argc, char **argv) {
           InjectSkip = std::strtoull(Spec.c_str() + C2 + 1, nullptr, 10);
       }
       Inject = true;
+    } else if (std::strcmp(argv[I], "--admit") == 0 && I + 1 < argc) {
+      AdmitLimit = std::strtoull(argv[++I], nullptr, 10);
     } else {
       std::fprintf(stderr, "jvolve-serve: unknown argument '%s'\n", argv[I]);
       return 2;
@@ -198,6 +212,8 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(InjectSkip));
   }
 
+  TheVM.net().setAdmissionLimit(Port, AdmitLimit);
+
   LoadDriver::Options LO;
   LO.Port = Port;
   LoadDriver Driver(TheVM, LO);
@@ -222,6 +238,10 @@ int main(int argc, char **argv) {
 
     UpdateOptions Opts;
     Opts.TimeoutTicks = 120'000;
+    // Production posture: rescue what can be rescued, and drain + shed
+    // traffic while the safe point is sought.
+    Opts.EnableRescue = true;
+    Opts.DrainNetwork = true;
     Updater U(TheVM);
     // Keep traffic flowing while the updater seeks a safe point.
     U.schedule(std::move(B), Opts);
@@ -229,6 +249,8 @@ int main(int argc, char **argv) {
       Driver.runWithLoad(2'000);
 
     if (U.result().Status == UpdateStatus::TimedOut) {
+      if (U.result().Quiescence.diagnosed())
+        std::printf("%s", U.result().Quiescence.str().c_str());
       std::printf("  timed out (changed method always on stack); "
                   "retrying with active-method mappings (§3.5)...\n");
       UpdateBundle Retry = Upt::prepare(App.version(Version),
@@ -258,6 +280,12 @@ int main(int argc, char **argv) {
         std::printf("  rolled back in %.2f ms: %s\n", R.RollbackMs,
                     R.Message.c_str());
     }
+    if (R.Quiescence.diagnosed() && R.Status != UpdateStatus::Applied)
+      std::printf("  escalation resolved at rung '%s'\n",
+                  quiescenceRungName(R.ResolvedRung));
+    std::printf("  drain: %.2f ms, %llu request(s) shed, %llu total shed\n",
+                R.DrainMs, static_cast<unsigned long long>(R.RequestsShed),
+                static_cast<unsigned long long>(TheVM.net().shedTotal()));
     if (R.Certified) {
       if (R.CertificationProblems.empty())
         std::printf("  certified: heap and registry consistent (%.2f ms)\n",
