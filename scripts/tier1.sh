@@ -20,6 +20,20 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Static update-safety analysis: predict the applicability column of
+# Tables 2-4 for all 22 modeled updates; exit non-zero on any drift from
+# the paper's expected verdicts.
+build/tools/jvolve-analyze --app all --check
+
+# Static analysis over the DSU and bytecode layers (.clang-tidy at the
+# repo root picks the checks). Skipped when the tool is not installed.
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  clang-tidy -p build --quiet src/dsu/*.cpp src/bytecode/*.cpp
+else
+  echo "tier1: clang-tidy not found; skipping static-analysis pass"
+fi
+
 # Telemetry pass: every VM the suite builds records metrics and streams
 # trace events. Serial (-j 1) because the processes share one trace file.
 TRACE_OUT="$(mktemp /tmp/jvolve-tier1-trace.XXXXXX.jsonl)"

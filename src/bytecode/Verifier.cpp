@@ -62,6 +62,17 @@ struct AbsState {
   std::vector<VType> Stack;
 };
 
+/// Renders an operand stack as "[a, b, c]", bottom first.
+std::string stackStr(const std::vector<VType> &Stack) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Stack.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Stack[I].str();
+  }
+  return Out + "]";
+}
+
 /// Per-method abstract interpreter.
 class MethodVerifier {
 public:
@@ -70,6 +81,11 @@ public:
       : Set(Set), Cls(Cls), M(M), Errs(Errs) {}
 
   void run();
+
+  /// The per-pc in-states after run(): nullopt for unreachable pcs.
+  const std::vector<std::optional<AbsState>> &inStates() const {
+    return InStates;
+  }
 
 private:
   void error(int Pc, const std::string &Msg) {
@@ -160,7 +176,9 @@ private:
 
   bool popValue(int Pc, AbsState &S, VType &Out) {
     if (S.Stack.empty()) {
-      error(Pc, "operand stack underflow");
+      error(Pc, "operand stack underflow: " + std::string(opcodeName(
+                    M.Code[static_cast<size_t>(Pc)].Op)) +
+                    " needs a value but the stack is empty");
       return false;
     }
     Out = S.Stack.back();
@@ -169,21 +187,25 @@ private:
   }
 
   bool popInt(int Pc, AbsState &S) {
+    std::string Pre = stackStr(S.Stack);
     VType V;
     if (!popValue(Pc, S, V))
       return false;
     if (V.K != VType::Kind::Int) {
-      error(Pc, "expected int on stack, found " + V.str());
+      error(Pc, "expected int on stack, found " + V.str() +
+                    " (stack was " + Pre + ")");
       return false;
     }
     return true;
   }
 
   bool popRefLike(int Pc, AbsState &S, VType &Out) {
+    std::string Pre = stackStr(S.Stack);
     if (!popValue(Pc, S, Out))
       return false;
     if (!Out.isRefLike()) {
-      error(Pc, "expected reference on stack, found " + Out.str());
+      error(Pc, "expected reference on stack, found " + Out.str() +
+                    " (stack was " + Pre + ")");
       return false;
     }
     return true;
@@ -191,12 +213,13 @@ private:
 
   bool popAssignable(int Pc, AbsState &S, const Type &Dst,
                      const char *What) {
+    std::string Pre = stackStr(S.Stack);
     VType V;
     if (!popValue(Pc, S, V))
       return false;
     if (!isAssignable(V, Dst)) {
-      error(Pc, std::string(What) + ": " + V.str() +
-                    " is not assignable to " + Dst.descriptor());
+      error(Pc, std::string(What) + ": expected " + Dst.descriptor() +
+                    ", found " + V.str() + " (stack was " + Pre + ")");
       return false;
     }
     return true;
@@ -243,7 +266,9 @@ bool MethodVerifier::mergeInto(size_t TargetPc, const AbsState &From,
   }
   if (In->Stack.size() != From.Stack.size()) {
     error(SourcePc, "stack height mismatch at join point " +
-                        std::to_string(TargetPc));
+                        std::to_string(TargetPc) + ": expected " +
+                        stackStr(In->Stack) + ", found " +
+                        stackStr(From.Stack));
     return false;
   }
   bool Changed = false;
@@ -252,7 +277,9 @@ bool MethodVerifier::mergeInto(size_t TargetPc, const AbsState &From,
     if (!Merged) {
       error(SourcePc, "incompatible stack types at join point " +
                           std::to_string(TargetPc) + ": " +
-                          In->Stack[I].str() + " vs " + From.Stack[I].str());
+                          In->Stack[I].str() + " vs " + From.Stack[I].str() +
+                          " (expected " + stackStr(In->Stack) + ", found " +
+                          stackStr(From.Stack) + ")");
       return false;
     }
     if (!(*Merged == In->Stack[I])) {
@@ -756,4 +783,26 @@ std::vector<VerifyError> Verifier::verifyAll() const {
 
 bool jvolve::verifies(const ClassSet &Set) {
   return Verifier(Set).verifyAll().empty();
+}
+
+std::vector<std::optional<StackShape>>
+jvolve::computeStackShapes(const ClassSet &Set, const ClassDef &Cls,
+                           const MethodDef &M) {
+  std::vector<VerifyError> Errs;
+  MethodVerifier MV(Set, Cls, M, Errs);
+  MV.run();
+  if (!Errs.empty())
+    return {};
+  std::vector<std::optional<StackShape>> Out(M.Code.size());
+  const std::vector<std::optional<AbsState>> &In = MV.inStates();
+  for (size_t Pc = 0; Pc < In.size(); ++Pc) {
+    if (!In[Pc])
+      continue;
+    StackShape Shape;
+    Shape.reserve(In[Pc]->Stack.size());
+    for (const VType &V : In[Pc]->Stack)
+      Shape.push_back(V.str());
+    Out[Pc] = std::move(Shape);
+  }
+  return Out;
 }

@@ -18,6 +18,7 @@
 
 #include "bytecode/ClassDef.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,21 @@ private:
 /// Convenience: true if \p Set verifies with no errors. \p Set must contain
 /// the built-ins.
 bool verifies(const ClassSet &Set);
+
+/// The abstract operand-stack shape at one bytecode index: one rendered
+/// lattice value per slot, bottom of stack first ("int", "null", a class
+/// name, or "[<elem>" for arrays).
+using StackShape = std::vector<std::string>;
+
+/// Runs the verifier's abstract interpretation over \p M (in the context of
+/// \p Cls and \p Set) and returns the inferred operand-stack shape at every
+/// program counter: nullopt for unreachable pcs, a shape for reachable
+/// ones. \returns an empty vector when the method does not verify — callers
+/// (the static update-safety analyzer checking ActiveMethodMapping pc maps)
+/// must treat that as "no shape information".
+std::vector<std::optional<StackShape>>
+computeStackShapes(const ClassSet &Set, const ClassDef &Cls,
+                   const MethodDef &M);
 
 } // namespace jvolve
 

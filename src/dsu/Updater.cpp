@@ -47,6 +47,7 @@ const char *jvolve::updateStatusName(UpdateStatus S) {
   case UpdateStatus::RolledBack: return "rolled-back";
   case UpdateStatus::FailedTransformer: return "failed-transformer";
   case UpdateStatus::Degraded: return "degraded";
+  case UpdateStatus::RejectedByAnalysis: return "rejected (analysis)";
   }
   unreachable("bad update status");
 }
@@ -103,6 +104,37 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
     finish(UpdateStatus::RejectedHierarchy,
            "update permutes the class hierarchy");
     return;
+  }
+
+  // Optional gate 3: static update-safety analysis. Entry reachability is
+  // seeded from the methods currently on live stacks — exactly the code
+  // that could still be running when the pause is attempted.
+  if (Opts.AnalyzeFirst) {
+    AnalysisOptions AOpts;
+    ClassRegistry &Reg = TheVM.registry();
+    for (const auto &T : TheVM.scheduler().threads()) {
+      if (T->stopped())
+        continue;
+      for (const Frame &F : T->Frames) {
+        const RtMethod &M = Reg.method(F.Method);
+        AOpts.EntryPoints.insert(
+            MethodRef{Reg.cls(M.Owner).Name, M.Name, M.Sig}.key());
+      }
+    }
+    UpdateAnalysis An(TheVM.program(), Bundle.NewProgram);
+    Result.Analysis = An.analyzeBundle(Bundle, AOpts);
+    Result.AnalysisRan = true;
+    recordAnalysisMetrics(Result.Analysis);
+    if (Result.Analysis.Verdict == Applicability::Impossible) {
+      std::string Msg =
+          "analysis predicts the update cannot reach quiescence: " +
+          Result.Analysis.Reason;
+      Result.Trace.record(UpdateEventKind::Rejected,
+                          TheVM.scheduler().ticks(), 0, Msg);
+      bumpDsuCounter(metrics::DsuUpdatesRejected);
+      finish(UpdateStatus::RejectedByAnalysis, Msg);
+      return;
+    }
   }
 
   bumpDsuCounter(metrics::DsuUpdatesScheduled);

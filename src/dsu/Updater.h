@@ -19,6 +19,7 @@
 #ifndef JVOLVE_DSU_UPDATER_H
 #define JVOLVE_DSU_UPDATER_H
 
+#include "dsu/Analysis.h"
 #include "dsu/Quiescence.h"
 #include "dsu/UpdateBundle.h"
 #include "dsu/UpdateTrace.h"
@@ -43,6 +44,7 @@ enum class UpdateStatus {
   RolledBack,            ///< install failed; snapshot restored, old version runs
   FailedTransformer,     ///< a transformer failed; rolled back to old version
   Degraded,              ///< method-body subset applied; remainder deferred
+  RejectedByAnalysis,    ///< static analysis predicted the update impossible
 };
 
 const char *updateStatusName(UpdateStatus S);
@@ -86,6 +88,13 @@ struct UpdateOptions {
   /// and jvolve-serve-style admission limits shed the overflow. Off by
   /// default.
   bool DrainNetwork = false;
+  /// Run the static update-safety analyzer (dsu/Analysis.h) before
+  /// scheduling, seeding entry reachability from the methods currently on
+  /// live thread stacks. A predicted-impossible update is refused with the
+  /// analysis report (RejectedByAnalysis) instead of burning a pause
+  /// attempt and timing out. Off by default: the paper's protocol always
+  /// tries.
+  bool AnalyzeFirst = false;
 };
 
 /// Everything measured while applying one update.
@@ -137,6 +146,11 @@ struct UpdateResult {
   /// the drain window.
   uint64_t RequestsShed = 0;
   double DrainMs = 0;
+
+  /// Pre-update static analysis (AnalyzeFirst option): the report, and
+  /// whether the gate ran at all.
+  AnalysisReport Analysis;
+  bool AnalysisRan = false;
 
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;

@@ -26,6 +26,18 @@ std::vector<std::string> Upt::referencedClasses(const MethodDef &M) {
         Names.insert(I.Sym.substr(0, Dot));
       break;
     }
+    case Opcode::NewArray: {
+      // The element descriptor can itself be an array ("[[LFoo;"): peel to
+      // the base class.
+      if (Type::isValidDescriptor(I.Sig) && I.Sig != "V") {
+        Type T = Type::parse(I.Sig);
+        while (T.isArray())
+          T = T.elementType();
+        if (T.isRef())
+          Names.insert(T.className());
+      }
+      break;
+    }
     default:
       break;
     }

@@ -199,6 +199,14 @@ size_t Compiler::emitBody(const MethodDef &Def, uint16_t LocalBase, Tier T,
     }
     case Opcode::NewArray: {
       Type Elem = Type::parse(I.Sig);
+      // Record the base element class: code embedding an array allocation
+      // depends on that class's identity just like New does (mirrors
+      // Upt::referencedClasses).
+      Type Base = Elem;
+      while (Base.isArray())
+        Base = Base.elementType();
+      if (Base.isRef())
+        Ctx.RefClasses.insert(ClassIdOf(Base.className()));
       ClassId ArrId = Registry.arrayClassOf(Elem);
       Emit(ROp::NewArr, ArrId);
       break;

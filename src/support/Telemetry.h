@@ -94,6 +94,18 @@ inline constexpr const char *DsuTotalPauseMs =
 /// quiescence-path outcomes (applied / timed-out / degraded), never
 /// rollback aborts, which consume no retries.
 inline constexpr const char *DsuUpdateRetries = "dsu.update.retries";
+// dsu/Analysis (static update-safety analyzer)
+inline constexpr const char *DsuAnalysisRuns = "dsu.analysis.runs";
+inline constexpr const char *DsuAnalysisRejected = "dsu.analysis.rejected";
+/// Gauges: sizes of the safe-point restriction sets computed for the most
+/// recent analysis, and how many methods the precise (inline-aware) closure
+/// un-restricts relative to the paper's conservative §3.3 closure.
+inline constexpr const char *DsuAnalysisRestrictedPrecise =
+    "dsu.analysis.restricted_precise";
+inline constexpr const char *DsuAnalysisRestrictedConservative =
+    "dsu.analysis.restricted_conservative";
+inline constexpr const char *DsuAnalysisRestrictedDelta =
+    "dsu.analysis.restricted_delta";
 // dsu/Quiescence (escalation ladder)
 inline constexpr const char *DsuQuiescenceExpiries =
     "dsu.quiescence.expiries";

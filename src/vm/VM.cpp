@@ -38,8 +38,14 @@ static void preregisterStandardMetrics() {
         metrics::DsuObjectsTransformed, metrics::DsuCodeInvalidated,
         metrics::DsuQuiescenceExpiries, metrics::DsuQuiescenceRescuedFrames,
         metrics::DsuQuiescenceForcedYields, metrics::DsuQuiescenceDegraded,
+        metrics::DsuAnalysisRuns, metrics::DsuAnalysisRejected,
         metrics::NetShedTotal, metrics::NetDrains})
     Tel.counter(C);
+  for (const char *G :
+       {metrics::DsuAnalysisRestrictedPrecise,
+        metrics::DsuAnalysisRestrictedConservative,
+        metrics::DsuAnalysisRestrictedDelta})
+    Tel.gauge(G);
   for (const char *H :
        {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
         metrics::GcPauseMs, metrics::GcSurvivorRate, metrics::GcDsuPauseMs,

@@ -255,3 +255,90 @@ TEST(Upt, SignatureChangedDetector) {
   ClassDef D("X", "Other");
   EXPECT_TRUE(Upt::classSignatureChanged(A, D));
 }
+
+// Every opcode that can name a class in an operand, against the operand it
+// names it in — including array allocation, whose element descriptor can
+// itself be an array type.
+TEST(Upt, ReferencedClassesCoverEveryNamingOpcode) {
+  struct Case {
+    Instr I;
+    const char *Expect; // nullptr: no class referenced
+  };
+  const Case Cases[] = {
+      {{Opcode::New, 0, "A", "", ""}, "A"},
+      {{Opcode::InstanceOf, 0, "B", "", ""}, "B"},
+      {{Opcode::CheckCast, 0, "C", "", ""}, "C"},
+      {{Opcode::GetField, 0, "D.f", "I", ""}, "D"},
+      {{Opcode::PutField, 0, "E.f", "I", ""}, "E"},
+      {{Opcode::GetStatic, 0, "F.s", "I", ""}, "F"},
+      {{Opcode::PutStatic, 0, "G.s", "I", ""}, "G"},
+      {{Opcode::InvokeVirtual, 0, "H.m", "()V", ""}, "H"},
+      {{Opcode::InvokeStatic, 0, "Ic.m", "()V", ""}, "Ic"},
+      {{Opcode::InvokeSpecial, 0, "J.m", "()V", ""}, "J"},
+      {{Opcode::NewArray, 0, "", "LElem;", ""}, "Elem"},
+      // Nested element descriptor: peel "[[LDeep;" down to "Deep".
+      {{Opcode::NewArray, 0, "", "[[LDeep;", ""}, "Deep"},
+      // Primitive element arrays reference no class.
+      {{Opcode::NewArray, 0, "", "I", ""}, nullptr},
+      {{Opcode::IConst, 7, "", "", ""}, nullptr},
+  };
+  size_t N = 0;
+  for (const Case &C : Cases) {
+    MethodDef M;
+    M.Name = "m";
+    M.Sig = "()V";
+    M.Code = {C.I, {Opcode::Return, 0, "", "", ""}};
+    std::vector<std::string> Refs = Upt::referencedClasses(M);
+    if (C.Expect) {
+      ASSERT_EQ(Refs.size(), 1u) << "case " << N;
+      EXPECT_EQ(Refs[0], C.Expect) << "case " << N;
+    } else {
+      EXPECT_TRUE(Refs.empty()) << "case " << N;
+    }
+    ++N;
+  }
+}
+
+TEST(Upt, SignatureChangedOnFieldReorderOnly) {
+  ClassDef A = ClassBuilder("X").field("a", "I").field("b", "I").build();
+  ClassDef B = ClassBuilder("X").field("b", "I").field("a", "I").build();
+  // Same field *set*, different offsets: instances must be transformed.
+  EXPECT_TRUE(Upt::classSignatureChanged(A, B));
+}
+
+TEST(Upt, SignatureChangedOnFlagOnlyToggle) {
+  ClassDef A = ClassBuilder("X").field("a", "I").build();
+  ClassDef Fin =
+      ClassBuilder("X").field("a", "I", Access::Public, true).build();
+  EXPECT_TRUE(Upt::classSignatureChanged(A, Fin));
+  ClassDef Priv = ClassBuilder("X").field("a", "I", Access::Private).build();
+  EXPECT_TRUE(Upt::classSignatureChanged(A, Priv));
+}
+
+TEST(Upt, SignatureChangedOnMethodResignatureSameName) {
+  ClassDef A = ClassBuilder("X").build();
+  A.Methods.push_back({});
+  A.Methods.back().Name = "m";
+  A.Methods.back().Sig = "()I";
+  ClassDef B = A;
+  B.Methods.back().Sig = "(I)I"; // same name, new signature
+  EXPECT_TRUE(Upt::classSignatureChanged(A, B));
+}
+
+TEST(Upt, SignatureChangedOnSuperclassSwapToSibling) {
+  ClassDef A("Leaf", "ParentOne");
+  ClassDef B("Leaf", "ParentTwo"); // sibling parent, same shape otherwise
+  EXPECT_TRUE(Upt::classSignatureChanged(A, B));
+}
+
+TEST(Upt, BodyOnlyChangeIsNotASignatureChange) {
+  ClassDef A = ClassBuilder("X").build();
+  A.Methods.push_back({});
+  A.Methods.back().Name = "m";
+  A.Methods.back().Sig = "()I";
+  A.Methods.back().Code = {{Opcode::IConst, 1, "", "", ""},
+                           {Opcode::IReturn, 0, "", "", ""}};
+  ClassDef B = A;
+  B.Methods.back().Code[0].IVal = 2; // body differs, signature does not
+  EXPECT_FALSE(Upt::classSignatureChanged(A, B));
+}

@@ -525,3 +525,106 @@ TEST_P(RefBranchOperandTest, RefBranchRejectsInt) {
 INSTANTIATE_TEST_SUITE_P(RefBranches, RefBranchOperandTest,
                          ::testing::Values(Opcode::IfNull,
                                            Opcode::IfNonNull));
+
+//===----------------------------------------------------------------------===//
+// Diagnostic quality: errors name the method, the pc, and the stack shape
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierDiagnostics, UnderflowNamesTheOpcode) {
+  std::vector<VerifyError> Errs =
+      verifyMethodBody("()V", [](MethodBuilder &M) { M.pop().ret(); });
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].Message.find("operand stack underflow"),
+            std::string::npos)
+      << Errs[0].Message;
+  EXPECT_NE(Errs[0].Message.find("pop"), std::string::npos)
+      << Errs[0].Message;
+  EXPECT_EQ(Errs[0].Pc, 0);
+  EXPECT_EQ(Errs[0].MethodName, "m()V");
+}
+
+TEST(VerifierDiagnostics, TypeMismatchShowsTheWholeStack) {
+  // iadd over [int, null]: the message must show what was actually there.
+  std::vector<VerifyError> Errs =
+      verifyMethodBody("()V", [](MethodBuilder &M) {
+        M.iconst(1).nullconst().iadd().pop().ret();
+      });
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].Message.find("expected int"), std::string::npos)
+      << Errs[0].Message;
+  EXPECT_NE(Errs[0].Message.find("(stack was [int, null])"),
+            std::string::npos)
+      << Errs[0].Message;
+}
+
+TEST(VerifierDiagnostics, JoinHeightMismatchShowsBothShapes) {
+  // One branch leaves an extra int on the stack before the merge point.
+  std::vector<VerifyError> Errs =
+      verifyMethodBody("(I)V", [](MethodBuilder &M) {
+        M.load(0).branch(Opcode::IfEq, "skip");
+        M.iconst(7);
+        M.label("skip");
+        M.ret();
+      });
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].Message.find("stack height mismatch"), std::string::npos)
+      << Errs[0].Message;
+  EXPECT_NE(Errs[0].Message.find("[int]"), std::string::npos)
+      << Errs[0].Message;
+  EXPECT_NE(Errs[0].Message.find("[]"), std::string::npos)
+      << Errs[0].Message;
+}
+
+TEST(VerifierDiagnostics, ErrorStringCarriesMethodAndPc) {
+  std::vector<VerifyError> Errs =
+      verifyMethodBody("()V", [](MethodBuilder &M) { M.pop().ret(); });
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].str().find("T.m()V@0"), std::string::npos)
+      << Errs[0].str();
+}
+
+//===----------------------------------------------------------------------===//
+// computeStackShapes: the verifier's dataflow exposed to the analyzer
+//===----------------------------------------------------------------------===//
+
+TEST(StackShapes, StraightLineShapes) {
+  ClassSet Set;
+  ClassBuilder CB("T");
+  CB.staticMethod("m", "()I").iconst(1).iconst(2).iadd().iret();
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+  const ClassDef &Cls = *Set.find("T");
+  auto Shapes = computeStackShapes(Set, Cls, *Cls.findMethod("m"));
+  ASSERT_EQ(Shapes.size(), 4u);
+  ASSERT_TRUE(Shapes[0].has_value());
+  EXPECT_TRUE(Shapes[0]->empty());
+  ASSERT_TRUE(Shapes[2].has_value());
+  ASSERT_EQ(Shapes[2]->size(), 2u); // before iadd: [int, int]
+  EXPECT_EQ((*Shapes[2])[0], "int");
+  ASSERT_TRUE(Shapes[3].has_value());
+  EXPECT_EQ(Shapes[3]->size(), 1u); // before iret: [int]
+}
+
+TEST(StackShapes, UnreachableCodeHasNoShape) {
+  ClassSet Set;
+  ClassBuilder CB("T");
+  CB.staticMethod("m", "()V").ret().ret(); // second ret unreachable
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+  const ClassDef &Cls = *Set.find("T");
+  auto Shapes = computeStackShapes(Set, Cls, *Cls.findMethod("m"));
+  ASSERT_EQ(Shapes.size(), 2u);
+  EXPECT_TRUE(Shapes[0].has_value());
+  EXPECT_FALSE(Shapes[1].has_value());
+}
+
+TEST(StackShapes, NonVerifyingMethodYieldsNothing) {
+  ClassSet Set;
+  ClassBuilder CB("T");
+  CB.staticMethod("m", "()V").pop().ret(); // underflows
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+  const ClassDef &Cls = *Set.find("T");
+  auto Shapes = computeStackShapes(Set, Cls, *Cls.findMethod("m"));
+  EXPECT_TRUE(Shapes.empty());
+}

@@ -1,0 +1,202 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jvolve-analyze: the static update-safety analyzer as a command-line
+/// program. Runs the dsu/Analysis.h passes — CHA call graph, restricted
+/// safe-point closure, non-quiescence prediction, applicability verdict —
+/// over an update and prints a table or JSON report.
+///
+///   jvolve-analyze <old.mvm> <new.mvm> [--entry Class.name(sig)R]... [--json]
+///   jvolve-analyze --app jetty|email|crossftp|all [--check] [--json]
+///
+/// App mode replays the modeled release streams (Tables 2-4) and predicts
+/// each update's applicability column; --check exits 1 when any prediction
+/// drifts from the paper's expected verdict (used by scripts/tier1.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/JettyApp.h"
+#include "asm/Assembler.h"
+#include "bytecode/Builtins.h"
+#include "dsu/Analysis.h"
+#include "dsu/Upt.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace jvolve;
+
+static ClassSet loadProgramFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "jvolve-analyze: cannot open '%s'\n", Path);
+    std::exit(2);
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  std::vector<AsmError> Errors;
+  std::optional<ClassSet> Program = parseProgram(Text.str(), Errors);
+  if (!Program) {
+    for (const AsmError &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", Path, E.str().c_str());
+    std::exit(1);
+  }
+  return *Program;
+}
+
+/// Thread entry methods of the modeled apps (what their benches and
+/// jvolve-serve spawn).
+static std::set<std::string> appEntryPoints(const std::string &App) {
+  if (App == "jetty")
+    return {"PoolThread.run(I)V"};
+  if (App == "email")
+    return {"Pop3Processor.run(I)V", "SMTPSender.run()V"};
+  return {"FtpServer.run(I)V"}; // crossftp
+}
+
+static Applicability expectedVerdict(const Release &R) {
+  if (!R.ExpectSupported)
+    return Applicability::Impossible;
+  if (R.NeedsOsr)
+    return Applicability::NeedsOsr;
+  return Applicability::Applicable;
+}
+
+/// Analyzes every release of \p App; prints one line (or JSON object) per
+/// update. \returns the number of predictions that drift from the paper's
+/// expected column when \p Check, else 0.
+static int analyzeApp(const AppModel &App, const std::string &AppKey,
+                      bool Check, bool Json, bool First) {
+  int Drift = 0;
+  AnalysisOptions Opts;
+  Opts.EntryPoints = appEntryPoints(AppKey);
+  for (size_t V = 1; V < App.numVersions(); ++V) {
+    ClassSet Old = App.version(V - 1);
+    ClassSet New = App.version(V);
+    ensureBuiltins(Old);
+    ensureBuiltins(New);
+    UpdateSpec Spec = Upt::computeSpec(Old, New);
+
+    UpdateAnalysis An(Old, New);
+    AnalysisReport Rep = An.analyze(Spec, {}, Opts);
+    Rep.VersionTag = App.name() + " " + App.versionName(V);
+
+    const Release &Rel = App.release(V);
+    Applicability Expected = expectedVerdict(Rel);
+    bool Match = Rep.Verdict == Expected;
+    if (!Match)
+      ++Drift;
+
+    if (Json) {
+      if (!First || V > 1)
+        std::printf(",\n");
+      std::string Obj = Rep.json();
+      // Splice the expectation into the report object.
+      Obj.pop_back(); // '}'
+      Obj += ",\"expected\":\"" +
+             std::string(applicabilityName(Expected)) + "\",\"match\":" +
+             (Match ? "true" : "false") + "}";
+      std::printf("%s", Obj.c_str());
+    } else {
+      std::printf("%-24s %-10s expected %-10s %s  restricted %zu/%zu\n",
+                  Rep.VersionTag.c_str(), applicabilityName(Rep.Verdict),
+                  applicabilityName(Expected), Match ? " ok " : "DRIFT",
+                  Rep.PreciseRestricted.size(),
+                  Rep.ConservativeRestricted.size());
+      if (Rep.Verdict != Applicability::Applicable)
+        std::printf("%26s%s\n", "", Rep.Reason.c_str());
+    }
+    if (Check && !Match)
+      std::fprintf(stderr,
+                   "jvolve-analyze: %s predicted %s but Tables 2-4 say %s\n",
+                   Rep.VersionTag.c_str(), applicabilityName(Rep.Verdict),
+                   applicabilityName(Expected));
+  }
+  return Check ? Drift : 0;
+}
+
+static int runAppMode(const std::string &Which, bool Check, bool Json) {
+  int Drift = 0;
+  bool First = true;
+  if (Json)
+    std::printf("[");
+  if (Which == "jetty" || Which == "all") {
+    Drift += analyzeApp(makeJettyApp(), "jetty", Check, Json, First);
+    First = false;
+  }
+  if (Which == "email" || Which == "all") {
+    Drift += analyzeApp(makeEmailApp(), "email", Check, Json, First);
+    First = false;
+  }
+  if (Which == "crossftp" || Which == "all") {
+    Drift += analyzeApp(makeCrossFtpApp(), "crossftp", Check, Json, First);
+    First = false;
+  }
+  if (Json)
+    std::printf("]\n");
+  if (First) {
+    std::fprintf(stderr, "jvolve-analyze: unknown app '%s'\n", Which.c_str());
+    return 2;
+  }
+  if (Drift) {
+    std::fprintf(stderr,
+                 "jvolve-analyze: %d prediction(s) drift from Tables 2-4\n",
+                 Drift);
+    return 1;
+  }
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  std::string App;
+  bool Check = false, Json = false;
+  std::set<std::string> Entries;
+  std::vector<const char *> Files;
+
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--app") && I + 1 < argc) {
+      App = argv[++I];
+    } else if (!std::strcmp(argv[I], "--check")) {
+      Check = true;
+    } else if (!std::strcmp(argv[I], "--json")) {
+      Json = true;
+    } else if (!std::strcmp(argv[I], "--entry") && I + 1 < argc) {
+      Entries.insert(argv[++I]);
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr, "jvolve-analyze: unknown option '%s'\n", argv[I]);
+      return 2;
+    } else {
+      Files.push_back(argv[I]);
+    }
+  }
+
+  if (!App.empty())
+    return runAppMode(App, Check, Json);
+
+  if (Files.size() != 2) {
+    std::fprintf(
+        stderr,
+        "usage: jvolve-analyze <old.mvm> <new.mvm> [--entry M]... [--json]\n"
+        "       jvolve-analyze --app jetty|email|crossftp|all [--check] "
+        "[--json]\n");
+    return 2;
+  }
+
+  ClassSet Old = loadProgramFile(Files[0]);
+  ClassSet New = loadProgramFile(Files[1]);
+  ensureBuiltins(Old);
+  ensureBuiltins(New);
+  UpdateSpec Spec = Upt::computeSpec(Old, New);
+
+  AnalysisOptions Opts;
+  Opts.EntryPoints = Entries;
+  UpdateAnalysis An(Old, New);
+  AnalysisReport Rep = An.analyze(Spec, {}, Opts);
+  Rep.VersionTag = std::string(Files[0]) + " -> " + Files[1];
+  std::printf("%s\n", Json ? Rep.json().c_str() : Rep.table().c_str());
+  return Rep.Verdict == Applicability::Impossible ? 1 : 0;
+}

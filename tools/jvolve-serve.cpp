@@ -8,9 +8,15 @@
 /// the paper's §4 experience, including the updates that cannot be
 /// applied.
 ///
-///   jvolve-serve jetty|email|crossftp [--trace] [--stats]
+///   jvolve-serve jetty|email|crossftp [--trace] [--stats] [--analyze]
 ///                [--trace-out <file>] [--inject <site>[:fire[:skip]]]
 ///                [--admit <N>]
+///
+/// --analyze turns on the pre-update gate: the static update-safety
+/// analyzer (dsu/Analysis.h) runs before each pause attempt and a
+/// predicted-impossible update is refused with its report instead of
+/// burning the timeout; the tool then retries with the operator mappings,
+/// which the analyzer re-checks statically.
 ///
 /// While an update attempt is in flight the server drains its network:
 /// accepts are gated, in-flight connections run to request boundaries,
@@ -134,7 +140,7 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
-                 "[--stats] [--trace-out <file>] "
+                 "[--stats] [--analyze] [--trace-out <file>] "
                  "[--inject <site>[:fire[:skip]]] [--admit <N>]\n"
                  "  valid --inject sites: %s\n",
                  injectSiteList().c_str());
@@ -142,6 +148,7 @@ int main(int argc, char **argv) {
   }
   bool ShowTrace = false;
   bool ShowStats = false;
+  bool AnalyzeFirst = false;
   size_t AdmitLimit = 16;
   FaultInjector::Site InjectSite{};
   uint64_t InjectFire = 0, InjectSkip = 0;
@@ -152,6 +159,8 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       ShowStats = true;
       Telemetry::global().setEnabled(true);
+    } else if (std::strcmp(argv[I], "--analyze") == 0) {
+      AnalyzeFirst = true;
     } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
       if (!Telemetry::global().openTrace(argv[++I])) {
         std::fprintf(stderr, "jvolve-serve: cannot create trace file '%s'\n",
@@ -242,17 +251,25 @@ int main(int argc, char **argv) {
     // traffic while the safe point is sought.
     Opts.EnableRescue = true;
     Opts.DrainNetwork = true;
+    Opts.AnalyzeFirst = AnalyzeFirst;
     Updater U(TheVM);
     // Keep traffic flowing while the updater seeks a safe point.
     U.schedule(std::move(B), Opts);
     while (U.pending())
       Driver.runWithLoad(2'000);
 
-    if (U.result().Status == UpdateStatus::TimedOut) {
-      if (U.result().Quiescence.diagnosed())
-        std::printf("%s", U.result().Quiescence.str().c_str());
-      std::printf("  timed out (changed method always on stack); "
-                  "retrying with active-method mappings (§3.5)...\n");
+    if (U.result().Status == UpdateStatus::TimedOut ||
+        U.result().Status == UpdateStatus::RejectedByAnalysis) {
+      if (U.result().Status == UpdateStatus::RejectedByAnalysis) {
+        std::printf("%s", U.result().Analysis.table().c_str());
+        std::printf("  analysis refused the update before any pause; "
+                    "retrying with active-method mappings (§3.5)...\n");
+      } else {
+        if (U.result().Quiescence.diagnosed())
+          std::printf("%s", U.result().Quiescence.str().c_str());
+        std::printf("  timed out (changed method always on stack); "
+                    "retrying with active-method mappings (§3.5)...\n");
+      }
       UpdateBundle Retry = Upt::prepare(App.version(Version),
                                         App.version(V),
                                         "r" + std::to_string(V - 1));
