@@ -15,6 +15,14 @@ same workload.
 dump; a missing required metric prints a diagnostic and exits 2, so
 experiment scripts can verify an instrumented path actually ran (e.g.
 `--require net.shed_total` after a drain/shed experiment).
+
+`--max-delta METRIC=PCT` (repeatable) turns the diff into a hard budget
+for one metric: if any field of METRIC moved by more than PCT percent
+(relative), the breach prints a diagnostic and the script exits 2 —
+regardless of --threshold, which only controls reporting. Use it to
+gate steady-state costs, e.g. `--max-delta interp.dispatch_ticks=0`
+asserts a retired lazy barrier left the interpreter's dispatch count
+bit-for-bit unchanged.
 """
 
 import argparse
@@ -66,7 +74,21 @@ def main():
                     metavar="METRIC",
                     help="fail (exit 2) unless METRIC is present in the "
                          "after dump; repeatable")
+    ap.add_argument("--max-delta", action="append", default=[],
+                    metavar="METRIC=PCT",
+                    help="fail (exit 2) if any field of METRIC changed by "
+                         "more than PCT percent; repeatable")
     args = ap.parse_args()
+
+    budgets = {}
+    for spec in args.max_delta:
+        name, sep, pct = spec.partition("=")
+        if not sep:
+            ap.error(f"--max-delta expects METRIC=PCT, got {spec!r}")
+        try:
+            budgets[name] = float(pct)
+        except ValueError:
+            ap.error(f"--max-delta {spec!r}: {pct!r} is not a number")
 
     before = load(args.before)
     after = load(args.after)
@@ -75,6 +97,28 @@ def main():
     if missing:
         for m in missing:
             print(f"metrics-diff: required metric missing: {m}",
+                  file=sys.stderr)
+        return 2
+
+    breaches = []
+    for name, budget in sorted(budgets.items()):
+        if name not in before or name not in after:
+            where = "before" if name not in before else "after"
+            breaches.append(f"{name}: absent from the {where} dump")
+            continue
+        b_fields = dict(fields_of(before[name]))
+        a_fields = dict(fields_of(after[name]))
+        for field, b in b_fields.items():
+            pct = rel_change(b, a_fields.get(field, 0))
+            if pct > budget:
+                moved = ("from zero" if pct == float("inf")
+                         else f"{pct:+.1f}%")
+                breaches.append(
+                    f"{name}.{field}: {b:g} -> {a_fields.get(field, 0):g} "
+                    f"({moved}, budget {budget:g}%)")
+    if breaches:
+        for b in breaches:
+            print(f"metrics-diff: delta budget exceeded: {b}",
                   file=sys.stderr)
         return 2
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full suite in the default configuration, the
 # same suite again with telemetry + JSONL tracing enabled (catches crashes
-# that only instrumented paths can hit), then the update-transaction
+# that only instrumented paths can hit), the DSU suites a third time under
+# JVOLVE_LAZY=1 (every update commits through the lazy-transform engine),
+# the bench_lazy_pause trade-off gate, then the update-transaction
 # (rollback), quiescence-escalation, and GC-fuzz suites under a sanitizer
 # build — including a pass with both update-time fault sites armed via the
 # environment.
@@ -40,6 +42,34 @@ TRACE_OUT="$(mktemp /tmp/jvolve-tier1-trace.XXXXXX.jsonl)"
 JVOLVE_TELEMETRY=1 JVOLVE_TRACE_OUT="$TRACE_OUT" \
   ctest --test-dir build --output-on-failure -j 1
 rm -f "$TRACE_OUT"
+
+# Lazy pass: the suite a third time with every update committed through
+# the lazy-transform engine (dsu/LazyTransform.h). Tests that assert
+# eager rollback semantics for post-commit transformer faults skip
+# themselves under this variable.
+JVOLVE_LAZY=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# The lazy trade-off triangle: lazy pause below eager pause, transient
+# overhead decaying to no-update parity after the barrier retires, and
+# indirection overhead staying flat. Exit 1 on any violated relation.
+build/bench/bench_lazy_pause --check
+
+# Lazy steady-state convergence: serve the same release history eagerly
+# and lazily; the final snapshots must agree on updates applied, and the
+# lazy run must end fully drained (no pending shells, no failed
+# transforms). metrics-diff exits 2 on a breached budget; 1 just reports
+# the expected dsu.lazy.* movement.
+EAGER_JSON="$(mktemp /tmp/jvolve-tier1-eager.XXXXXX.json)"
+LAZY_JSON="$(mktemp /tmp/jvolve-tier1-lazy.XXXXXX.json)"
+build/tools/jvolve-serve email --metrics-out "$EAGER_JSON" > /dev/null
+build/tools/jvolve-serve email --lazy --metrics-out "$LAZY_JSON" > /dev/null
+scripts/metrics-diff.py "$EAGER_JSON" "$LAZY_JSON" --threshold 1000 \
+  --require dsu.lazy.updates \
+  --max-delta dsu.updates.applied=0 \
+  --max-delta dsu.lazy.pending=0 \
+  --max-delta dsu.lazy.failed_transforms=0 \
+  > /dev/null || [ $? -ne 2 ]
+rm -f "$EAGER_JSON" "$LAZY_JSON"
 
 if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"

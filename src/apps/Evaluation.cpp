@@ -54,13 +54,14 @@ std::unique_ptr<VM> bootApp(const AppModel &App, size_t V, bool Idle) {
 }
 
 UpdateResult applyTo(VM &TheVM, const AppModel &App, size_t V,
-                     uint64_t TimeoutTicks) {
+                     uint64_t TimeoutTicks, bool Lazy) {
   UpdateBundle B = Upt::prepare(App.version(V - 1), App.version(V),
                                 "v" + std::to_string(V - 1));
   if (App.name() == "javaemailserver")
     registerEmailTransformers(B, App, V);
   UpdateOptions Opts;
   Opts.TimeoutTicks = TimeoutTicks;
+  Opts.LazyTransform = Lazy;
   Updater U(TheVM);
   return U.applyNow(std::move(B), Opts, /*MaxDriveTicks=*/TimeoutTicks * 4);
 }
@@ -68,7 +69,7 @@ UpdateResult applyTo(VM &TheVM, const AppModel &App, size_t V,
 } // namespace
 
 ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
-                                       uint64_t TimeoutTicks) {
+                                       uint64_t TimeoutTicks, bool Lazy) {
   ReleaseOutcome Out;
   Out.Version = App.release(V).Name;
   Out.Summary =
@@ -77,7 +78,7 @@ ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
 
   {
     std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/false);
-    Out.Result = applyTo(*TheVM, App, V, TimeoutTicks);
+    Out.Result = applyTo(*TheVM, App, V, TimeoutTicks, Lazy);
   }
 
   // The paper applied CrossFTP 1.07 -> 1.08 "when the server was
@@ -85,16 +86,17 @@ ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
   if (Out.Result.Status == UpdateStatus::TimedOut) {
     std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/true);
     TheVM->run(2'000);
-    UpdateResult IdleResult = applyTo(*TheVM, App, V, TimeoutTicks);
+    UpdateResult IdleResult = applyTo(*TheVM, App, V, TimeoutTicks, Lazy);
     Out.AppliedWhenIdle = IdleResult.Status == UpdateStatus::Applied;
   }
   return Out;
 }
 
 std::vector<ReleaseOutcome> jvolve::evaluateApp(const AppModel &App,
-                                                uint64_t TimeoutTicks) {
+                                                uint64_t TimeoutTicks,
+                                                bool Lazy) {
   std::vector<ReleaseOutcome> Out;
   for (size_t V = 1; V < App.numVersions(); ++V)
-    Out.push_back(evaluateRelease(App, V, TimeoutTicks));
+    Out.push_back(evaluateRelease(App, V, TimeoutTicks, Lazy));
   return Out;
 }

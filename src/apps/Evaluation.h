@@ -37,12 +37,16 @@ struct ReleaseOutcome {
 /// Applies the update to version \p V of \p App on a freshly booted VM
 /// running version V-1 under load. \p TimeoutTicks bounds the safe-point
 /// search (kept small so the two impossible updates fail quickly).
+/// \p Lazy commits with untransformed shells and drains through the read
+/// barrier instead of transforming eagerly in the DSU collection.
 ReleaseOutcome evaluateRelease(const AppModel &App, size_t V,
-                               uint64_t TimeoutTicks = 120'000);
+                               uint64_t TimeoutTicks = 120'000,
+                               bool Lazy = false);
 
 /// Evaluates every release of \p App.
 std::vector<ReleaseOutcome> evaluateApp(const AppModel &App,
-                                        uint64_t TimeoutTicks = 120'000);
+                                        uint64_t TimeoutTicks = 120'000,
+                                        bool Lazy = false);
 
 } // namespace jvolve
 

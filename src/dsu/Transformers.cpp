@@ -172,7 +172,8 @@ void TransformerRunner::transformEntry(size_t Index) {
                       "transformer cycle detected while updating " +
                           TheVM.registry().cls(classOf(E.NewObj)).Name);
   }
-  if (E.St == UpdateLogEntry::State::Done)
+  if (E.St == UpdateLogEntry::State::Done ||
+      E.St == UpdateLogEntry::State::Failed)
     return;
   E.St = UpdateLogEntry::State::InProgress;
 
@@ -188,7 +189,7 @@ void TransformerRunner::transformEntry(size_t Index) {
   else
     applyDefaultObjectTransform(TheVM, E.NewObj, E.OldCopy);
 
-  header(E.NewObj)->Flags &= ~FlagUninitialized;
+  header(E.NewObj)->Flags &= ~(FlagUninitialized | FlagLazyPending);
   E.St = UpdateLogEntry::State::Done;
   ++NumTransformed;
 }
@@ -200,11 +201,8 @@ void TransformerRunner::ensureTransformed(Ref NewObj) {
   transformEntry(It->second);
 }
 
-double TransformerRunner::runAll() {
-  // The updater holds setTransformationInProgress across the whole install
-  // transaction (snapshot to commit), so it is already set here.
+double TransformerRunner::runClassTransformers() {
   Stopwatch Timer;
-
   // Class transformers first (paper §3.4), defaults for the rest.
   TransformCtx Ctx(TheVM, this);
   for (const std::string &Name : Bundle.Spec.ClassUpdates) {
@@ -214,6 +212,15 @@ double TransformerRunner::runAll() {
     else
       applyDefaultClassTransform(TheVM, Name, Bundle.renamedOldClass(Name));
   }
+  return Timer.elapsedMs();
+}
+
+double TransformerRunner::runAll() {
+  // The updater holds setTransformationInProgress across the whole install
+  // transaction (snapshot to commit), so it is already set here.
+  Stopwatch Timer;
+
+  runClassTransformers();
 
   // Then object transformers over the whole update log.
   for (size_t I = 0; I < UpdateLog.size(); ++I)

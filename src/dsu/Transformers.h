@@ -89,6 +89,15 @@ public:
   /// \returns wall-clock milliseconds spent.
   double runAll();
 
+  /// Executes only the class transformers (statics). The lazy engine runs
+  /// these eagerly at commit — statics have no read barrier — and defers
+  /// the per-object work. \returns wall-clock milliseconds spent.
+  double runClassTransformers();
+
+  /// Transforms the log entry at \p Index (cycle-safe; no-op when already
+  /// done or failed). The lazy engine's drain loop uses this.
+  void transformAt(size_t Index) { transformEntry(Index); }
+
   /// Force-transforms the log entry for \p NewObj (no-op when \p NewObj is
   /// not a pending new-version object).
   void ensureTransformed(Ref NewObj);

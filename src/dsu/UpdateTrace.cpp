@@ -38,6 +38,7 @@ const char *jvolve::updateEventKindName(UpdateEventKind K) {
   case UpdateEventKind::DeferredResumed: return "deferred-resumed";
   case UpdateEventKind::DrainStarted: return "drain-started";
   case UpdateEventKind::DrainEnded: return "drain-ended";
+  case UpdateEventKind::LazyCommitted: return "lazy-committed";
   }
   unreachable("bad update event kind");
 }

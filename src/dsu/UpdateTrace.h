@@ -47,6 +47,7 @@ enum class UpdateEventKind : uint8_t {
   DeferredResumed,  ///< a degraded update's full bundle rescheduled
   DrainStarted,     ///< network drain began for the pending update
   DrainEnded,       ///< network drain lifted after the update resolved
+  LazyCommitted,    ///< lazy mode: committed with untransformed shells
 };
 
 const char *updateEventKindName(UpdateEventKind K);

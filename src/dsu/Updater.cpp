@@ -3,6 +3,7 @@
 #include "bytecode/Builtins.h"
 #include "bytecode/Verifier.h"
 #include "dsu/EcUpdater.h"
+#include "dsu/LazyTransform.h"
 #include "dsu/Transformers.h"
 #include "heap/HeapVerifier.h"
 #include "runtime/ObjectModel.h"
@@ -12,6 +13,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <limits>
 #include <unordered_map>
 
 using namespace jvolve;
@@ -84,6 +87,17 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   Opts = InOpts;
   Result = UpdateResult();
   ensureBuiltins(Bundle.NewProgram);
+
+  // JVOLVE_LAZY=1 turns every scheduled update lazy — the environment
+  // counterpart of UpdateOptions::LazyTransform (tier1.sh runs the DSU
+  // suite a third time in this mode).
+  if (const char *Lazy = std::getenv("JVOLVE_LAZY"))
+    if (Lazy[0] && Lazy[0] != '0')
+      Opts.LazyTransform = true;
+  // A stacked update must not race a still-draining predecessor: its DSU
+  // collection assumes no pending shells remain. Settle them now,
+  // synchronously, and drop the old engine.
+  TheVM.drainLazyEngineNow();
 
   // Safety gate 1: the complete new program version must verify (§2.2).
   std::vector<VerifyError> Errs = Verifier(Bundle.NewProgram).verifyAll();
@@ -617,6 +631,12 @@ void Updater::clearForwardingMarks() {
 void Updater::certify() {
   Stopwatch Timer;
   HeapVerifier Verifier(TheVM.heap(), TheVM.registry());
+  // While a lazy engine drains, untransformed shells and the reserved
+  // old-copy block are legitimate; once it reports drained they are not.
+  if (VmLazyEngine *Engine = TheVM.lazyEngine())
+    Verifier.setLazyContext(
+        [Engine](Ref Obj) { return Engine->isPendingShell(Obj); },
+        /*AllowOldCopyReserved=*/!Engine->drained());
   std::vector<std::string> Problems =
       Verifier.verify([this](const std::function<void(Ref &)> &Visit) {
         TheVM.visitRoots(Visit);
@@ -676,6 +696,24 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
   // ---- Commit. ----------------------------------------------------------
   TheVM.setTransformationInProgress(false);
   TheVM.setProgram(Bundle.NewProgram);
+  if (LazyCommitPending) {
+    // Point of no return for lazy mode: build the engine over the update
+    // log, arm the read barrier on all compiled code, and hand the engine
+    // to the VM (which spawns the background drainer). From here on a
+    // failing transformer cannot roll the update back — it degrades it.
+    LazyCommitPending = false;
+    auto Engine = std::make_unique<LazyTransformEngine>(
+        TheVM, Bundle, std::move(LazyLog), std::move(LazyIndex),
+        /*OwnsOldCopySpace=*/Opts.UseOldCopySpace, Opts.LazyDrainBatch);
+    Engine->arm();
+    Result.LazyInstalled = true;
+    Result.LazyPendingAtCommit = Engine->pendingCount();
+    Result.Trace.record(UpdateEventKind::LazyCommitted,
+                        TheVM.scheduler().ticks(),
+                        static_cast<int64_t>(Result.LazyPendingAtCommit),
+                        "untransformed shells drain behind the read barrier");
+    TheVM.installLazyEngine(std::move(Engine));
+  }
   if (Opts.CertifyAfterUpdate)
     certify(); // reported in Result; an applied update is never undone here
 
@@ -696,6 +734,11 @@ void Updater::rollback(const ClassRegistry::RegistrySnapshot &RegSnap,
   Stopwatch Timer;
   Result.Trace.record(UpdateEventKind::InstallFailed,
                       TheVM.scheduler().ticks(), 0, E.str());
+  // A lazy handoff staged before the failure is void: the log refers to
+  // to-space objects the rollback is about to discard.
+  LazyCommitPending = false;
+  LazyLog.clear();
+  LazyIndex.clear();
 
   // Restore in dependency order: heap spaces first (so the pre-update
   // image is the current space again), then registry metadata, then the
@@ -917,6 +960,8 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
 
   if (!Remap.OldToNew.empty()) {
     Remap.OldCopiesInSeparateSpace = Opts.UseOldCopySpace;
+    Remap.OldCopyReserveLimitBytes = Opts.OldCopyReserveLimitBytes;
+    Remap.LazyShells = Opts.LazyTransform;
     std::vector<UpdateLogEntry> UpdateLog;
     std::unordered_map<Ref, size_t> NewToLogIndex;
     Result.Gc = TheVM.collectGarbage(&Remap, &UpdateLog, &NewToLogIndex);
@@ -928,6 +973,26 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
                         std::to_string(Result.GcMs) + " ms");
 
     TransformerRunner Runner(TheVM, Bundle, UpdateLog, NewToLogIndex);
+    if (Opts.LazyTransform) {
+      // Statics have no read barrier, so class transformers run eagerly;
+      // every per-object transform is deferred to the engine. The log is
+      // handed to the commit point, and the old-copy block stays reserved
+      // until the engine retires the barrier.
+      Result.TransformMs = Runner.runClassTransformers();
+      Result.ObjectsTransformed = Runner.objectsTransformed();
+      markPhase("transform", static_cast<int64_t>(Result.ObjectsTransformed),
+                "class transformers only (lazy)");
+      Result.Trace.record(UpdateEventKind::Transformed,
+                          TheVM.scheduler().ticks(),
+                          static_cast<int64_t>(Result.ObjectsTransformed),
+                          std::to_string(Result.TransformMs) +
+                              " ms (object transforms deferred)");
+      LazyLog = std::move(UpdateLog);
+      LazyIndex = std::move(NewToLogIndex);
+      LazyCommitPending = true;
+      Reg.dropObsoleteStatics();
+      return;
+    }
     Result.TransformMs = Runner.runAll();
     Result.ObjectsTransformed = Runner.objectsTransformed();
     markPhase("transform", static_cast<int64_t>(Result.ObjectsTransformed));
@@ -1035,6 +1100,34 @@ UpdateResult Updater::applyNow(UpdateBundle InBundle, UpdateOptions InOpts,
   }
   if (pending())
     abortUpdate(UpdateStatus::TimedOut, "drive budget exhausted");
+  // A lazy update resolves Applied with shells still pending. Keep driving
+  // the VM so the barrier and the background drainer finish the job —
+  // applyNow's contract is "the update is done"; callers that want to
+  // observe mid-drain behavior use schedule() + run() directly.
+  if (Result.Status == UpdateStatus::Applied && TheVM.lazyEngine()) {
+    uint64_t Guard = 0;
+    while (!TheVM.lazyEngine()->drained() && Guard++ < 1u << 16) {
+      VM::RunResult R = TheVM.run(1u << 14);
+      if (R.Idle)
+        break;
+    }
+    // Blocked application threads can idle the VM with shells still
+    // pending (nothing runnable wakes the drainer); settle synchronously.
+    if (!TheVM.lazyEngine()->drained()) {
+      while (!TheVM.lazyEngine()->drained())
+        TheVM.lazyEngine()->drainSome(
+            std::numeric_limits<size_t>::max());
+      TheVM.lazyEngine()->retire();
+    }
+    // With the drain complete, fold the deferred work back into the
+    // result so applyNow's contract is mode-agnostic: ObjectsTransformed
+    // is the total either way (commit-time value for mid-drain views).
+    Result.ObjectsTransformed += TheVM.lazyEngine()->transformedCount();
+    if (Telemetry::isEnabled())
+      Telemetry::global()
+          .counter(metrics::DsuObjectsTransformed)
+          .add(TheVM.lazyEngine()->transformedCount());
+  }
   return Result;
 }
 

@@ -61,6 +61,20 @@ struct UpdateOptions {
   /// reclaimed right after transformation instead of to-space (where the
   /// next collection would reclaim them).
   bool UseOldCopySpace = false;
+  /// Caps the old-copy block at this many bytes (0 = worst case: the
+  /// whole live heap, which can never overflow). An undersized cap makes
+  /// the exhaustion path reachable: the update rolls back with a
+  /// recoverable "old-copy space exhausted" error instead of aborting.
+  size_t OldCopyReserveLimitBytes = 0;
+  /// Lazy object transformation (dsu/LazyTransform.h): commit the update
+  /// with untransformed shells, run each object transformer on first touch
+  /// behind a read barrier, and drain the remainder from a background VM
+  /// thread. Trades the eager transform pause for a transient per-access
+  /// overhead that decays to exactly zero once the barrier retires.
+  /// JVOLVE_LAZY=1 forces this on for every scheduled update.
+  bool LazyTransform = false;
+  /// Lazy mode: background transforms per drainer quantum.
+  size_t LazyDrainBatch = 32;
   /// Run HeapVerifier plus a registry-consistency check after every applied
   /// *or rolled-back* update (certification). Benchmarks can turn it off.
   bool CertifyAfterUpdate = true;
@@ -151,6 +165,13 @@ struct UpdateResult {
   /// whether the gate ran at all.
   AnalysisReport Analysis;
   bool AnalysisRan = false;
+
+  /// Lazy mode (LazyTransform option): the update committed with this many
+  /// untransformed shells still registered; the engine installed on the VM
+  /// drains them after the pause. ObjectsTransformed stays 0 at commit —
+  /// the dsu.lazy.* metrics account for the deferred work.
+  bool LazyInstalled = false;
+  uint64_t LazyPendingAtCommit = 0;
 
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;
@@ -322,6 +343,13 @@ private:
   UpdateBundle DeferredBundle;
   bool HasDeferredUpdate = false;
   bool ResumingDeferred = false;
+
+  /// Lazy-mode handoff from installSteps (which owns the DSU collection's
+  /// update log) to the commit point in install(), where the engine is
+  /// built and adopted by the VM.
+  std::vector<UpdateLogEntry> LazyLog;
+  std::unordered_map<Ref, size_t> LazyIndex;
+  bool LazyCommitPending = false;
 
   // Id-level views of the spec, resolved against the current registry.
   std::set<MethodId> RestrictedMethodIds; ///< categories (1) and (3)

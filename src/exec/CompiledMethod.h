@@ -93,6 +93,12 @@ struct CompiledMethod {
   /// every field access performs an extra up-to-dateness check.
   bool IndirectionChecks = false;
 
+  /// True while a lazy update is draining: object-access paths run the
+  /// lazy-transform read barrier. Cleared (quickening retirement) on every
+  /// compiled method once the LazyTransformEngine drains, so steady-state
+  /// code is bit-identical to code that never saw a lazy update.
+  bool LazyBarriers = false;
+
   bool references(ClassId Id) const {
     for (ClassId C : ReferencedClasses)
       if (C == Id)

@@ -253,6 +253,7 @@ std::shared_ptr<CompiledMethod> Compiler::compile(MethodId Method, Tier T) {
   CM->Method = Method;
   CM->T = T;
   CM->IndirectionChecks = Opts.IndirectionChecks;
+  CM->LazyBarriers = Opts.EmitLazyBarriers;
 
   EmitContext Ctx;
   Ctx.Out = CM.get();

@@ -32,6 +32,10 @@ public:
     /// Compile field accesses with JDrums/DVM-style indirection checks
     /// (the steady-state-overhead ablation; paper §5).
     bool IndirectionChecks = false;
+    /// Compile object accesses with the lazy-transform read barrier. Only
+    /// set while a LazyTransformEngine is draining; the engine flips it
+    /// back off at barrier retirement.
+    bool EmitLazyBarriers = false;
     /// Callees with at most this many bytecode instructions are inlined by
     /// the opt tier.
     unsigned MaxInlineCodeLen = 16;
@@ -49,6 +53,10 @@ public:
   std::shared_ptr<CompiledMethod> compile(MethodId Method, Tier T);
 
   const Options &options() const { return Opts; }
+
+  /// Arms/retires the lazy-transform barrier for *future* compilations;
+  /// the LazyTransformEngine patches already-compiled methods itself.
+  void setEmitLazyBarriers(bool V) { Opts.EmitLazyBarriers = V; }
 
   /// Total number of compilations performed (benchmark counter).
   uint64_t compilationsPerformed() const { return NumCompilations; }

@@ -51,14 +51,24 @@ Ref Collector::forward(Ref Obj, const DsuRemap *Remap,
       std::memset(NewObj, 0, NewCls.InstanceSize);
       ObjectHeader *NewH = header(NewObj);
       NewH->Class = NewCls.Id;
-      NewH->Flags = FlagUninitialized;
+      NewH->Flags =
+          FlagUninitialized | (Remap->LazyShells ? FlagLazyPending : 0u);
 
       // Duplicate of the old version, scanned like any live object so its
       // fields get forwarded into to-space. Placement depends on the
       // §3.5 old-copy-space option.
-      Ref OldCopy = Remap->OldCopiesInSeparateSpace
-                        ? TheHeap.allocateInOldCopySpace(Bytes)
-                        : dsuAllocate(Bytes, "an old-version duplicate");
+      Ref OldCopy;
+      if (Remap->OldCopiesInSeparateSpace) {
+        OldCopy = TheHeap.tryAllocateInOldCopySpace(Bytes);
+        if (!OldCopy)
+          throw UpdateError(
+              "dsu-gc",
+              "old-copy space exhausted while allocating an old-version "
+              "duplicate; raise OldCopyReserveLimitBytes or let the "
+              "collector reserve the worst case");
+      } else {
+        OldCopy = dsuAllocate(Bytes, "an old-version duplicate");
+      }
       std::memcpy(OldCopy, Obj, Bytes);
       header(OldCopy)->Flags &= ~FlagForwarded;
 
@@ -99,8 +109,14 @@ CollectionStats Collector::collect(
 
   bool UseOldSpace = Remap && Remap->OldCopiesInSeparateSpace;
   if (UseOldSpace) {
-    // Worst case: every live object is a duplicate candidate.
-    TheHeap.reserveOldCopySpace(TheHeap.bytesAllocated());
+    // Worst case: every live object is a duplicate candidate. An explicit
+    // limit trades that guarantee for a smaller block (and a recoverable
+    // UpdateError when it proves too small).
+    size_t Reserve = TheHeap.bytesAllocated();
+    if (Remap->OldCopyReserveLimitBytes &&
+        Remap->OldCopyReserveLimitBytes < Reserve)
+      Reserve = Remap->OldCopyReserveLimitBytes;
+    TheHeap.reserveOldCopySpace(Reserve);
   }
 
   auto Fwd = [&](Ref &Loc) {

@@ -39,9 +39,20 @@ struct DsuRemap {
 
   /// §3.5 optimization: place the duplicates of old-version objects in a
   /// dedicated block (Heap's old-copy space) instead of to-space, so the
-  /// DSU layer can reclaim them the moment the transformers finish rather
+  /// DSU layer can reclaim it the moment the transformers finish rather
   /// than waiting for the next collection.
   bool OldCopiesInSeparateSpace = false;
+
+  /// Caps the old-copy block at this many bytes (0 = worst case: the whole
+  /// live heap). The collector reserves the worst case by default, which
+  /// can never overflow; a cap makes the exhaustion path reachable, so an
+  /// undersized reserve rolls the update back instead of aborting the VM.
+  size_t OldCopyReserveLimitBytes = 0;
+
+  /// Lazy-transform mode: mark every new-version shell FlagLazyPending in
+  /// addition to FlagUninitialized. The LazyTransformEngine adopts the
+  /// update log after the collection and transforms shells on first touch.
+  bool LazyShells = false;
 };
 
 /// One pending object transformation recorded during a DSU collection.
@@ -50,8 +61,11 @@ struct UpdateLogEntry {
   Ref NewObj = nullptr;  ///< uninitialized new-version object (to-space)
 
   /// Transformer progress, used for the recursive force-transform path and
-  /// its cycle detection (paper §3.4).
-  enum class State : uint8_t { Pending, InProgress, Done };
+  /// its cycle detection (paper §3.4). Failed marks an entry whose lazy
+  /// post-commit transformer threw: the update cannot roll back anymore, so
+  /// the shell stays a valid default-initialized object and is never
+  /// retried (the update is reported degraded instead).
+  enum class State : uint8_t { Pending, InProgress, Done, Failed };
   State St = State::Pending;
 };
 

@@ -109,10 +109,17 @@ void Heap::reserveOldCopySpace(size_t Bytes) {
 }
 
 Ref Heap::allocateInOldCopySpace(size_t Bytes) {
+  Ref Obj = tryAllocateInOldCopySpace(Bytes);
+  if (!Obj)
+    fatalError("old-copy space exhausted during collection");
+  return Obj;
+}
+
+Ref Heap::tryAllocateInOldCopySpace(size_t Bytes) {
   assert(OldCopy && "old-copy space not reserved");
   Bytes = alignUp(Bytes);
   if (OldCopyBump + Bytes > OldCopyCapacity)
-    fatalError("old-copy space exhausted during collection");
+    return nullptr;
   Ref Obj = OldCopy.get() + OldCopyBump;
   OldCopyBump += Bytes;
   return Obj;

@@ -80,6 +80,11 @@ public:
   /// Bump allocation inside the reserved block; aborts on exhaustion.
   Ref allocateInOldCopySpace(size_t Bytes);
 
+  /// Like allocateInOldCopySpace, but returns nullptr on exhaustion. DSU
+  /// collections use this: an undersized old-copy reserve is a recoverable
+  /// update failure (rollback), not a VM bug.
+  Ref tryAllocateInOldCopySpace(size_t Bytes);
+
   /// Frees the block (all old copies die instantly).
   void releaseOldCopySpace();
 

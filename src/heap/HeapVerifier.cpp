@@ -37,9 +37,18 @@ std::vector<std::string> HeapVerifier::verify(
     if (H->Flags & FlagForwarded)
       Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
              ") is forwarded outside a collection");
-    if (H->Flags & FlagUninitialized)
+    if (H->Flags & FlagUninitialized) {
+      // Lazy mode: a shell may stay uninitialized while the engine still
+      // lists it as pending — it must then also carry the barrier flag.
+      bool PendingShell = (H->Flags & FlagLazyPending) &&
+                          LazyIsPendingShell && LazyIsPendingShell(Obj);
+      if (!PendingShell)
+        Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
+               ") is uninitialized outside an update");
+    } else if (H->Flags & FlagLazyPending) {
       Report("object at +" + std::to_string(Offset) + " (" + Cls.Name +
-             ") is uninitialized outside an update");
+             ") carries a lazy-pending flag but is initialized");
+    }
     if (Cls.IsArray != ((H->Flags & FlagArray) != 0))
       Report("object at +" + std::to_string(Offset) +
              " array flag disagrees with class " + Cls.Name);
@@ -90,6 +99,14 @@ std::vector<std::string> HeapVerifier::verify(
     CheckRef(R, "root #" + std::to_string(RootIndex));
     ++RootIndex;
   });
+
+  // The old-copy block must be released once nothing legitimately holds
+  // it (eager updates release it right after the transformers; a lazy
+  // engine at barrier retirement).
+  if (TheHeap.hasOldCopySpace() && !AllowOldCopyReserved)
+    Report("old-copy space still reserved (" +
+           std::to_string(TheHeap.oldCopyBytesUsed()) +
+           " bytes) with no update draining");
 
   return Problems;
 }

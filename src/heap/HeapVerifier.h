@@ -37,6 +37,20 @@ public:
   HeapVerifier(Heap &TheHeap, ClassRegistry &Registry)
       : TheHeap(TheHeap), Registry(Registry) {}
 
+  /// Relaxes the invariants for a draining lazy update. \p IsPendingShell
+  /// says whether an object is an untransformed shell registered with the
+  /// live engine — only those may stay uninitialized (and must also carry
+  /// FlagLazyPending); anything else uninitialized is still corruption, so
+  /// once the engine reports drained every leftover shell is flagged.
+  /// \p AllowOldCopyReserved tolerates a still-reserved old-copy block
+  /// (the engine holds it until barrier retirement); when false a reserved
+  /// block is reported as leaked.
+  void setLazyContext(std::function<bool(Ref)> IsPendingShell,
+                      bool AllowOldCopyReserved) {
+    LazyIsPendingShell = std::move(IsPendingShell);
+    this->AllowOldCopyReserved = AllowOldCopyReserved;
+  }
+
   /// Verifies the linear heap layout and every object's fields.
   /// \p EnumerateRoots visits every root reference (same contract as the
   /// collector's root enumerator); pass the VM's enumerator.
@@ -49,6 +63,8 @@ private:
 
   Heap &TheHeap;
   ClassRegistry &Registry;
+  std::function<bool(Ref)> LazyIsPendingShell;
+  bool AllowOldCopyReserved = false;
 };
 
 } // namespace jvolve

@@ -38,6 +38,11 @@ enum : uint32_t {
   /// run yet; its fields are all zero/null (paper §3.4).
   FlagUninitialized = 1u << 2,
   FlagRefArray = 1u << 3, ///< array whose elements are references
+  /// DSU lazy mode: the object is an untransformed shell registered with
+  /// the LazyTransformEngine; a read barrier transforms it on first touch.
+  /// Always set together with FlagUninitialized; both clear when the
+  /// transformer runs (on demand or from the background drainer).
+  FlagLazyPending = 1u << 4,
 };
 
 inline constexpr size_t ObjectHeaderBytes = sizeof(ObjectHeader);

@@ -23,6 +23,7 @@ const char *FaultInjector::siteName(Site S) {
   case Site::SafePointStarvation: return "safe-point-starvation";
   case Site::QuiescenceWatchdogExpiry: return "quiescence-watchdog-expiry";
   case Site::NetSlowClient: return "net-slow-client";
+  case Site::LazyDrainTransformer: return "lazy-drain-transformer";
   }
   unreachable("bad fault site");
 }

@@ -21,6 +21,9 @@
 ///                          the threads would have quiesced in time
 ///   net-slow-client        a connection's inter-arrival gap stretches
 ///                          mid-update (drain/shed robustness)
+///   lazy-drain-transformer the N-th background-drain transform of a lazy
+///                          update faults after commit (degraded, no
+///                          rollback possible)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,8 +49,9 @@ public:
     SafePointStarvation,
     QuiescenceWatchdogExpiry,
     NetSlowClient,
+    LazyDrainTransformer,
   };
-  static constexpr size_t NumSites = 7;
+  static constexpr size_t NumSites = 8;
 
   /// \returns the stable site name used in traces and tool flags.
   static const char *siteName(Site S);

@@ -106,6 +106,18 @@ inline constexpr const char *DsuAnalysisRestrictedConservative =
     "dsu.analysis.restricted_conservative";
 inline constexpr const char *DsuAnalysisRestrictedDelta =
     "dsu.analysis.restricted_delta";
+// dsu/LazyTransform (lazy object-transformation engine)
+inline constexpr const char *DsuLazyUpdates = "dsu.lazy.updates";
+inline constexpr const char *DsuLazyBarrierHits = "dsu.lazy.barrier_hits";
+inline constexpr const char *DsuLazyOnDemandTransforms =
+    "dsu.lazy.on_demand_transforms";
+inline constexpr const char *DsuLazyBackgroundTransforms =
+    "dsu.lazy.background_transforms";
+inline constexpr const char *DsuLazyDrainTicks = "dsu.lazy.drain_ticks";
+inline constexpr const char *DsuLazyFailed = "dsu.lazy.failed_transforms";
+/// Gauge: untransformed shells still registered with the live engine
+/// (0 once drained; the barrier retires right after).
+inline constexpr const char *DsuLazyPending = "dsu.lazy.pending";
 // dsu/Quiescence (escalation ladder)
 inline constexpr const char *DsuQuiescenceExpiries =
     "dsu.quiescence.expiries";

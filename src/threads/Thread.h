@@ -18,6 +18,7 @@
 #include "runtime/Ids.h"
 #include "runtime/Slot.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,13 @@ struct VMThread {
   /// Value returned by the outermost frame (tests and callStatic use this).
   Slot ExitValue;
   bool HasExitValue = false;
+
+  /// VM-internal worker body (e.g. the lazy-transform drainer): instead of
+  /// interpreting Frames, the scheduler calls this with a tick budget each
+  /// quantum. The body must consume at least one tick per call while the
+  /// thread stays Runnable and set State itself when done. NativeWork
+  /// threads have no frames, so they never pin a dynamic update.
+  std::function<uint64_t(VMThread &, uint64_t)> NativeWork;
 
   bool stopped() const {
     return State == ThreadState::Finished || State == ThreadState::Trapped;

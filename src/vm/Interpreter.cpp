@@ -84,6 +84,17 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
     return C.Obsolete ? nullptr : Obj; // transform would happen on null
   };
 
+  /// DSU lazy-transform read barrier (armed only while an update drains;
+  /// F.Code->LazyBarriers gates every use). Fast path: one header-flag
+  /// test. Slow path: run the object's transformer before the access
+  /// proceeds. \returns false when the transformer failed post-commit —
+  /// the thread was trapped with the structured diagnostic.
+  auto LazyCheck = [&](Ref Obj) -> bool {
+    if (!(header(Obj)->Flags & FlagLazyPending))
+      return true;
+    return TheVM.lazyBarrierSlowPath(T, Obj);
+  };
+
   auto PushFrame = [&](MethodId Callee, int NArgs) {
     std::shared_ptr<CompiledMethod> Code =
         TheVM.ensureCompiledForInvoke(Callee);
@@ -261,6 +272,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         Advance = false;
         break;
       }
+      if (F.Code->LazyBarriers && !LazyCheck(Obj)) {
+        Advance = false;
+        break;
+      }
       if (F.Code->IndirectionChecks)
         Obj = IndirectionCheck(Obj);
       uint32_t Off = static_cast<uint32_t>(I.A);
@@ -277,6 +292,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
       S.pop_back();
       if (!Obj) {
         Trap("null dereference in field write");
+        Advance = false;
+        break;
+      }
+      if (F.Code->LazyBarriers && !LazyCheck(Obj)) {
         Advance = false;
         break;
       }
@@ -328,6 +347,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         Advance = false;
         break;
       }
+      if (F.Code->LazyBarriers && !LazyCheck(Receiver)) {
+        Advance = false;
+        break;
+      }
       const RtClass &C = Reg.cls(classOf(Receiver));
       assert(static_cast<size_t>(I.A) < C.VTable.size() &&
              "TIB slot out of range");
@@ -341,6 +364,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         Ref Receiver = S[S.size() - static_cast<size_t>(I.B)].RefVal;
         if (!Receiver) {
           Trap("null receiver in special call");
+          Advance = false;
+          break;
+        }
+        if (F.Code->LazyBarriers && !LazyCheck(Receiver)) {
           Advance = false;
           break;
         }
@@ -377,6 +404,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         Advance = false;
         break;
       }
+      if (F.Code->LazyBarriers && !LazyCheck(Arr)) {
+        Advance = false;
+        break;
+      }
       if (Idx < 0 || Idx >= arrayLength(Arr)) {
         Trap("array index out of bounds");
         Advance = false;
@@ -401,6 +432,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
         Advance = false;
         break;
       }
+      if (F.Code->LazyBarriers && !LazyCheck(Arr)) {
+        Advance = false;
+        break;
+      }
       if (Idx < 0 || Idx >= arrayLength(Arr)) {
         Trap("array index out of bounds");
         Advance = false;
@@ -418,6 +453,10 @@ uint64_t Interpreter::runThread(VMThread &T, uint64_t Budget) {
       S.pop_back();
       if (!Arr) {
         Trap("null array in arraylength");
+        Advance = false;
+        break;
+      }
+      if (F.Code->LazyBarriers && !LazyCheck(Arr)) {
         Advance = false;
         break;
       }

@@ -39,12 +39,15 @@ static void preregisterStandardMetrics() {
         metrics::DsuQuiescenceExpiries, metrics::DsuQuiescenceRescuedFrames,
         metrics::DsuQuiescenceForcedYields, metrics::DsuQuiescenceDegraded,
         metrics::DsuAnalysisRuns, metrics::DsuAnalysisRejected,
-        metrics::NetShedTotal, metrics::NetDrains})
+        metrics::DsuLazyUpdates, metrics::DsuLazyBarrierHits,
+        metrics::DsuLazyOnDemandTransforms,
+        metrics::DsuLazyBackgroundTransforms, metrics::DsuLazyDrainTicks,
+        metrics::DsuLazyFailed, metrics::NetShedTotal, metrics::NetDrains})
     Tel.counter(C);
   for (const char *G :
        {metrics::DsuAnalysisRestrictedPrecise,
         metrics::DsuAnalysisRestrictedConservative,
-        metrics::DsuAnalysisRestrictedDelta})
+        metrics::DsuAnalysisRestrictedDelta, metrics::DsuLazyPending})
     Tel.gauge(G);
   for (const char *H :
        {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
@@ -200,7 +203,18 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
     }
 
     uint64_t Budget = std::min<uint64_t>(Cfg.Quantum, End - Sched.ticks());
-    uint64_t Executed = Interp->runThread(*T, Budget);
+    uint64_t Executed;
+    if (T->NativeWork) {
+      if (Sched.yieldRequested()) {
+        // Native workers have no frames to scan; they cooperate with the
+        // stop-the-world protocol by parking until resumeAfterYield().
+        T->State = ThreadState::Parked;
+        continue;
+      }
+      Executed = T->NativeWork(*T, Budget);
+    } else {
+      Executed = Interp->runThread(*T, Budget);
+    }
     Sched.advanceTicks(Executed);
     if (Telemetry::isEnabled() && Executed > 0)
       Telemetry::global()
@@ -306,6 +320,8 @@ void VM::enumerateRoots(const std::function<void(Ref &)> &Visit) {
   for (Ref &R : Pinned)
     if (R)
       Visit(R);
+  if (Lazy)
+    Lazy->visitRoots(Visit);
 }
 
 CollectionStats
@@ -319,7 +335,57 @@ VM::collectGarbage(const DsuRemap *Remap,
       Remap, UpdateLog, NewToLogIndex);
   ++Stats.Collections;
   Stats.TotalGcMs += St.GcMs;
+  if (Lazy)
+    Lazy->onHeapMoved();
   return St;
+}
+
+void VM::installLazyEngine(std::unique_ptr<VmLazyEngine> Engine) {
+  Lazy = std::move(Engine);
+  // Background drainer: a cooperative daemon scheduled like any other
+  // thread. Each quantum it transforms a batch of shells; once the table
+  // empties the engine retires the barrier and the thread finishes. The
+  // closure re-reads this->Lazy so a later update replacing the engine
+  // simply finishes the old drainer on its next quantum.
+  VMThread &T = Sched.spawn("lazy-drainer", /*Daemon=*/true);
+  T.NativeWork = [this](VMThread &Self, uint64_t Budget) -> uint64_t {
+    if (!Lazy || Lazy->drained()) {
+      // The barrier may have settled the last shell on demand between
+      // quanta; retiring is idempotent and must not wait for drainSome.
+      if (Lazy)
+        Lazy->retire();
+      Self.State = ThreadState::Finished;
+      return 1;
+    }
+    size_t Used = Lazy->drainSome(static_cast<size_t>(Budget));
+    if (Lazy->drained())
+      Self.State = ThreadState::Finished;
+    return std::max<uint64_t>(Used, 1);
+  };
+}
+
+void VM::drainLazyEngineNow() {
+  if (!Lazy)
+    return;
+  while (!Lazy->drained())
+    Lazy->drainSome(std::numeric_limits<size_t>::max());
+  Lazy->retire();
+  Lazy.reset();
+}
+
+bool VM::lazyBarrierSlowPath(VMThread &T, Ref Obj) {
+  if (!Lazy) {
+    // A stale flag with no live engine cannot happen through the normal
+    // lifecycle (retire() clears flags first); recover by clearing it so
+    // the object reads as a plain initialized instance.
+    header(Obj)->Flags &= ~(FlagUninitialized | FlagLazyPending);
+    return true;
+  }
+  std::string Err;
+  if (Lazy->onBarrierHit(Obj, &Err))
+    return true;
+  onTrap(T, Err);
+  return false;
 }
 
 int VM::injectConnection(int Port, const std::vector<int64_t> &Requests,

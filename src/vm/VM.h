@@ -32,6 +32,49 @@ namespace jvolve {
 
 class Interpreter;
 
+/// VM-side view of the DSU lazy-transform engine (dsu/LazyTransform.h).
+/// The VM owns the engine through this interface so the core VM library
+/// stays independent of the DSU layer, mirroring the callback-based DSU
+/// hooks below. All methods are invoked from the single VM thread.
+class VmLazyEngine {
+public:
+  virtual ~VmLazyEngine() = default;
+
+  /// Read-barrier slow path: \p Obj carried FlagLazyPending. Transforms it
+  /// (and, recursively, anything the transformer forces). \returns false
+  /// when the post-commit transformer failed; \p Err receives the
+  /// structured diagnostic and the caller traps the touching thread.
+  virtual bool onBarrierHit(Ref Obj, std::string *Err) = 0;
+
+  /// Background drainer: transforms up to its per-quantum batch (bounded
+  /// by \p BudgetTicks). \returns virtual ticks consumed (>= 1). Retires
+  /// the barrier itself once the table empties.
+  virtual size_t drainSome(size_t BudgetTicks) = 0;
+
+  /// True when every update-log entry settled (transformed or failed).
+  virtual bool drained() const = 0;
+
+  /// Untransformed shells still registered.
+  virtual size_t pendingCount() const = 0;
+
+  /// Objects the engine has transformed so far (on-demand + background).
+  virtual uint64_t transformedCount() const = 0;
+
+  /// True when \p Obj is an untransformed shell whose entry has not
+  /// settled yet (the heap verifier's lazy context).
+  virtual bool isPendingShell(Ref Obj) const = 0;
+
+  /// Clears the barrier flag from all compiled code, releases the old-copy
+  /// block if still held, and emits the barrier-retired trace event.
+  /// Idempotent; called automatically when the table drains.
+  virtual void retire() = 0;
+
+  /// GC integration: pending entries' shells and old copies are roots.
+  virtual void visitRoots(const std::function<void(Ref &)> &Visit) = 0;
+  /// Called after every collection: entry addresses moved.
+  virtual void onHeapMoved() = 0;
+};
+
 /// Aggregate execution counters (benchmark instrumentation).
 struct VmStats {
   uint64_t InstructionsExecuted = 0;
@@ -224,6 +267,38 @@ public:
   void setTransformationInProgress(bool V) { TransformationInProgress = V; }
   bool transformationInProgress() const { return TransformationInProgress; }
 
+  //===--------------------------------------------------------------------===//
+  // Lazy object transformation (UpdateOptions::LazyTransform)
+  //===--------------------------------------------------------------------===//
+
+  /// The live engine, or nullptr. Non-null from a lazy update's commit
+  /// until the next update replaces it (it stays queryable after retiring
+  /// so its drain statistics and failure diagnostics remain readable).
+  VmLazyEngine *lazyEngine() { return Lazy.get(); }
+
+  /// Adopts the engine a lazy update built at commit and spawns the
+  /// background drainer thread (a daemon; scheduled like any other).
+  void installLazyEngine(std::unique_ptr<VmLazyEngine> Engine);
+
+  /// Synchronously drains and retires any live engine, then drops it.
+  /// Called before a stacked update's safe-point hunt: its DSU collection
+  /// must not see pending shells.
+  void drainLazyEngineNow();
+
+  /// Interpreter slow path behind the FlagLazyPending header check.
+  /// \returns false when the transform failed (thread \p T was trapped
+  /// with the structured diagnostic).
+  bool lazyBarrierSlowPath(VMThread &T, Ref Obj);
+
+  /// Structured diagnostics of every failed post-commit lazy transform,
+  /// surviving engine replacement (jvolve-serve reports these).
+  const std::vector<std::string> &lazyFailureLog() const {
+    return LazyFailureLog;
+  }
+  void noteLazyFailure(std::string Diagnostic) {
+    LazyFailureLog.push_back(std::move(Diagnostic));
+  }
+
   // Internal: interpreter callbacks.
   void onReturnBarrierFired(VMThread &T);
   void onTrap(VMThread &T, const std::string &Message);
@@ -252,6 +327,8 @@ private:
   std::function<void()> SafePointCallback;
   std::function<void(uint64_t)> TickCallback;
   std::function<void(VMThread &)> ReturnBarrierCallback;
+  std::unique_ptr<VmLazyEngine> Lazy;
+  std::vector<std::string> LazyFailureLog;
   bool TransformationInProgress = false;
   bool ProgramLoaded = false;
 

@@ -12,6 +12,7 @@
 
 #include "apps/CrossFtpApp.h"
 #include "apps/EmailApp.h"
+#include "apps/Evaluation.h"
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
 #include "dsu/EcUpdater.h"
@@ -402,3 +403,44 @@ TEST(Apps, FlexibilityHeadline20of22) {
   // EXPERIMENTS.md for the counting discussion).
   EXPECT_EQ(EcOk, 8);
 }
+
+//===--- Eager vs lazy transformation across the full update stream ---------===//
+
+/// Parameter: LazyTransform on/off. Every release of every app must reach
+/// the same supported/unsupported verdict in both modes, and every applied
+/// update must pass post-update certification — the lazy engine's final
+/// heap is indistinguishable from the eager one.
+class AppsUpdateMode : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AppsUpdateMode, All22ReleasesMatchTableVerdictAndCertify) {
+  const bool Lazy = GetParam();
+  AppModel Apps[] = {makeJettyApp(), makeEmailApp(), makeCrossFtpApp()};
+  int Total = 0, Supported = 0;
+  for (const AppModel &App : Apps) {
+    for (size_t V = 1; V < App.numVersions(); ++V) {
+      SCOPED_TRACE(App.name() + " " + App.release(V).Name +
+                   (Lazy ? " [lazy]" : " [eager]"));
+      ReleaseOutcome R =
+          evaluateRelease(App, V, /*TimeoutTicks=*/60'000, Lazy);
+      ++Total;
+      if (R.supported())
+        ++Supported;
+      EXPECT_EQ(R.supported(), App.release(V).ExpectSupported);
+      if (R.Result.Status == UpdateStatus::Applied) {
+        EXPECT_TRUE(R.Result.Certified);
+        EXPECT_TRUE(R.Result.CertificationProblems.empty())
+            << R.Result.CertificationProblems.front();
+      }
+    }
+  }
+  // The 20-of-22 headline holds in both transformation modes.
+  EXPECT_EQ(Total, 22);
+  EXPECT_EQ(Supported, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(EagerAndLazy, AppsUpdateMode,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &Info) {
+                           return Info.param ? std::string("Lazy")
+                                             : std::string("Eager");
+                         });

@@ -18,6 +18,7 @@
 #include "heap/HeapVerifier.h"
 #include "support/FaultInjector.h"
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 using namespace jvolve;
@@ -26,6 +27,19 @@ using namespace jvolve::test;
 using Site = FaultInjector::Site;
 
 namespace {
+
+/// The transformer-failure tests assert the eager transactional contract:
+/// transformers run *before* commit, so a fault rolls the whole update
+/// back. Under JVOLVE_LAZY=1 transformers run after commit, where a fault
+/// degrades the update instead (LazyTransformTest covers that policy).
+bool lazyModeForced() { return std::getenv("JVOLVE_LAZY") != nullptr; }
+
+/// True when \p S fires inside the transformer phase — post-commit in lazy
+/// mode, so rollback assertions do not apply there.
+bool isTransformerSite(Site S) {
+  return S == Site::TransformerNthObject || S == Site::TransformerCycle ||
+         S == Site::LazyDrainTransformer;
+}
 
 /// Point program with a probe present in both versions. v1: Point{x},
 /// Probe.check() = p.x. v2: Point{x, y}, Probe.check() = p.x * 100 + p.y.
@@ -232,6 +246,9 @@ TEST(DsuRollback, ClassLoadFailureRollsBack) {
 //===--- Site: transformer-nth-object --------------------------------------===//
 
 TEST(DsuRollback, TransformerFaultOnNthObjectRollsBack) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "transformer faults degrade instead of rolling back "
+                    "under JVOLVE_LAZY=1";
   VM TheVM(smallConfig());
   TheVM.loadProgram(arrVersion(false));
   TheVM.callStatic("ArrSetup", "init", "()V");
@@ -257,6 +274,9 @@ TEST(DsuRollback, TransformerFaultOnNthObjectRollsBack) {
 }
 
 TEST(DsuRollback, ThrowingCustomTransformerRollsBack) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "transformer faults degrade instead of rolling back "
+                    "under JVOLVE_LAZY=1";
   VM TheVM(smallConfig());
   TheVM.loadProgram(ptVersion(false));
   TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
@@ -275,6 +295,9 @@ TEST(DsuRollback, ThrowingCustomTransformerRollsBack) {
 //===--- Site: transformer-cycle -------------------------------------------===//
 
 TEST(DsuRollback, InjectedTransformerCycleRollsBack) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "transformer faults degrade instead of rolling back "
+                    "under JVOLVE_LAZY=1";
   VM TheVM(smallConfig());
   TheVM.loadProgram(ptVersion(false));
   TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
@@ -289,6 +312,9 @@ TEST(DsuRollback, InjectedTransformerCycleRollsBack) {
 }
 
 TEST(DsuRollback, RealTransformerCycleRollsBack) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "transformer faults degrade instead of rolling back "
+                    "under JVOLVE_LAZY=1";
   VM TheVM(smallConfig());
   TheVM.loadProgram(ptVersion(false));
   TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
@@ -306,6 +332,42 @@ TEST(DsuRollback, RealTransformerCycleRollsBack) {
   EXPECT_NE(R.Message.find("cycle"), std::string::npos) << R.Message;
   expectRolledBackCleanly(TheVM, R, "after real cycle");
   EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+}
+
+//===--- Site: lazy-drain-transformer ---------------------------------------===//
+
+TEST(DsuRollback, LazyDrainFaultDegradesInsteadOfRollingBack) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(arrVersion(false));
+  TheVM.callStatic("ArrSetup", "init", "()V");
+  EXPECT_EQ(TheVM.callStatic("ArrProbe", "sum", "()I").IntVal, 28);
+
+  // Fire on the 2nd background-drain transform. The update has already
+  // committed when the fault hits, so rollback is impossible: the update
+  // still resolves Applied, the failed shell settles as a valid zeroed
+  // object, and the VM records a structured diagnostic instead of dying.
+  TheVM.faults().arm(Site::LazyDrainTransformer, /*Fire=*/1, /*Skip=*/1);
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.LazyTransform = true;
+  UpdateResult R =
+      U.applyNow(Upt::prepare(arrVersion(false), arrVersion(true), "v1"), Opts);
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  EXPECT_TRUE(R.LazyInstalled);
+  EXPECT_EQ(TheVM.faults().fireCount(Site::LazyDrainTransformer), 1u);
+  EXPECT_EQ(R.ObjectsTransformed, 7u); // 8 shells, 1 settled as Failed
+  ASSERT_EQ(TheVM.lazyFailureLog().size(), 1u);
+  EXPECT_NE(TheVM.lazyFailureLog().front().find("lazy-drain"),
+            std::string::npos)
+      << TheVM.lazyFailureLog().front();
+
+  // Seven of eight Points carry v2 values; the failed shell reads as
+  // default-initialized (x contributes 0), so the v2 probe still runs —
+  // degraded, not corrupt.
+  int64_t Sum = TheVM.callStatic("ArrProbe", "sum", "()I").IntVal;
+  EXPECT_GE(Sum, 210);
+  EXPECT_LE(Sum, 280);
+  expectHealthy(TheVM, "after degraded lazy drain");
 }
 
 //===--- Site: gc-alloc-exhaustion -----------------------------------------===//
@@ -477,6 +539,8 @@ TEST(DsuRollback, EveryFaultSiteResolvesWithoutProcessDeath) {
   for (size_t S = 0; S < FaultInjector::NumSites; ++S) {
     for (uint64_t Skip : {uint64_t(0), uint64_t(2)}) {
       Site Where = static_cast<Site>(S);
+      if (lazyModeForced() && isTransformerSite(Where))
+        continue; // post-commit under JVOLVE_LAZY=1: degrades, no rollback
       SCOPED_TRACE(std::string("site=") + FaultInjector::siteName(Where) +
                    " skip=" + std::to_string(Skip));
 

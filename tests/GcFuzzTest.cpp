@@ -14,8 +14,10 @@
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
 #include "heap/HeapVerifier.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 using namespace jvolve;
@@ -184,6 +186,13 @@ TEST_P(GcFuzzTest, RandomFaultsDuringUpdateNeverCorrupt) {
 
   auto Where =
       static_cast<FaultInjector::Site>(R.nextBelow(FaultInjector::NumSites));
+  if (std::getenv("JVOLVE_LAZY") &&
+      (Where == FaultInjector::Site::TransformerNthObject ||
+       Where == FaultInjector::Site::TransformerCycle ||
+       Where == FaultInjector::Site::LazyDrainTransformer))
+    GTEST_SKIP() << "transformer faults fire post-commit under JVOLVE_LAZY=1 "
+                    "and degrade the heap by design (zeroed shells change "
+                    "the checksum); DsuRollbackTest covers that policy";
   TheVM.faults().armRandom(Where, 0.3, GetParam());
 
   Updater U(TheVM);

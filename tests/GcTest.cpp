@@ -9,6 +9,8 @@
 
 #include "TestUtil.h"
 
+#include "dsu/Updater.h"
+#include "dsu/Upt.h"
 #include "runtime/ObjectModel.h"
 
 #include <gtest/gtest.h>
@@ -183,6 +185,61 @@ TEST(Gc, ThreadStackRootsAreScanned) {
   TheVM.loadProgram(Set);
   EXPECT_EQ(TheVM.callStatic("Churn", "run", "()I").IntVal, 5);
   EXPECT_GT(TheVM.stats().Collections, 0u);
+}
+
+TEST(Gc, OldCopySpaceExhaustionRollsBackAndRetryWorks) {
+  // §3.5: the old-copy block is normally reserved at the worst case (the
+  // whole live heap) and can never overflow. An explicit undersized cap
+  // makes the exhaustion path reachable; the DSU collection must abort
+  // with a *recoverable* error, roll the update back, and leave the heap
+  // exactly as it was so an uncapped retry succeeds.
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(nodeProgram());
+
+  Ref Chain = nullptr;
+  for (int I = 0; I < 200; ++I)
+    Chain = allocNode(TheVM, I, Chain);
+  staticRoot(TheVM) = Slot::ofRef(Chain);
+
+  ClassSet V2 = nodeProgram();
+  V2.find("Node")->Fields.push_back(
+      {"w", "I", false, false, Access::Public});
+
+  auto expectChainIntact = [&TheVM](const char *When) {
+    Ref Cur = staticRoot(TheVM).RefVal;
+    for (int I = 199; I >= 0; --I) {
+      ASSERT_NE(Cur, nullptr) << When;
+      EXPECT_EQ(nodeValue(TheVM, Cur), I) << When;
+      Cur = nodeNext(TheVM, Cur);
+    }
+    EXPECT_EQ(Cur, nullptr) << When;
+  };
+
+  // 200 duplicated Nodes need far more than 256 bytes of old-copy space.
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.UseOldCopySpace = true;
+  Opts.OldCopyReserveLimitBytes = 256;
+  UpdateResult R =
+      U.applyNow(Upt::prepare(nodeProgram(), V2, "v-cramped"), Opts);
+  EXPECT_EQ(R.Status, UpdateStatus::RolledBack) << R.Message;
+  EXPECT_NE(R.Message.find("old-copy"), std::string::npos) << R.Message;
+  EXPECT_FALSE(TheVM.heap().hasOldCopySpace());
+  expectChainIntact("after rolled-back update");
+
+  // Uncapped (0 = worst case) the same update goes through.
+  Opts.OldCopyReserveLimitBytes = 0;
+  UpdateResult R2 =
+      U.applyNow(Upt::prepare(nodeProgram(), V2, "v-roomy"), Opts);
+  ASSERT_EQ(R2.Status, UpdateStatus::Applied) << R2.Message;
+  EXPECT_FALSE(TheVM.heap().hasOldCopySpace());
+  expectChainIntact("after applied retry");
+  // The added field defaults to zero on every transformed Node.
+  const RtClass &C =
+      TheVM.registry().cls(classOf(staticRoot(TheVM).RefVal));
+  EXPECT_EQ(getIntAt(staticRoot(TheVM).RefVal,
+                     C.findInstanceField("w")->Offset),
+            0);
 }
 
 TEST(Gc, StringsSurviveCollection) {

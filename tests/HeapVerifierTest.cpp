@@ -162,6 +162,83 @@ TEST(HeapVerifier, DetectsCorruptRoot) {
   TheVM.pinnedRoots().clear();
 }
 
+TEST(HeapVerifier, LazyShellsAllowedOnlyWhileEngineVouchesForThem) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(pairVersion(false));
+  Ref A = makePair(TheVM, 1, nullptr);
+  TheVM.registry().cls(TheVM.registry().idOf("H")).Statics[0] =
+      Slot::ofRef(A);
+  header(A)->Flags |= FlagUninitialized | FlagLazyPending;
+  auto Roots = [&TheVM](const std::function<void(Ref &)> &Visit) {
+    TheVM.visitRoots(Visit);
+  };
+
+  // Without a lazy context, an uninitialized object is corruption.
+  std::vector<std::string> Problems = verifyHeap(TheVM);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("uninitialized"), std::string::npos);
+
+  // While a draining engine lists the shell as pending, it is legitimate.
+  {
+    HeapVerifier V(TheVM.heap(), TheVM.registry());
+    V.setLazyContext([A](Ref O) { return O == A; },
+                     /*AllowOldCopyReserved=*/true);
+    EXPECT_TRUE(V.verify(Roots).empty());
+  }
+
+  // Once the engine reports drained it no longer vouches for anything:
+  // a leftover shell is corruption again.
+  {
+    HeapVerifier V(TheVM.heap(), TheVM.registry());
+    V.setLazyContext([](Ref) { return false; },
+                     /*AllowOldCopyReserved=*/false);
+    std::vector<std::string> P = V.verify(Roots);
+    ASSERT_FALSE(P.empty());
+    EXPECT_NE(P[0].find("uninitialized"), std::string::npos);
+  }
+  header(A)->Flags &= ~(FlagUninitialized | FlagLazyPending);
+}
+
+TEST(HeapVerifier, DetectsLazyFlagOnInitializedObject) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(pairVersion(false));
+  Ref A = makePair(TheVM, 1, nullptr);
+  TheVM.registry().cls(TheVM.registry().idOf("H")).Statics[0] =
+      Slot::ofRef(A);
+  // A barrier flag on a fully initialized object means a transform settled
+  // without clearing it — every later read would take the slow path.
+  header(A)->Flags |= FlagLazyPending;
+  std::vector<std::string> Problems = verifyHeap(TheVM);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("lazy-pending"), std::string::npos);
+  header(A)->Flags &= ~FlagLazyPending;
+}
+
+TEST(HeapVerifier, ReportsOldCopySpaceHeldWithNoDrainingUpdate) {
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(pairVersion(false));
+  TheVM.heap().reserveOldCopySpace(1u << 12);
+  auto Roots = [&TheVM](const std::function<void(Ref &)> &Visit) {
+    TheVM.visitRoots(Visit);
+  };
+
+  // Reserved with nothing draining: a leak, reported.
+  std::vector<std::string> Problems = verifyHeap(TheVM);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("old-copy space still reserved"),
+            std::string::npos);
+
+  // Legitimate while a lazy engine still drains.
+  {
+    HeapVerifier V(TheVM.heap(), TheVM.registry());
+    V.setLazyContext([](Ref) { return false; },
+                     /*AllowOldCopyReserved=*/true);
+    EXPECT_TRUE(V.verify(Roots).empty());
+  }
+  TheVM.heap().releaseOldCopySpace();
+  EXPECT_TRUE(verifyHeap(TheVM).empty());
+}
+
 TEST(HeapVerifier, CleanAcrossAppUpdateStream) {
   // Property sweep: the heap stays well-formed after every applied update
   // of the CrossFTP stream (smallest of the three apps).

@@ -107,9 +107,22 @@ TEST(UpdateTrace, GcAndTransformPhasesRecorded) {
   ASSERT_EQ(R.Status, UpdateStatus::Applied);
   EXPECT_EQ(R.Trace.count(UpdateEventKind::GcCompleted), 1);
   EXPECT_EQ(R.Trace.count(UpdateEventKind::Transformed), 1);
-  for (const UpdateEvent &E : R.Trace.events())
-    if (E.Kind == UpdateEventKind::Transformed)
-      EXPECT_EQ(E.Value, 1);
+  if (R.LazyInstalled) {
+    // Lazy mode (e.g. JVOLVE_LAZY=1): the transform phase records only
+    // the deferral; the shell count rides on the LazyCommitted event.
+    EXPECT_EQ(R.Trace.count(UpdateEventKind::LazyCommitted), 1);
+    for (const UpdateEvent &E : R.Trace.events()) {
+      if (E.Kind == UpdateEventKind::LazyCommitted) {
+        EXPECT_EQ(E.Value, 1);
+      }
+    }
+  } else {
+    for (const UpdateEvent &E : R.Trace.events()) {
+      if (E.Kind == UpdateEventKind::Transformed) {
+        EXPECT_EQ(E.Value, 1);
+      }
+    }
+  }
   TheVM.pinnedRoots().clear();
 }
 

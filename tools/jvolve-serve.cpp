@@ -9,8 +9,17 @@
 /// applied.
 ///
 ///   jvolve-serve jetty|email|crossftp [--trace] [--stats] [--analyze]
-///                [--trace-out <file>] [--inject <site>[:fire[:skip]]]
-///                [--admit <N>]
+///                [--lazy] [--trace-out <file>] [--metrics-out <file>]
+///                [--inject <site>[:fire[:skip]]] [--admit <N>]
+///
+/// --lazy commits every update with lazy object transformation
+/// (dsu/LazyTransform.h): the pause covers only the DSU collection and
+/// commit; object transformers run on first touch behind the read barrier
+/// while a background drainer settles the rest under live traffic. The
+/// tool reports the shells pending at commit and, after load resumes, the
+/// on-demand vs. background split until the barrier retires. Post-commit
+/// transformer failures cannot roll back; they degrade the update and are
+/// listed from the VM's lazy failure log before exit.
 ///
 /// --analyze turns on the pre-update gate: the static update-safety
 /// analyzer (dsu/Analysis.h) runs before each pause attempt and a
@@ -39,7 +48,10 @@
 /// simulated network path as client traffic, and when the server's
 /// response comes back the current telemetry registry snapshot prints —
 /// the live stats surface. --trace-out streams JSONL trace events (update
-/// phase spans and lifecycle events) to <file>.
+/// phase spans and lifecycle events) to <file>. --metrics-out enables
+/// telemetry and writes the final registry snapshot as JSON to <file> at
+/// exit, the format scripts/metrics-diff.py consumes — so an eager and a
+/// --lazy run of the same release history can be diffed and gated.
 ///
 /// When an update cannot reach a safe point (the changed method never
 /// leaves the stack), the tool retries once with the operator-supplied
@@ -52,6 +64,7 @@
 #include "apps/EmailApp.h"
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
+#include "dsu/LazyTransform.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
 #include "support/FaultInjector.h"
@@ -140,7 +153,8 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
-                 "[--stats] [--analyze] [--trace-out <file>] "
+                 "[--stats] [--analyze] [--lazy] [--trace-out <file>] "
+                 "[--metrics-out <file>] "
                  "[--inject <site>[:fire[:skip]]] [--admit <N>]\n"
                  "  valid --inject sites: %s\n",
                  injectSiteList().c_str());
@@ -149,6 +163,8 @@ int main(int argc, char **argv) {
   bool ShowTrace = false;
   bool ShowStats = false;
   bool AnalyzeFirst = false;
+  bool LazyMode = false;
+  const char *MetricsOut = nullptr;
   size_t AdmitLimit = 16;
   FaultInjector::Site InjectSite{};
   uint64_t InjectFire = 0, InjectSkip = 0;
@@ -161,6 +177,11 @@ int main(int argc, char **argv) {
       Telemetry::global().setEnabled(true);
     } else if (std::strcmp(argv[I], "--analyze") == 0) {
       AnalyzeFirst = true;
+    } else if (std::strcmp(argv[I], "--lazy") == 0) {
+      LazyMode = true;
+    } else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc) {
+      MetricsOut = argv[++I];
+      Telemetry::global().setEnabled(true);
     } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
       if (!Telemetry::global().openTrace(argv[++I])) {
         std::fprintf(stderr, "jvolve-serve: cannot create trace file '%s'\n",
@@ -252,6 +273,7 @@ int main(int argc, char **argv) {
     Opts.EnableRescue = true;
     Opts.DrainNetwork = true;
     Opts.AnalyzeFirst = AnalyzeFirst;
+    Opts.LazyTransform = LazyMode;
     Updater U(TheVM);
     // Keep traffic flowing while the updater seeks a safe point.
     U.schedule(std::move(B), Opts);
@@ -288,6 +310,10 @@ int main(int argc, char **argv) {
                   R.TotalPauseMs, R.ReturnBarriersInstalled,
                   R.OsrReplacements,
                   static_cast<unsigned long long>(R.ObjectsTransformed));
+      if (R.LazyInstalled)
+        std::printf("  committed lazily: %llu shell(s) untransformed, "
+                    "draining behind the read barrier\n",
+                    static_cast<unsigned long long>(R.LazyPendingAtCommit));
       Version = V;
     } else {
       std::printf("  %s — still serving %s\n",
@@ -320,12 +346,34 @@ int main(int argc, char **argv) {
 
     LoadResult After = Driver.measure(6'000);
     std::printf("  throughput %.1f resp/ktick\n", After.Throughput);
+    if (auto *Engine =
+            static_cast<LazyTransformEngine *>(TheVM.lazyEngine()))
+      std::printf("  lazy drain: %llu on-demand + %llu background, "
+                  "%zu pending%s\n",
+                  static_cast<unsigned long long>(
+                      Engine->onDemandTransforms()),
+                  static_cast<unsigned long long>(
+                      Engine->backgroundTransforms()),
+                  Engine->pendingCount(),
+                  Engine->retired() ? " (barrier retired)" : "");
     if (ShowStats)
       serveStatsRequest(TheVM, Port);
   }
 
   Telemetry::global().closeTrace(); // flush any buffered JSONL events
+  if (MetricsOut) {
+    std::FILE *F = std::fopen(MetricsOut, "w");
+    if (!F) {
+      std::fprintf(stderr, "jvolve-serve: cannot write metrics to '%s'\n",
+                   MetricsOut);
+      return 2;
+    }
+    std::fprintf(F, "%s\n", Telemetry::global().snapshot().json().c_str());
+    std::fclose(F);
+  }
   std::printf("final version: %s\n", App.versionName(Version).c_str());
+  for (const std::string &F : TheVM.lazyFailureLog())
+    std::printf("degraded lazy transform: %s\n", F.c_str());
   for (auto &T : TheVM.scheduler().threads())
     if (T->State == ThreadState::Trapped) {
       std::printf("thread %s trapped: %s\n", T->Name.c_str(),
