@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BENCH_*.json emission: benches accumulate their headline numbers here
+/// and write them in the telemetry snapshot format ({"metrics":[...]})
+/// that scripts/metrics-diff.py consumes — so two bench runs (or the
+/// forward and revert halves of one run) can be diffed and budget-gated
+/// exactly like two VM metric dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_BENCH_BENCHJSON_H
+#define JVOLVE_BENCH_BENCHJSON_H
+
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+class BenchJson {
+public:
+  /// A counter/gauge-shaped entry (metrics-diff compares `value`).
+  void value(const std::string &Name, long long V) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%lld}",
+                  Name.c_str(), V);
+    Entries.push_back(Buf);
+  }
+
+  /// A histogram-shaped entry over \p Samples (metrics-diff compares
+  /// `count`, `mean`, and `p95`).
+  void histogram(const std::string &Name, const std::vector<double> &Samples) {
+    double Sum = 0, Min = 0, Max = 0;
+    for (size_t I = 0; I < Samples.size(); ++I) {
+      Sum += Samples[I];
+      Min = I == 0 ? Samples[I] : std::min(Min, Samples[I]);
+      Max = std::max(Max, Samples[I]);
+    }
+    double Mean = Samples.empty() ? 0 : Sum / Samples.size();
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"kind\":\"histogram\",\"count\":%lld,"
+                  "\"sum\":%.6f,\"min\":%.6f,\"max\":%.6f,\"mean\":%.6f,"
+                  "\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f}",
+                  Name.c_str(), static_cast<long long>(Samples.size()), Sum,
+                  Min, Max, Mean, percentile(Samples, 50),
+                  percentile(Samples, 95), percentile(Samples, 99));
+    Entries.push_back(Buf);
+  }
+
+  /// \returns false (with a diagnostic) when \p Path cannot be written.
+  bool write(const char *Path) const {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path);
+      return false;
+    }
+    std::fputs("{\"metrics\":[", F);
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      if (I)
+        std::fputc(',', F);
+      std::fputs(Entries[I].c_str(), F);
+    }
+    std::fputs("]}\n", F);
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::vector<std::string> Entries;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_BENCH_BENCHJSON_H

@@ -29,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "bytecode/Builder.h"
 #include "dsu/LazyTransform.h"
 #include "dsu/Transformers.h"
@@ -385,6 +386,18 @@ int main(int argc, char **argv) {
   std::printf("relation 3 (indirection overhead stays flat):     %s\n",
               FlatOk ? "holds" : "VIOLATED");
 
+  if (Check) {
+    // Gated runs leave their numbers behind in the metrics-snapshot
+    // format, so scripts can diff two tier1 runs (or archive the trend)
+    // with metrics-diff.py like any pair of VM dumps.
+    BenchJson J;
+    J.histogram("bench.lazy.pause_eager_ms", Eager);
+    J.histogram("bench.lazy.pause_lazy_ms", Lazy);
+    J.histogram("bench.lazy.spin_base_ms", BaseLate);
+    J.histogram("bench.lazy.spin_post_retire_ms", LazyPost);
+    J.value("bench.lazy.barrier_retired", Retired ? 1 : 0);
+    J.write("BENCH_lazy_pause.json");
+  }
   if (Check && !(PauseOk && DecayOk && FlatOk)) {
     std::fprintf(stderr, "lazy_pause: trade-off triangle violated\n");
     return 1;

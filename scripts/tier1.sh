@@ -3,9 +3,11 @@
 # same suite again with telemetry + JSONL tracing enabled (catches crashes
 # that only instrumented paths can hit), the DSU suites a third time under
 # JVOLVE_LAZY=1 (every update commits through the lazy-transform engine),
-# the bench_lazy_pause trade-off gate, then the update-transaction
-# (rollback), quiescence-escalation, and GC-fuzz suites under a sanitizer
-# build — including a pass with both update-time fault sites armed via the
+# the bench_lazy_pause trade-off gate, the canary pause and
+# revert-convergence gates (an injected health breach must auto-revert
+# and leave zero residual), then the update-transaction (rollback),
+# quiescence-escalation, and GC-fuzz suites under a sanitizer build —
+# including a pass with both update-time fault sites armed via the
 # environment.
 #
 #   scripts/tier1.sh [sanitizer]
@@ -69,7 +71,34 @@ scripts/metrics-diff.py "$EAGER_JSON" "$LAZY_JSON" --threshold 1000 \
   --max-delta dsu.lazy.pending=0 \
   --max-delta dsu.lazy.failed_transforms=0 \
   > /dev/null || [ $? -ne 2 ]
-rm -f "$EAGER_JSON" "$LAZY_JSON"
+rm -f "$LAZY_JSON"
+
+# Canary pause gate: every trial must revert with zero residual (the
+# binary exits 1 otherwise), and the revert pause must stay within 3x
+# (a +200% delta) of the forward pause — the same GC + transformers
+# bill paid backwards.
+build/bench/bench_canary --check
+scripts/metrics-diff.py BENCH_canary_forward.json BENCH_canary_revert.json \
+  --threshold 1000 \
+  --max-delta bench.canary.pause_ms=200 \
+  > /dev/null || [ $? -ne 2 ]
+rm -f BENCH_canary.json BENCH_canary_forward.json BENCH_canary_revert.json
+rm -f BENCH_lazy_pause.json
+
+# Revert convergence: arm the canary-health-breach site, serve the email
+# stream with a window on every update, and require that the run both
+# completed a revert (dsu.revert.completed is only registered when one
+# converges) and left nothing behind — zero residual new-version
+# objects, zero failed reverts — relative to the eager baseline above.
+CANARY_JSON="$(mktemp /tmp/jvolve-tier1-canary.XXXXXX.json)"
+build/tools/jvolve-serve email --canary --inject canary-health-breach:1 \
+  --metrics-out "$CANARY_JSON" > /dev/null
+scripts/metrics-diff.py "$EAGER_JSON" "$CANARY_JSON" --threshold 1000 \
+  --require dsu.revert.completed \
+  --max-delta dsu.revert.residual_new_objects=0 \
+  --max-delta dsu.revert.failed=0 \
+  > /dev/null || [ $? -ne 2 ]
+rm -f "$EAGER_JSON" "$CANARY_JSON"
 
 if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"

@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-commit canary windows with health-gated automatic revert.
+///
+/// Jvolve's safety story (paper §3) ends at commit: the transactional
+/// snapshot protects against failures *during* install, but a
+/// type-correct update that ships a logic bug, a latency regression, or a
+/// silently-corrupting transformer has no recourse once the pipeline
+/// succeeds. Production code-versioning systems treat the moments after
+/// an update as the riskiest window (CoreCLR's rejit generations
+/// re-version a bad body away without a restart); the CanaryController is
+/// that instinct for Jvolve. Armed at commit, it observes a bounded
+/// window — ticks and/or served requests — sampling trap rate, failed
+/// lazy transforms, shed counts, and request-latency deltas against the
+/// pre-update baseline. A breach (or an explicit Updater::revert, a
+/// jvolve-serve --revert, or the canary-health-breach fault site)
+/// synthesizes a reverse update and pushes it through the normal
+/// safe-point + transformer pipeline.
+///
+/// States: Observing -> {Retired (healthy or superseded), Reverting ->
+/// {Reverted, RevertFailed}}. A stacked update arriving while Observing
+/// settles the window (the new update supersedes the old one's canary);
+/// one arriving while Reverting is refused with a structured report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_CANARY_H
+#define JVOLVE_DSU_CANARY_H
+
+#include "dsu/Revert.h"
+#include "dsu/UpdateTrace.h"
+#include "dsu/Updater.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// Lifecycle of one canary window.
+enum class CanaryState : uint8_t {
+  Observing,    ///< window open; health checks running
+  Reverting,    ///< breach or explicit request; reverse update in flight
+  Retired,      ///< window closed healthy (or superseded by a stacked
+                ///< update); the update stands
+  Reverted,     ///< reverse update applied; old version runs again
+  RevertFailed, ///< the reverse update could not be applied
+};
+
+const char *canaryStateName(CanaryState S);
+
+/// Structured report of a window's life — what jvolve-serve prints and
+/// what a refused stacked update carries in its rejection message.
+struct CanaryReport {
+  CanaryState State = CanaryState::Observing;
+  std::string ForwardTag;
+  uint64_t ArmedTick = 0;
+  uint64_t SettledTick = 0;
+  uint64_t ChecksRun = 0;
+  std::vector<CanaryBreach> Breaches;
+  std::string RevertMessage;
+  uint64_t ResidualNewObjects = 0;
+
+  std::string str() const;
+};
+
+/// The controller a canaried update arms on the VM at commit
+/// (VM::installCanary). All work happens on the VM thread via onTick.
+class CanaryController : public VmCanary {
+public:
+  CanaryController(VM &TheVM, CanaryPolicy Policy, UpdateOptions ForwardOpts,
+                   ClassSet PreUpdateProgram, UpdateBundle ForwardBundle,
+                   CanaryUndoLog Undo, std::vector<ClassId> ForwardNewClassIds,
+                   CanaryHealthSample PreUpdateBaseline);
+  ~CanaryController() override;
+
+  /// Opens the window: samples the at-arm counters, bumps the metrics,
+  /// and records the trace event. Called once, right after commit.
+  void arm();
+
+  //===--- VmCanary --------------------------------------------------------===//
+  void onTick(uint64_t Now) override;
+  bool windowOpen() const override {
+    return St == CanaryState::Observing || St == CanaryState::Reverting;
+  }
+  void visitRoots(const std::function<void(Ref &)> &Visit) override;
+  void onHeapMoved() override;
+
+  //===--- Control ---------------------------------------------------------===//
+
+  /// Explicit revert trigger (Updater::revert, jvolve-serve --revert).
+  /// \returns false when the window is no longer open.
+  bool requestRevert(const std::string &Reason);
+
+  /// Closes an Observing window immediately without reverting — a stacked
+  /// update supersedes this one's canary. No-op in any other state.
+  void settle(const std::string &Reason);
+
+  //===--- Introspection ---------------------------------------------------===//
+
+  CanaryState state() const { return St; }
+  bool reverting() const { return St == CanaryState::Reverting; }
+  /// True when \p U is this controller's own reverse updater (the stacked-
+  /// update gate in Updater::schedule must not refuse its own revert).
+  bool ownsUpdater(const Updater *U) const { return RevertUpd.get() == U; }
+  /// The reverse update's result; Status is rewritten to Reverted /
+  /// RevertFailed. Meaningful once windowOpen() turns false.
+  const UpdateResult &revertResult() const { return RevertResult; }
+  CanaryReport report() const;
+
+  /// One health evaluation (also probed by the canary-health-breach fault
+  /// site); public for the watchdog-free drive loops in tests.
+  void checkNow(uint64_t Now);
+
+private:
+  void beginRevert(uint64_t Now);
+  void finalizeRevert(uint64_t Now);
+  void retire(uint64_t Now);
+
+  VM &TheVM;
+  CanaryPolicy Policy;
+  UpdateOptions ForwardOpts;
+  ClassSet PreUpdateProgram;
+  UpdateBundle ForwardBundle;
+  CanaryUndoLog Undo;
+  std::vector<ClassId> ForwardNewClassIds;
+  CanaryHealthSample Baseline; ///< pre-update (latency reference)
+  CanaryHealthSample AtArm;    ///< at-commit (window deltas)
+
+  CanaryState St = CanaryState::Observing;
+  uint64_t ArmedTick = 0;
+  uint64_t SettledTick = 0;
+  uint64_t NextCheckTick = 0;
+  uint64_t ChecksRun = 0;
+  std::vector<CanaryBreach> Breaches;
+  std::string RevertReason;
+
+  std::unique_ptr<Updater> RevertUpd;
+  UpdateResult RevertResult;
+  uint64_t ResidualNewObjects = 0;
+
+  UpdateTrace Trace;
+};
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_CANARY_H

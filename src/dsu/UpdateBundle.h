@@ -53,6 +53,14 @@ struct UpdateBundle {
   std::map<std::string, ObjectTransformer> ObjectTransformers;
   std::map<std::string, ClassTransformer> ClassTransformers;
 
+  /// Optional inverse transformers, keyed by class name, used only when a
+  /// canary window reverts this update: they initialize the *old* version
+  /// \p To from the *new* version \p From. Classes absent from these maps
+  /// fall back to the default copy plus the canary's retained undo log
+  /// (removed fields restored from values extracted at commit).
+  std::map<std::string, ObjectTransformer> InverseObjectTransformers;
+  std::map<std::string, ClassTransformer> InverseClassTransformers;
+
   /// §3.5 extension: recipes for replacing *changed* methods while they
   /// run, keyed by MethodRef::key() of the old method. Without an entry,
   /// an on-stack changed method blocks the update behind a return barrier.

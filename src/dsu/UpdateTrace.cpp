@@ -39,6 +39,13 @@ const char *jvolve::updateEventKindName(UpdateEventKind K) {
   case UpdateEventKind::DrainStarted: return "drain-started";
   case UpdateEventKind::DrainEnded: return "drain-ended";
   case UpdateEventKind::LazyCommitted: return "lazy-committed";
+  case UpdateEventKind::CanaryArmed: return "canary-armed";
+  case UpdateEventKind::CanaryBreached: return "canary-breached";
+  case UpdateEventKind::CanaryRetired: return "canary-retired";
+  case UpdateEventKind::CanarySettled: return "canary-settled";
+  case UpdateEventKind::RevertStarted: return "revert-started";
+  case UpdateEventKind::Reverted: return "reverted";
+  case UpdateEventKind::RevertFailed: return "revert-failed";
   }
   unreachable("bad update event kind");
 }

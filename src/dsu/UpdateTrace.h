@@ -48,6 +48,13 @@ enum class UpdateEventKind : uint8_t {
   DrainStarted,     ///< network drain began for the pending update
   DrainEnded,       ///< network drain lifted after the update resolved
   LazyCommitted,    ///< lazy mode: committed with untransformed shells
+  CanaryArmed,      ///< post-commit observation window opened
+  CanaryBreached,   ///< a health monitor crossed its SLO threshold
+  CanaryRetired,    ///< window closed healthy; undo log released
+  CanarySettled,    ///< window closed early (stacked update superseded it)
+  RevertStarted,    ///< reverse update scheduled through the pipeline
+  Reverted,         ///< old versions reinstalled; heap converged
+  RevertFailed,     ///< the reverse update could not be applied
 };
 
 const char *updateEventKindName(UpdateEventKind K);

@@ -2,6 +2,7 @@
 
 #include "bytecode/Builtins.h"
 #include "bytecode/Verifier.h"
+#include "dsu/Canary.h"
 #include "dsu/EcUpdater.h"
 #include "dsu/LazyTransform.h"
 #include "dsu/Transformers.h"
@@ -51,15 +52,28 @@ const char *jvolve::updateStatusName(UpdateStatus S) {
   case UpdateStatus::FailedTransformer: return "failed-transformer";
   case UpdateStatus::Degraded: return "degraded";
   case UpdateStatus::RejectedByAnalysis: return "rejected (analysis)";
+  case UpdateStatus::Reverted: return "reverted";
+  case UpdateStatus::RevertFailed: return "revert-failed";
+  case UpdateStatus::RejectedCanaryBusy: return "rejected (canary-busy)";
   }
   unreachable("bad update status");
 }
 
+bool jvolve::updateStatusByName(const std::string &Name, UpdateStatus &Out) {
+  for (size_t I = 0; I < NumUpdateStatuses; ++I) {
+    UpdateStatus S = static_cast<UpdateStatus>(I);
+    if (Name == updateStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
 Updater::~Updater() {
-  // Never leave dangling callbacks into a destroyed updater.
-  TheVM.setSafePointCallback(nullptr);
-  TheVM.setTickCallback(nullptr);
-  TheVM.setReturnBarrierCallback(nullptr);
+  // Never leave dangling callbacks into a destroyed updater — but only
+  // our own: a canary revert's updater may have claimed the hooks since.
+  TheVM.releaseDsuHooks(this);
 }
 
 /// Detects class-hierarchy permutations (e.g. reversing a superclass
@@ -94,6 +108,34 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   if (const char *Lazy = std::getenv("JVOLVE_LAZY"))
     if (Lazy[0] && Lazy[0] != '0')
       Opts.LazyTransform = true;
+
+  // A canary revert completes whole or not at all: the reverse update is
+  // always eager, even when the environment forces lazy commits.
+  if (auto *Canary = static_cast<CanaryController *>(TheVM.canary());
+      Canary && Canary->ownsUpdater(this))
+    Opts.LazyTransform = false;
+
+  // Stacked-update discipline for an open canary window: a foreign update
+  // arriving while the window observes supersedes it (the operator chose
+  // to move forward; the window settles without reverting), but one
+  // arriving mid-revert is refused — the heap is on its way back to the
+  // predecessor and a concurrent forward update has no consistent base.
+  if (auto *Canary = static_cast<CanaryController *>(TheVM.canary());
+      Canary && Canary->windowOpen() && !Canary->ownsUpdater(this)) {
+    if (Canary->reverting()) {
+      std::string Msg =
+          "a canary revert is in flight; retry after it settles\n" +
+          Canary->report().str();
+      Result.Trace.record(UpdateEventKind::Rejected,
+                          TheVM.scheduler().ticks(), 0, Msg);
+      bumpDsuCounter(metrics::DsuUpdatesRejected);
+      finish(UpdateStatus::RejectedCanaryBusy, Msg);
+      return;
+    }
+    Canary->settle("superseded by stacked update '" + Bundle.VersionTag +
+                   "'");
+  }
+
   // A stacked update must not race a still-draining predecessor: its DSU
   // collection assumes no pending shells remain. Settle them now,
   // synchronously, and drop the old engine.
@@ -151,6 +193,16 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
     }
   }
 
+  // Canary staging: retain what a revert would need — the running program
+  // version (the reverse bundle's "new" program) and the pre-update health
+  // sample the latency monitor uses as its baseline.
+  CanaryUndo.clear();
+  CanaryNewClassIds.clear();
+  if (Opts.CanaryWindow.enabled()) {
+    CanaryPreProgram = TheVM.program();
+    CanaryBaseline = CanaryHealthSample::take(TheVM);
+  }
+
   bumpDsuCounter(metrics::DsuUpdatesScheduled);
   Result.Status = UpdateStatus::Pending;
   ScheduleTick = TheVM.scheduler().ticks();
@@ -168,9 +220,10 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
 
   resolveIdSets();
 
-  TheVM.setSafePointCallback([this] { onSafePoint(); });
-  TheVM.setTickCallback([this](uint64_t Now) { onTick(Now); });
-  TheVM.setReturnBarrierCallback([this](VMThread &T) { onReturnBarrier(T); });
+  TheVM.claimDsuHooks(
+      this, [this] { onSafePoint(); },
+      [this](uint64_t Now) { onTick(Now); },
+      [this](VMThread &T) { onReturnBarrier(T); });
   TheVM.requestYield();
 }
 
@@ -585,6 +638,10 @@ Updater::RootSnapshot Updater::snapshotRoots() const {
     S.Threads.push_back(std::move(TS));
   }
   S.Pinned = TheVM.pinnedRoots();
+  // An open canary window's undo log is a root set too; an aborted
+  // collection would forward its refs into the discarded to-space.
+  if (VmCanary *C = TheVM.canary())
+    C->visitRoots([&S](Ref &R) { S.CanaryRefs.push_back(R); });
   return S;
 }
 
@@ -610,6 +667,17 @@ void Updater::restoreRoots(const RootSnapshot &S) {
     T.HasExitValue = TS.HasExitValue;
   }
   TheVM.pinnedRoots() = S.Pinned;
+  if (VmCanary *C = TheVM.canary()) {
+    // Visit order is deterministic, so writing the snapshot back in order
+    // restores every undo ref; the object index must follow suit.
+    size_t I = 0;
+    C->visitRoots([&S, &I](Ref &R) {
+      assert(I < S.CanaryRefs.size() &&
+             "canary root set changed during the parked install");
+      R = S.CanaryRefs[I++];
+    });
+    C->onHeapMoved();
+  }
 }
 
 void Updater::clearForwardingMarks() {
@@ -724,6 +792,8 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
                       std::to_string(Result.TotalPauseMs) + " ms total pause");
   bumpDsuCounter(metrics::DsuUpdatesApplied);
   recordTotalPause(TheVM, Result.TotalPauseMs, "applied");
+  if (Opts.CanaryWindow.enabled())
+    armCanary();
   finish(UpdateStatus::Applied, "update applied");
   TheVM.resumeAfterYield();
 }
@@ -739,6 +809,9 @@ void Updater::rollback(const ClassRegistry::RegistrySnapshot &RegSnap,
   LazyCommitPending = false;
   LazyLog.clear();
   LazyIndex.clear();
+  // So is canary staging: its undo values were read out of that log.
+  CanaryUndo.clear();
+  CanaryNewClassIds.clear();
 
   // Restore in dependency order: heap spaces first (so the pre-update
   // image is the current space again), then registry metadata, then the
@@ -972,6 +1045,13 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
                         static_cast<int64_t>(Result.Gc.ObjectsRemapped),
                         std::to_string(Result.GcMs) + " ms");
 
+    // Canary staging happens while both versions are still live: removed
+    // fields read out of the old copies, removed statics out of the
+    // renamed old classes (dropped below), and the new-version class ids
+    // a completed revert must leave no instances of.
+    if (Opts.CanaryWindow.enabled())
+      stageCanaryUndo(UpdateLog);
+
     TransformerRunner Runner(TheVM, Bundle, UpdateLog, NewToLogIndex);
     if (Opts.LazyTransform) {
       // Statics have no read barrier, so class transformers run eagerly;
@@ -1012,6 +1092,10 @@ void Updater::installSteps(const std::vector<Frame *> &OsrFrames,
     Reg.dropObsoleteStatics();
     if (Opts.UseOldCopySpace)
       TheVM.heap().releaseOldCopySpace();
+  } else if (Opts.CanaryWindow.enabled()) {
+    // No instances to remap (body-update / addition / deletion-only
+    // update); deleted classes may still carry statics worth retaining.
+    stageCanaryUndo({});
   }
 }
 
@@ -1044,9 +1128,10 @@ void Updater::finish(UpdateStatus Status, const std::string &Message) {
         .record(static_cast<double>(Result.RetriesUsed));
   if (DrainActive)
     endDrain();
-  TheVM.setSafePointCallback(nullptr);
-  TheVM.setTickCallback(nullptr);
-  TheVM.setReturnBarrierCallback(nullptr);
+  // Release only hooks this updater still owns: a canary's revert updater
+  // claimed them for itself when it scheduled, and finishing a stale
+  // foreign updater must not strip them from under it.
+  TheVM.releaseDsuHooks(this);
 }
 
 void Updater::beginDrain() {
@@ -1141,4 +1226,64 @@ UpdateResult Updater::resumeDeferred(UpdateOptions InOpts,
       applyNow(std::move(DeferredBundle), InOpts, MaxDriveTicks);
   ResumingDeferred = false;
   return R;
+}
+
+void Updater::stageCanaryUndo(const std::vector<UpdateLogEntry> &UpdateLog) {
+  ClassRegistry &Reg = TheVM.registry();
+  for (const UpdateLogEntry &E : UpdateLog)
+    CanaryUndo.captureObject(TheVM, E.OldCopy, E.NewObj);
+  for (const std::string &Name : Bundle.Spec.ClassUpdates)
+    CanaryUndo.captureStatics(TheVM, Name, Bundle.renamedOldClass(Name));
+  for (const std::string &Name : Bundle.Spec.DeletedClasses)
+    CanaryUndo.captureStatics(TheVM, Name, Bundle.renamedOldClass(Name));
+  CanaryNewClassIds.clear();
+  auto AddId = [&](const std::string &Name) {
+    ClassId Id = Reg.idOf(Name);
+    if (Id != InvalidClassId)
+      CanaryNewClassIds.push_back(Id);
+  };
+  for (const std::string &Name : Bundle.Spec.ClassUpdates)
+    AddId(Name);
+  for (const std::string &Name : Bundle.Spec.AddedClasses)
+    AddId(Name);
+}
+
+void Updater::armCanary() {
+  size_t Retained = CanaryUndo.objectCount();
+  auto Ctl = std::make_unique<CanaryController>(
+      TheVM, Opts.CanaryWindow, Opts, std::move(CanaryPreProgram), Bundle,
+      std::move(CanaryUndo), std::move(CanaryNewClassIds), CanaryBaseline);
+  CanaryController *Raw = Ctl.get();
+  // Install first, then arm: arming samples the scheduler clock and the
+  // network counters, and the watchdog thread the install spawns must not
+  // observe a window that is somehow armed but absent from the VM.
+  TheVM.installCanary(std::move(Ctl));
+  Raw->arm();
+  Result.CanaryArmed = true;
+  Result.Trace.record(UpdateEventKind::CanaryArmed, TheVM.scheduler().ticks(),
+                      static_cast<int64_t>(Retained),
+                      "window open over '" + Bundle.VersionTag + "'");
+}
+
+UpdateResult Updater::revert(const std::string &Reason,
+                             uint64_t MaxDriveTicks) {
+  auto *Ctl = static_cast<CanaryController *>(TheVM.canary());
+  if (!Ctl || !Ctl->windowOpen() || !Ctl->requestRevert(Reason)) {
+    UpdateResult R;
+    R.Status = UpdateStatus::RevertFailed;
+    R.Message = "revert failed: no open canary window";
+    return R;
+  }
+  // The canary's watchdog keeps virtual time moving even on an idle VM,
+  // so driving the clock is all the reverse update needs to hunt its safe
+  // point and finalize.
+  uint64_t Driven = 0;
+  while (Ctl->windowOpen() && Driven < MaxDriveTicks) {
+    uint64_t Chunk = std::min<uint64_t>(MaxDriveTicks - Driven, 1u << 18);
+    VM::RunResult R = TheVM.run(Chunk);
+    Driven += Chunk;
+    if (R.Idle)
+      break; // only possible once the window closed and the watchdog died
+  }
+  return Ctl->revertResult();
 }

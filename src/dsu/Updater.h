@@ -21,6 +21,7 @@
 
 #include "dsu/Analysis.h"
 #include "dsu/Quiescence.h"
+#include "dsu/Revert.h"
 #include "dsu/UpdateBundle.h"
 #include "dsu/UpdateTrace.h"
 #include "heap/Collector.h"
@@ -45,9 +46,18 @@ enum class UpdateStatus {
   FailedTransformer,     ///< a transformer failed; rolled back to old version
   Degraded,              ///< method-body subset applied; remainder deferred
   RejectedByAnalysis,    ///< static analysis predicted the update impossible
+  Reverted,              ///< canary window reverted; old version reinstalled
+  RevertFailed,          ///< canary revert could not be applied
+  RejectedCanaryBusy,    ///< refused: a canary revert is already in flight
 };
 
+/// Total number of UpdateStatus values (for exhaustive round-trip tests).
+inline constexpr size_t NumUpdateStatuses = 13;
+
 const char *updateStatusName(UpdateStatus S);
+
+/// Parses a status name back to the enum. \returns false when unknown.
+bool updateStatusByName(const std::string &Name, UpdateStatus &Out);
 
 /// Updater knobs.
 struct UpdateOptions {
@@ -109,6 +119,13 @@ struct UpdateOptions {
   /// attempt and timing out. Off by default: the paper's protocol always
   /// tries.
   bool AnalyzeFirst = false;
+  /// Post-commit canary window (dsu/Canary.h): when enabled (a nonzero
+  /// tick or request bound), a successful commit arms a CanaryController
+  /// on the VM that watches trap rate, failed lazy transforms, shed
+  /// counts, and latency deltas against these SLO thresholds, and
+  /// automatically reverts the update through the normal pipeline on a
+  /// breach. Disabled by default.
+  CanaryPolicy CanaryWindow;
 };
 
 /// Everything measured while applying one update.
@@ -173,6 +190,10 @@ struct UpdateResult {
   bool LazyInstalled = false;
   uint64_t LazyPendingAtCommit = 0;
 
+  /// Canary mode (CanaryWindow option): the commit armed an observation
+  /// window on the VM; query VM::canary() for its progress and outcome.
+  bool CanaryArmed = false;
+
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;
 };
@@ -211,6 +232,13 @@ public:
   /// and drives the VM until it resolves.
   UpdateResult resumeDeferred(UpdateOptions Opts,
                               uint64_t MaxDriveTicks = 50'000'000);
+
+  /// Explicit operator revert: asks the VM's open canary window (if any)
+  /// to revert now and drives the VM until the revert resolves. \returns
+  /// the revert's result — Reverted on success, RevertFailed when there is
+  /// no open window or the reverse update could not be applied.
+  UpdateResult revert(const std::string &Reason = "explicit operator revert",
+                      uint64_t MaxDriveTicks = 50'000'000);
 
 private:
   /// Frame classification relative to the pending update.
@@ -286,6 +314,9 @@ private:
   struct RootSnapshot {
     std::vector<ThreadSnapshot> Threads;
     std::vector<Ref> Pinned;
+    /// Values of an open canary window's undo-log refs, in visit order; an
+    /// aborted collection forwards them into the discarded to-space.
+    std::vector<Ref> CanaryRefs;
   };
 
   RootSnapshot snapshotRoots() const;
@@ -350,6 +381,21 @@ private:
   std::vector<UpdateLogEntry> LazyLog;
   std::unordered_map<Ref, size_t> LazyIndex;
   bool LazyCommitPending = false;
+
+  /// Canary-mode staging (CanaryWindow option), captured between schedule
+  /// and commit, handed to the CanaryController armed at commit: the
+  /// pre-update program and health baseline, removed-field/static values
+  /// extracted from the forward collection's old copies, and the ids of
+  /// every new-version class (for the residual-object convergence count).
+  ClassSet CanaryPreProgram;
+  CanaryHealthSample CanaryBaseline;
+  CanaryUndoLog CanaryUndo;
+  std::vector<ClassId> CanaryNewClassIds;
+  /// Arms the controller at commit (install() calls this after certify).
+  void armCanary();
+  /// Extracts the undo log and new-version id set from a just-collected
+  /// update (installSteps calls this before obsolete statics drop).
+  void stageCanaryUndo(const std::vector<UpdateLogEntry> &UpdateLog);
 
   // Id-level views of the spec, resolved against the current registry.
   std::set<MethodId> RestrictedMethodIds; ///< categories (1) and (3)

@@ -7,10 +7,17 @@
 
 using namespace jvolve;
 
+std::vector<FaultInjector::Site> FaultInjector::allSites() {
+  std::vector<Site> Sites;
+  for (size_t I = 0; I < NumSites; ++I)
+    Sites.push_back(static_cast<Site>(I));
+  return Sites;
+}
+
 std::vector<std::string> FaultInjector::allSiteNames() {
   std::vector<std::string> Names;
-  for (size_t I = 0; I < NumSites; ++I)
-    Names.push_back(siteName(static_cast<Site>(I)));
+  for (Site S : allSites())
+    Names.push_back(siteName(S));
   return Names;
 }
 
@@ -24,6 +31,7 @@ const char *FaultInjector::siteName(Site S) {
   case Site::QuiescenceWatchdogExpiry: return "quiescence-watchdog-expiry";
   case Site::NetSlowClient: return "net-slow-client";
   case Site::LazyDrainTransformer: return "lazy-drain-transformer";
+  case Site::CanaryHealthBreach: return "canary-health-breach";
   }
   unreachable("bad fault site");
 }

@@ -24,6 +24,13 @@
 ///   lazy-drain-transformer the N-th background-drain transform of a lazy
 ///                          update faults after commit (degraded, no
 ///                          rollback possible)
+///   canary-health-breach   a post-commit canary health check reports an
+///                          SLO breach even though the telemetry is
+///                          healthy (forces an automatic revert)
+///
+/// The list above is generated from the same registry the code uses:
+/// allSites()/allSiteNames() is the single source of truth for tool usage
+/// strings, "unknown site" diagnostics, and the docs table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,14 +57,20 @@ public:
     QuiescenceWatchdogExpiry,
     NetSlowClient,
     LazyDrainTransformer,
+    CanaryHealthBreach,
   };
-  static constexpr size_t NumSites = 8;
+  static constexpr size_t NumSites = 9;
 
   /// \returns the stable site name used in traces and tool flags.
   static const char *siteName(Site S);
 
   /// Parses a site name ("class-load", ...). \returns false when unknown.
   static bool siteByName(const std::string &Name, Site &Out);
+
+  /// Every registered site, in Site enumeration order. The single source
+  /// of truth behind allSiteNames(), tool usage strings, and the docs
+  /// table.
+  static std::vector<Site> allSites();
 
   /// Every valid site name, in Site enumeration order — for usage strings
   /// and "unknown site" diagnostics.

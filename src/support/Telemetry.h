@@ -127,6 +127,21 @@ inline constexpr const char *DsuQuiescenceForcedYields =
     "dsu.quiescence.forced_yields";
 inline constexpr const char *DsuQuiescenceDegraded =
     "dsu.quiescence.degraded";
+// dsu/Canary (post-commit canary windows)
+inline constexpr const char *DsuCanaryWindows = "dsu.canary.windows";
+inline constexpr const char *DsuCanaryChecks = "dsu.canary.checks";
+inline constexpr const char *DsuCanaryBreaches = "dsu.canary.breaches";
+inline constexpr const char *DsuCanaryRetired = "dsu.canary.retired";
+/// Gauge: 1 while a canary window is observing or reverting, 0 otherwise.
+inline constexpr const char *DsuCanaryOpen = "dsu.canary.open";
+// dsu/Revert (health-gated automatic revert)
+inline constexpr const char *DsuRevertAttempts = "dsu.revert.attempts";
+inline constexpr const char *DsuRevertCompleted = "dsu.revert.completed";
+inline constexpr const char *DsuRevertFailed = "dsu.revert.failed";
+/// Gauge: new-version instances still on the heap after a revert
+/// completed (0 when the revert converged).
+inline constexpr const char *DsuRevertResidualNewObjects =
+    "dsu.revert.residual_new_objects";
 // vm/Network (update-time traffic draining)
 inline constexpr const char *NetShedTotal = "net.shed_total";
 inline constexpr const char *NetDrains = "net.drains";

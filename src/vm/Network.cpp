@@ -95,9 +95,11 @@ void Network::send(int Conn, int64_t Value, uint64_t Now) {
   Responses.push_back({Conn, Value, Now});
   ++NumResponses;
   auto It = Connections.find(Conn);
-  if (It != Connections.end())
+  if (It != Connections.end()) {
     Latencies.push_back(
         static_cast<double>(Now - It->second.LastConsumedArrival));
+    LatencySumTicks += Now - It->second.LastConsumedArrival;
+  }
 }
 
 void Network::close(int Conn) {

@@ -100,6 +100,11 @@ public:
   uint64_t totalResponses() const { return NumResponses; }
   uint64_t totalConnections() const { return NumConnections; }
 
+  /// Cumulative per-request latency (in ticks) since construction — unlike
+  /// drainLatencies() this is never consumed, so two samples give the mean
+  /// latency over any window (the canary health monitor's baseline trick).
+  uint64_t latencySumTicks() const { return LatencySumTicks; }
+
 private:
   struct Request {
     int64_t Value;
@@ -121,6 +126,7 @@ private:
   uint64_t NumResponses = 0;
   uint64_t NumConnections = 0;
   uint64_t NumShed = 0;
+  uint64_t LatencySumTicks = 0;
   bool Draining = false;
 };
 

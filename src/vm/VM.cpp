@@ -42,12 +42,19 @@ static void preregisterStandardMetrics() {
         metrics::DsuLazyUpdates, metrics::DsuLazyBarrierHits,
         metrics::DsuLazyOnDemandTransforms,
         metrics::DsuLazyBackgroundTransforms, metrics::DsuLazyDrainTicks,
-        metrics::DsuLazyFailed, metrics::NetShedTotal, metrics::NetDrains})
+        metrics::DsuLazyFailed, metrics::DsuCanaryWindows,
+        metrics::DsuCanaryChecks, metrics::DsuCanaryBreaches,
+        metrics::DsuCanaryRetired, metrics::DsuRevertAttempts,
+        metrics::DsuRevertFailed, metrics::NetShedTotal, metrics::NetDrains})
     Tel.counter(C);
+  // dsu.revert.completed is deliberately NOT preregistered: its very
+  // presence in a snapshot means a revert actually converged, which is
+  // what tier1's `metrics-diff.py --require dsu.revert.completed` asserts.
   for (const char *G :
        {metrics::DsuAnalysisRestrictedPrecise,
         metrics::DsuAnalysisRestrictedConservative,
-        metrics::DsuAnalysisRestrictedDelta, metrics::DsuLazyPending})
+        metrics::DsuAnalysisRestrictedDelta, metrics::DsuLazyPending,
+        metrics::DsuCanaryOpen, metrics::DsuRevertResidualNewObjects})
     Tel.gauge(G);
   for (const char *H :
        {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
@@ -170,6 +177,8 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
   while (Sched.ticks() < End) {
     if (TickCallback)
       TickCallback(Sched.ticks());
+    if (CanaryCtl)
+      CanaryCtl->onTick(Sched.ticks());
     Sched.wakeReadyThreads();
 
     if (Sched.yieldRequested() && Sched.allAtSafePoints()) {
@@ -322,6 +331,8 @@ void VM::enumerateRoots(const std::function<void(Ref &)> &Visit) {
       Visit(R);
   if (Lazy)
     Lazy->visitRoots(Visit);
+  if (CanaryCtl)
+    CanaryCtl->visitRoots(Visit);
 }
 
 CollectionStats
@@ -337,6 +348,8 @@ VM::collectGarbage(const DsuRemap *Remap,
   Stats.TotalGcMs += St.GcMs;
   if (Lazy)
     Lazy->onHeapMoved();
+  if (CanaryCtl)
+    CanaryCtl->onHeapMoved();
   return St;
 }
 
@@ -361,6 +374,23 @@ void VM::installLazyEngine(std::unique_ptr<VmLazyEngine> Engine) {
     if (Lazy->drained())
       Self.State = ThreadState::Finished;
     return std::max<uint64_t>(Used, 1);
+  };
+}
+
+void VM::installCanary(std::unique_ptr<VmCanary> Ctl) {
+  CanaryCtl = std::move(Ctl);
+  // Watchdog: a cooperative daemon whose only job is to keep virtual time
+  // advancing while the window is open, so onTick-driven health checks,
+  // window expiry, and revert progress still happen on an idle VM. It
+  // claims a single tick per quantum to distort latency telemetry as
+  // little as possible. The closure re-reads this->CanaryCtl so a later
+  // canaried update replacing the controller simply finishes the old
+  // watchdog on its next quantum.
+  VMThread &T = Sched.spawn("canary-watchdog", /*Daemon=*/true);
+  T.NativeWork = [this](VMThread &Self, uint64_t /*Budget*/) -> uint64_t {
+    if (!CanaryCtl || !CanaryCtl->windowOpen())
+      Self.State = ThreadState::Finished;
+    return 1;
   };
 }
 

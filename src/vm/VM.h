@@ -75,6 +75,29 @@ public:
   virtual void onHeapMoved() = 0;
 };
 
+/// VM-side view of the DSU post-commit canary window (dsu/Canary.h),
+/// mirroring VmLazyEngine: the VM owns the controller through this
+/// interface so the core VM library stays independent of the DSU layer.
+class VmCanary {
+public:
+  virtual ~VmCanary() = default;
+
+  /// Called once per scheduling round with the current virtual tick; the
+  /// controller runs its periodic health checks, window expiry, and revert
+  /// progress polling from here.
+  virtual void onTick(uint64_t Now) = 0;
+
+  /// True while the window is active: still observing, or reverting. False
+  /// once settled (retired healthy, reverted, or revert failed).
+  virtual bool windowOpen() const = 0;
+
+  /// GC integration: the retained undo log (new-version objects plus
+  /// extracted removed-field values) is a root set.
+  virtual void visitRoots(const std::function<void(Ref &)> &Visit) = 0;
+  /// Called after every collection: undo-log addresses moved.
+  virtual void onHeapMoved() = 0;
+};
+
 /// Aggregate execution counters (benchmark instrumentation).
 struct VmStats {
   uint64_t InstructionsExecuted = 0;
@@ -247,18 +270,45 @@ public:
   /// sits at a safe point. The callback must leave the system either
   /// resumed or finished (it may re-request a yield later).
   void setSafePointCallback(std::function<void()> Fn) {
+    DsuHookOwner = nullptr;
     SafePointCallback = std::move(Fn);
   }
 
   /// Invoked once per scheduling round with the current virtual tick; the
   /// updater uses it to implement the safe-point timeout.
   void setTickCallback(std::function<void(uint64_t)> Fn) {
+    DsuHookOwner = nullptr;
     TickCallback = std::move(Fn);
   }
 
   /// Invoked when a frame with an installed return barrier returns.
   void setReturnBarrierCallback(std::function<void(VMThread &)> Fn) {
+    DsuHookOwner = nullptr;
     ReturnBarrierCallback = std::move(Fn);
+  }
+
+  /// Installs all three DSU callbacks at once and records \p Owner as the
+  /// holder. A canary revert's Updater may outlive the forward update's
+  /// (tool code keeps loop-local Updaters); ownership keeps a dying
+  /// foreign Updater from clobbering the live one's hooks.
+  void claimDsuHooks(void *Owner, std::function<void()> SafePoint,
+                     std::function<void(uint64_t)> Tick,
+                     std::function<void(VMThread &)> Barrier) {
+    DsuHookOwner = Owner;
+    SafePointCallback = std::move(SafePoint);
+    TickCallback = std::move(Tick);
+    ReturnBarrierCallback = std::move(Barrier);
+  }
+
+  /// Clears the DSU callbacks iff \p Owner still holds them; a no-op for
+  /// anyone else (their hooks were already replaced).
+  void releaseDsuHooks(void *Owner) {
+    if (DsuHookOwner != Owner)
+      return;
+    DsuHookOwner = nullptr;
+    SafePointCallback = nullptr;
+    TickCallback = nullptr;
+    ReturnBarrierCallback = nullptr;
   }
 
   /// While an update transaction runs, ordinary collection is impossible
@@ -299,6 +349,20 @@ public:
     LazyFailureLog.push_back(std::move(Diagnostic));
   }
 
+  //===--------------------------------------------------------------------===//
+  // Post-commit canary window (UpdateOptions::CanaryWindow)
+  //===--------------------------------------------------------------------===//
+
+  /// The live canary controller, or nullptr. Non-null from a canaried
+  /// update's commit until the next canaried update replaces it (it stays
+  /// queryable after settling so its report remains readable).
+  VmCanary *canary() { return CanaryCtl.get(); }
+
+  /// Adopts the controller a canaried update armed at commit and spawns
+  /// the canary-watchdog thread (a daemon that keeps virtual time — and
+  /// with it the observation window — advancing on an otherwise idle VM).
+  void installCanary(std::unique_ptr<VmCanary> Ctl);
+
   // Internal: interpreter callbacks.
   void onReturnBarrierFired(VMThread &T);
   void onTrap(VMThread &T, const std::string &Message);
@@ -328,6 +392,8 @@ private:
   std::function<void(uint64_t)> TickCallback;
   std::function<void(VMThread &)> ReturnBarrierCallback;
   std::unique_ptr<VmLazyEngine> Lazy;
+  std::unique_ptr<VmCanary> CanaryCtl;
+  void *DsuHookOwner = nullptr;
   std::vector<std::string> LazyFailureLog;
   bool TransformationInProgress = false;
   bool ProgramLoaded = false;

@@ -15,6 +15,7 @@
 #include "apps/Evaluation.h"
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
+#include "dsu/Canary.h"
 #include "dsu/EcUpdater.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
@@ -444,3 +445,117 @@ INSTANTIATE_TEST_SUITE_P(EagerAndLazy, AppsUpdateMode,
                            return Info.param ? std::string("Lazy")
                                              : std::string("Eager");
                          });
+
+//===--- Post-commit canary reverts on the modeled applications -------------===//
+
+namespace {
+
+UpdateOptions appCanaryOpts(bool Lazy) {
+  UpdateOptions Opts;
+  Opts.LazyTransform = Lazy;
+  Opts.CanaryWindow.WindowTicks = 100'000'000;
+  Opts.CanaryWindow.CheckIntervalTicks = 1'000;
+  return Opts;
+}
+
+/// The revert's contract on a real application: certification verdicts
+/// identical to never having updated — the reverse update certifies
+/// clean, the running program diffs empty against the pre-update
+/// version, and no new-version object survives.
+void expectAppReverted(VM &TheVM, const UpdateResult &Rev,
+                       const ClassSet &PriorVersion) {
+  ASSERT_EQ(Rev.Status, UpdateStatus::Reverted) << Rev.Message;
+  EXPECT_TRUE(Rev.Certified);
+  EXPECT_TRUE(Rev.CertificationProblems.empty())
+      << Rev.CertificationProblems.front();
+  EXPECT_TRUE(Upt::computeSpec(TheVM.program(), PriorVersion).empty());
+  auto *Ctl = static_cast<CanaryController *>(TheVM.canary());
+  ASSERT_NE(Ctl, nullptr);
+  EXPECT_EQ(Ctl->state(), CanaryState::Reverted);
+  EXPECT_EQ(Ctl->report().ResidualNewObjects, 0u);
+}
+
+void runJettyRevertScenario(bool Lazy) {
+  AppModel App = makeJettyApp();
+  ASSERT_EQ(App.release(3).Name, "5.1.3");
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(2));
+  startJettyThreads(TheVM);
+
+  LoadDriver::Options LO;
+  LO.Port = JettyPort;
+  LoadDriver Driver(TheVM, LO);
+  Driver.runWithLoad(3'000);
+
+  // 5.1.3 changes methods that live on pool-thread stacks; the same
+  // operator pc maps that make it applicable forward are inverted by the
+  // revert to walk the frames back.
+  UpdateBundle B = Upt::prepare(App.version(2), App.version(3), "v512");
+  {
+    ActiveMethodMapping M;
+    M.Method = {"ThreadedServer", "acceptSocket", "(I)I"};
+    M.PcMap = {{0, 0}, {1, 1}, {2, 4}};
+    B.addActiveMapping(std::move(M));
+  }
+  {
+    ActiveMethodMapping M;
+    M.Method = {"PoolThread", "run", "(I)V"};
+    M.PcMap = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 7}, {5, 8}};
+    B.addActiveMapping(std::move(M));
+  }
+
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(B), appCanaryOpts(Lazy));
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  ASSERT_TRUE(R.CanaryArmed);
+
+  // Serve inside the window, then pull the update back out.
+  Driver.runWithLoad(3'000);
+  UpdateResult Rev = U.revert("operator revert");
+  expectAppReverted(TheVM, Rev, App.version(2));
+
+  // The server keeps serving on the reinstated 5.1.2.
+  LoadResult After = Driver.measure(10'000);
+  EXPECT_GT(After.Responses, 20u);
+  for (auto &T : TheVM.scheduler().threads())
+    EXPECT_NE(T->State, ThreadState::Trapped) << T->TrapMessage;
+}
+
+void runEmailRevertScenario(bool Lazy) {
+  AppModel App = makeEmailApp();
+  size_t V132 = 6;
+  ASSERT_EQ(App.release(V132).Name, "1.3.2");
+  VM TheVM(appConfig());
+  TheVM.loadProgram(App.version(V132 - 1));
+  startEmailThreads(TheVM);
+  TheVM.injectConnection(Pop3Port, {100, 200}, /*InterArrival=*/500);
+  TheVM.run(2'000);
+
+  // 1.3.2 needs OSR and the Figure-3 User transformer forward; the revert
+  // undoes the User surgery with the default inverse plus the undo log.
+  UpdateBundle B =
+      Upt::prepare(App.version(V132 - 1), App.version(V132), "v131");
+  registerEmailTransformers(B, App, V132);
+  Updater U(TheVM);
+  UpdateResult R = U.applyNow(std::move(B), appCanaryOpts(Lazy));
+  ASSERT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
+  ASSERT_TRUE(R.CanaryArmed);
+
+  TheVM.run(10'000);
+  UpdateResult Rev = U.revert("operator revert");
+  expectAppReverted(TheVM, Rev, App.version(V132 - 1));
+
+  // POP3 still answers on the reinstated 1.3.1.
+  TheVM.injectConnection(Pop3Port, {40});
+  TheVM.run(20'000);
+  EXPECT_FALSE(TheVM.net().drainResponses().empty());
+  for (auto &T : TheVM.scheduler().threads())
+    EXPECT_NE(T->State, ThreadState::Trapped) << T->TrapMessage;
+}
+
+} // namespace
+
+TEST(Apps, Jetty513RevertsUnderLoadEager) { runJettyRevertScenario(false); }
+TEST(Apps, Jetty513RevertsUnderLoadLazy) { runJettyRevertScenario(true); }
+TEST(Apps, Email132RevertsAfterOsrEager) { runEmailRevertScenario(false); }
+TEST(Apps, Email132RevertsAfterOsrLazy) { runEmailRevertScenario(true); }

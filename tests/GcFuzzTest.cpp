@@ -10,6 +10,7 @@
 
 #include "TestUtil.h"
 
+#include "dsu/Canary.h"
 #include "dsu/Transformers.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
@@ -226,3 +227,106 @@ TEST_P(GcFuzzTest, RandomFaultsDuringUpdateNeverCorrupt) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GcFuzzTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(GcFuzzTest, CanaryChurnAndFaultedRevertNeverCorrupt) {
+  // Mid-canary: the undo log's retained refs must survive random mutation
+  // churn and forced collections like any other root. Mid-revert: a seeded
+  // random fault fires inside the reverse update; whether the revert lands
+  // or fails, the graph must checksum identically and the heap must verify.
+  Rng R(GetParam() * 104'729 + 5);
+  VM TheVM(smallConfig());
+  TheVM.loadProgram(graphVersion(false));
+
+  ClassRegistry &Reg = TheVM.registry();
+  ClassId NodeId = Reg.idOf("GNode");
+  ClassId ArrId = Reg.arrayClassOf(Type::refTy("GNode"));
+  Reg.cls(Reg.idOf("GRoots")).Statics[0] =
+      Slot::ofRef(TheVM.allocateArray(ArrId, NumRootSlots));
+
+  TransformCtx Ctx(TheVM, nullptr);
+  for (int I = 0; I < 400; ++I) {
+    Ref Node = TheVM.allocateObject(NodeId);
+    ASSERT_NE(Node, nullptr);
+    Ref Arr = rootsArray(TheVM);
+    Ctx.setInt(Node, "v", I + 1);
+    Ctx.setRef(Node, "left",
+               Ctx.getElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots))));
+    Ctx.setRef(Node, "right",
+               Ctx.getElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots))));
+    Ctx.setElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots)), Node);
+  }
+
+  Updater U(TheVM);
+  UpdateOptions Opts;
+  Opts.UseOldCopySpace = GetParam() % 2 == 0;
+  Opts.CanaryWindow.WindowTicks = 1'000'000'000; // only a revert closes it
+  Opts.CanaryWindow.CheckIntervalTicks = 2'000;
+  UpdateResult Res = U.applyNow(
+      Upt::prepare(graphVersion(false), graphVersion(true), "v1"), Opts);
+  ASSERT_EQ(Res.Status, UpdateStatus::Applied) << Res.Message;
+  ASSERT_TRUE(Res.CanaryArmed);
+  // TransformCtx reads bypass the interpreter's read barrier, so settle
+  // any lazily-committed shells before the checksum walks the graph.
+  TheVM.drainLazyEngineNow();
+
+  // Churn inside the observation window: mutations, garbage, collections,
+  // and enough ticks for the watchdog-driven health checks to run.
+  int64_t NextValue = 1'000;
+  for (int Step = 0; Step < 600; ++Step) {
+    uint64_t Op = R.nextBelow(100);
+    Ref Arr = rootsArray(TheVM);
+    int64_t SlotA = static_cast<int64_t>(R.nextBelow(NumRootSlots));
+    int64_t SlotB = static_cast<int64_t>(R.nextBelow(NumRootSlots));
+    if (Op < 40) {
+      Ref Node = TheVM.allocateObject(NodeId);
+      ASSERT_NE(Node, nullptr);
+      Arr = rootsArray(TheVM);
+      Ctx.setInt(Node, "v", NextValue++);
+      Ctx.setRef(Node, "left", Ctx.getElemRef(Arr, SlotA));
+      Ctx.setRef(Node, "right", Ctx.getElemRef(Arr, SlotB));
+      Ctx.setElemRef(Arr, static_cast<int64_t>(R.nextBelow(NumRootSlots)),
+                     Node);
+    } else if (Op < 60) {
+      if (Ref Node = Ctx.getElemRef(Arr, SlotA))
+        Ctx.setRef(Node, R.nextBelow(2) ? "left" : "right",
+                   Ctx.getElemRef(Arr, SlotB));
+    } else if (Op < 75) {
+      Ctx.setElemRef(Arr, SlotA, nullptr);
+    } else if (Op < 90) {
+      TheVM.run(500); // let the canary's health checks tick
+    } else {
+      TheVM.collectGarbage(); // undo-log roots must survive and reindex
+    }
+  }
+  verifyInvariants(TheVM, "after mid-canary churn");
+  int64_t Before = graphChecksum(TheVM);
+
+  auto Where =
+      static_cast<FaultInjector::Site>(R.nextBelow(FaultInjector::NumSites));
+  TheVM.faults().armRandom(Where, 0.3, GetParam());
+  UpdateResult Rev = U.revert("fuzz revert", /*MaxDriveTicks=*/5'000'000);
+  TheVM.faults().reset();
+  EXPECT_TRUE(Rev.Status == UpdateStatus::Reverted ||
+              Rev.Status == UpdateStatus::RevertFailed)
+      << updateStatusName(Rev.Status) << ": " << Rev.Message;
+
+  // The v2 "tag" field never feeds the checksum, so it is invariant
+  // across both outcomes: old version back, or new version standing.
+  EXPECT_EQ(graphChecksum(TheVM), Before)
+      << "site " << FaultInjector::siteName(Where) << " corrupted the graph";
+  verifyInvariants(TheVM, "after faulted revert");
+  TheVM.collectGarbage();
+  EXPECT_EQ(graphChecksum(TheVM), Before);
+  verifyInvariants(TheVM, "after post-revert collection");
+
+  auto *Ctl = static_cast<CanaryController *>(TheVM.canary());
+  ASSERT_NE(Ctl, nullptr);
+  if (Rev.Status == UpdateStatus::Reverted) {
+    EXPECT_TRUE(Upt::computeSpec(TheVM.program(), graphVersion(false)).empty());
+    EXPECT_EQ(Ctl->report().ResidualNewObjects, 0u);
+  } else {
+    // The forward update stands when its revert fails.
+    EXPECT_EQ(Ctl->state(), CanaryState::RevertFailed);
+    EXPECT_TRUE(Upt::computeSpec(TheVM.program(), graphVersion(true)).empty());
+  }
+}

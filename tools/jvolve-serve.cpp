@@ -9,7 +9,8 @@
 /// applied.
 ///
 ///   jvolve-serve jetty|email|crossftp [--trace] [--stats] [--analyze]
-///                [--lazy] [--trace-out <file>] [--metrics-out <file>]
+///                [--lazy] [--canary[=<ticks>]] [--revert]
+///                [--trace-out <file>] [--metrics-out <file>]
 ///                [--inject <site>[:fire[:skip]]] [--admit <N>]
 ///
 /// --lazy commits every update with lazy object transformation
@@ -37,11 +38,21 @@
 /// changed methods, and a timeout prints the quiescence report naming
 /// the threads and frames that pinned the update.
 ///
-/// --inject arms a FaultInjector site — one of class-load,
-/// transformer-nth-object, transformer-cycle, gc-alloc-exhaustion, or
-/// safe-point-starvation — so the rollback path can be watched live: the
-/// doomed update rolls back, the certification verdict prints, and the
-/// server keeps serving the old version.
+/// --canary arms a post-commit observation window after each applied
+/// update (default 20000 ticks, checked every 500): interpreter traps and
+/// failed lazy transforms within the window trigger an automatic revert
+/// through the normal safe-point + transformer pipeline, and the window's
+/// report prints when it resolves. --revert triggers the revert
+/// explicitly instead of waiting for a health breach — the operator's
+/// "that release is bad, take it back" button. A reverted release leaves
+/// the server on its previous version; subsequent releases are prepared
+/// against it, as with any other failed update.
+///
+/// --inject arms one of the FaultInjector's named sites so failure paths
+/// can be watched live: rollback during install, or (with
+/// canary-health-breach under --canary) an automatic post-commit revert.
+/// The usage text lists the current site names; FaultInjector::allSites()
+/// is the single source of truth for the set.
 ///
 /// --stats enables telemetry and issues an in-band stats request after
 /// boot and after every update: a probe connection travels the same
@@ -64,6 +75,7 @@
 #include "apps/EmailApp.h"
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
+#include "dsu/Canary.h"
 #include "dsu/LazyTransform.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
@@ -153,7 +165,8 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
-                 "[--stats] [--analyze] [--lazy] [--trace-out <file>] "
+                 "[--stats] [--analyze] [--lazy] [--canary[=<ticks>]] "
+                 "[--revert] [--trace-out <file>] "
                  "[--metrics-out <file>] "
                  "[--inject <site>[:fire[:skip]]] [--admit <N>]\n"
                  "  valid --inject sites: %s\n",
@@ -164,6 +177,8 @@ int main(int argc, char **argv) {
   bool ShowStats = false;
   bool AnalyzeFirst = false;
   bool LazyMode = false;
+  uint64_t CanaryTicks = 0; // 0 = no canary window
+  bool WantRevert = false;
   const char *MetricsOut = nullptr;
   size_t AdmitLimit = 16;
   FaultInjector::Site InjectSite{};
@@ -179,6 +194,18 @@ int main(int argc, char **argv) {
       AnalyzeFirst = true;
     } else if (std::strcmp(argv[I], "--lazy") == 0) {
       LazyMode = true;
+    } else if (std::strncmp(argv[I], "--canary", 8) == 0 &&
+               (argv[I][8] == '\0' || argv[I][8] == '=')) {
+      CanaryTicks = argv[I][8] == '='
+                        ? std::strtoull(argv[I] + 9, nullptr, 10)
+                        : 20'000;
+      if (CanaryTicks == 0) {
+        std::fprintf(stderr, "jvolve-serve: --canary needs a nonzero tick "
+                             "window\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[I], "--revert") == 0) {
+      WantRevert = true;
     } else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc) {
       MetricsOut = argv[++I];
       Telemetry::global().setEnabled(true);
@@ -214,6 +241,9 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  if (WantRevert && CanaryTicks == 0)
+    CanaryTicks = 20'000; // --revert needs a window to revert out of
 
   AppModel App = std::strcmp(argv[1], "jetty") == 0 ? makeJettyApp()
                  : std::strcmp(argv[1], "email") == 0
@@ -274,6 +304,12 @@ int main(int argc, char **argv) {
     Opts.DrainNetwork = true;
     Opts.AnalyzeFirst = AnalyzeFirst;
     Opts.LazyTransform = LazyMode;
+    if (CanaryTicks > 0) {
+      Opts.CanaryWindow.WindowTicks = CanaryTicks;
+      Opts.CanaryWindow.CheckIntervalTicks = 500;
+      Opts.CanaryWindow.MaxTrapDelta = 0;
+      Opts.CanaryWindow.MaxFailedTransforms = 0;
+    }
     Updater U(TheVM);
     // Keep traffic flowing while the updater seeks a safe point.
     U.schedule(std::move(B), Opts);
@@ -303,6 +339,7 @@ int main(int argc, char **argv) {
         Driver.runWithLoad(2'000);
     }
     const UpdateResult &R = U.result();
+    size_t PriorVersion = Version;
 
     if (R.Status == UpdateStatus::Applied) {
       std::printf("  applied in %.2f ms (%d barrier(s), %d OSR, %llu "
@@ -356,6 +393,33 @@ int main(int argc, char **argv) {
                       Engine->backgroundTransforms()),
                   Engine->pendingCount(),
                   Engine->retired() ? " (barrier retired)" : "");
+
+    // Drive this release's canary window to a verdict before the next
+    // release: healthy retirement, a health-triggered auto-revert, or the
+    // operator's explicit --revert. The window may already have resolved
+    // during the throughput measurement above (a breach on the first
+    // check reverts within a few thousand ticks), so gate on CanaryArmed,
+    // not on the window still being open.
+    if (R.CanaryArmed) {
+      auto *Ctl = static_cast<CanaryController *>(TheVM.canary());
+      if (WantRevert && Ctl->windowOpen())
+        Ctl->requestRevert("operator --revert");
+      for (int Round = 0; Ctl->windowOpen() && Round < 2'000; ++Round)
+        Driver.runWithLoad(2'000);
+      std::printf("  %s\n", Ctl->report().str().c_str());
+      if (Ctl->state() == CanaryState::Reverted) {
+        Version = PriorVersion;
+        std::printf("  serving %s again (revert pause %.2f ms)\n",
+                    App.versionName(Version).c_str(),
+                    Ctl->revertResult().TotalPauseMs);
+      } else if (Ctl->state() == CanaryState::RevertFailed) {
+        std::printf("  REVERT FAILED: %s\n",
+                    Ctl->revertResult().Message.c_str());
+        return 1;
+      }
+      LoadResult Settled = Driver.measure(6'000);
+      std::printf("  throughput %.1f resp/ktick\n", Settled.Throughput);
+    }
     if (ShowStats)
       serveStatsRequest(TheVM, Port);
   }
