@@ -16,6 +16,12 @@ dump; a missing required metric prints a diagnostic and exits 2, so
 experiment scripts can verify an instrumented path actually ran (e.g.
 `--require net.shed_total` after a drain/shed experiment).
 
+`--require-any PREFIX` (repeatable) asserts that at least one metric in
+the after dump has a name starting with PREFIX — the family-level form
+of --require for subsystems whose exact metric names vary by run (e.g.
+`--require-any telemetry.` after a traced suite pass). Exits 2 with a
+diagnostic when no name matches.
+
 `--max-delta METRIC=PCT` (repeatable) turns the diff into a hard budget
 for one metric: if any field of METRIC moved by more than PCT percent
 (relative), the breach prints a diagnostic and the script exits 2 —
@@ -74,6 +80,10 @@ def main():
                     metavar="METRIC",
                     help="fail (exit 2) unless METRIC is present in the "
                          "after dump; repeatable")
+    ap.add_argument("--require-any", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail (exit 2) unless some metric in the after "
+                         "dump starts with PREFIX; repeatable")
     ap.add_argument("--max-delta", action="append", default=[],
                     metavar="METRIC=PCT",
                     help="fail (exit 2) if any field of METRIC changed by "
@@ -97,6 +107,14 @@ def main():
     if missing:
         for m in missing:
             print(f"metrics-diff: required metric missing: {m}",
+                  file=sys.stderr)
+        return 2
+
+    unmatched = [p for p in args.require_any
+                 if not any(name.startswith(p) for name in after)]
+    if unmatched:
+        for p in unmatched:
+            print(f"metrics-diff: no metric matches required prefix: {p}",
                   file=sys.stderr)
         return 2
 

@@ -3,12 +3,16 @@
 # same suite again with telemetry + JSONL tracing enabled (catches crashes
 # that only instrumented paths can hit), the DSU suites a third time under
 # JVOLVE_LAZY=1 (every update commits through the lazy-transform engine),
-# the bench_lazy_pause trade-off gate, the canary pause and
-# revert-convergence gates (an injected health breach must auto-revert
-# and leave zero residual), then the update-transaction (rollback),
-# quiescence-escalation, and GC-fuzz suites under a sanitizer build —
-# including a pass with both update-time fault sites armed via the
-# environment.
+# a fourth pass with the full streaming-telemetry pipeline live (JSONL
+# session + windowed aggregation on every VM, plus a ledger-balance check:
+# every event attempted is either streamed or counted dropped), the
+# bench_lazy_pause trade-off gate, the streaming-telemetry overhead gate
+# (bench_telemetry --check + a coarse metrics-diff backstop), the canary
+# pause and revert-convergence gates (an injected health breach must
+# auto-revert and leave zero residual), then the update-transaction
+# (rollback), quiescence-escalation, and GC-fuzz suites under a sanitizer
+# build — including a pass with both update-time fault sites armed via
+# the environment.
 #
 #   scripts/tier1.sh [sanitizer]
 #
@@ -51,6 +55,40 @@ rm -f "$TRACE_OUT"
 # themselves under this variable.
 JVOLVE_LAZY=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Streaming pass: the suite a fourth time with the whole streaming
+# pipeline live in every VM — a JSONL session (per-thread buffers, the
+# background writer, drop accounting) plus 2000-tick windowed
+# aggregation. Serial: the processes share one trace file.
+STREAM_TRACE="$(mktemp /tmp/jvolve-tier1-stream.XXXXXX.jsonl)"
+JVOLVE_TELEMETRY=1 JVOLVE_TRACE_OUT="$STREAM_TRACE" \
+  JVOLVE_STATS_WINDOW=2000 \
+  ctest --test-dir build --output-on-failure -j 1
+rm -f "$STREAM_TRACE"
+
+# Ledger-balance check on a full instrumented serve run: the telemetry.*
+# gauges must exist (require-any) and account for every event — attempted
+# equals streamed plus dropped, nothing silent.
+TEL_JSON="$(mktemp /tmp/jvolve-tier1-telemetry.XXXXXX.json)"
+TEL_TRACE="$(mktemp /tmp/jvolve-tier1-teltrace.XXXXXX.jsonl)"
+JVOLVE_TRACE_OUT="$TEL_TRACE" JVOLVE_STATS_WINDOW=2000 \
+  build/tools/jvolve-serve email --metrics-out "$TEL_JSON" > /dev/null
+scripts/metrics-diff.py "$TEL_JSON" "$TEL_JSON" \
+  --require-any telemetry. > /dev/null
+python3 - "$TEL_JSON" <<'EOF'
+import json, sys
+m = {x["name"]: x.get("value", 0)
+     for x in json.load(open(sys.argv[1]))["metrics"]}
+a = m.get("telemetry.events_attempted", 0)
+s = m.get("telemetry.events_streamed", 0)
+d = m.get("telemetry.dropped_total", 0)
+if a != s + d:
+    sys.exit(f"tier1: telemetry ledger imbalanced: "
+             f"{a} attempted != {s} streamed + {d} dropped")
+print(f"tier1: telemetry ledger balanced "
+      f"({a} attempted = {s} streamed + {d} dropped)")
+EOF
+rm -f "$TEL_JSON" "$TEL_TRACE"
+
 # The lazy trade-off triangle: lazy pause below eager pause, transient
 # overhead decaying to no-update parity after the barrier retires, and
 # indirection overhead staying flat. Exit 1 on any violated relation.
@@ -72,6 +110,20 @@ scripts/metrics-diff.py "$EAGER_JSON" "$LAZY_JSON" --threshold 1000 \
   --max-delta dsu.lazy.failed_transforms=0 \
   > /dev/null || [ $? -ne 2 ]
 rm -f "$LAZY_JSON"
+
+# Streaming-telemetry overhead gate: the raw write path, the paired
+# suite-overhead relation (<= 10% with a session attached), and the
+# accounting relation (attempted == streamed + dropped) — the binary
+# exits 1 on any violation. The off/on suite histograms then pass a
+# coarse metrics-diff backstop: the precise paired estimate lives in the
+# binary; the 50% budget here only catches a gross (order-of-magnitude)
+# regression that slipped past it.
+build/bench/bench_telemetry --check
+scripts/metrics-diff.py BENCH_telemetry_off.json BENCH_telemetry_on.json \
+  --threshold 1000 \
+  --max-delta bench.telemetry.suite_ms=50 \
+  > /dev/null || [ $? -ne 2 ]
+rm -f BENCH_telemetry.json BENCH_telemetry_off.json BENCH_telemetry_on.json
 
 # Canary pause gate: every trial must revert with zero residual (the
 # binary exits 1 otherwise), and the revert pause must stay within 3x

@@ -72,9 +72,13 @@ struct UpdateEvent {
 /// The whole trace of one update.
 class UpdateTrace {
 public:
-  /// Appends an event. Also forwards it to the global telemetry trace sink
-  /// (as a "dsu.update.event" point event) when one is attached, so the
-  /// JSONL trace carries the full update narrative alongside phase spans.
+  /// Appends an event. Also forwards it into the streaming telemetry
+  /// pipeline (as a "dsu.update.event" point event) while any session is
+  /// open: the event lands in the emitting thread's lock-free buffer —
+  /// stamped with its per-thread sequence number — and the background
+  /// writer streams it to every session, so the JSONL trace carries the
+  /// full update narrative alongside phase spans (see
+  /// support/TelemetryStream.h for buffering and drop semantics).
   void record(UpdateEventKind Kind, uint64_t Tick, int64_t Value = 0,
               std::string Detail = "") {
     forwardToSink(Kind, Tick, Value, Detail);

@@ -36,6 +36,13 @@ double jvolve::percentile(std::vector<double> Samples, double P) {
   return quantileOfSorted(Samples, std::clamp(P, 0.0, 100.0) / 100.0);
 }
 
+double jvolve::percentileOfSorted(const std::vector<double> &Sorted,
+                                  double P) {
+  if (Sorted.empty())
+    return 0;
+  return quantileOfSorted(Sorted, std::clamp(P, 0.0, 100.0) / 100.0);
+}
+
 std::string QuartileSummary::str(int Decimals) const {
   char Buf[96];
   std::snprintf(Buf, sizeof(Buf), "%.*f [%.*f..%.*f]", Decimals, Median,

@@ -40,6 +40,11 @@ QuartileSummary summarizeQuartiles(std::vector<double> Samples);
 /// summarizeQuartiles(S).Median.
 double percentile(std::vector<double> Samples, double P);
 
+/// Same, but \p Sorted must already be ascending — the allocation-free
+/// variant for callers that need several percentiles of one sample set
+/// (sort once, query many).
+double percentileOfSorted(const std::vector<double> &Sorted, double P);
+
 /// Arithmetic mean; 0 for an empty sample set.
 double mean(const std::vector<double> &Samples);
 

@@ -2,6 +2,7 @@
 
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
+#include "support/TelemetryStream.h"
 
 #include <algorithm>
 #include <cassert>
@@ -71,6 +72,25 @@ double TelHistogram::percentile(double P) const {
       P);
 }
 
+void TelHistogram::samplesSince(uint64_t &Seen,
+                                std::vector<double> &Out) const {
+  uint64_t Now = SamplesSeen;
+  if (Now <= Seen) {
+    Seen = Now;
+    return;
+  }
+  // Only the ring's worth of history survives; take the most recent Take.
+  uint64_t Missed = Now - Seen;
+  size_t Take = static_cast<size_t>(
+      std::min<uint64_t>(Missed, Samples.size()));
+  // NextSample is one past the newest sample; walk back Take slots.
+  size_t Start = (NextSample + Samples.size() -
+                  (Take % Samples.size())) % Samples.size();
+  for (size_t I = 0; I < Take; ++I)
+    Out.push_back(Samples[(Start + I) % Samples.size()]);
+  Seen = Now;
+}
+
 //===----------------------------------------------------------------------===//
 // TraceEvent JSONL
 //===----------------------------------------------------------------------===//
@@ -102,13 +122,15 @@ std::string TraceEvent::jsonLine() const {
   appendJsonString(Out, Name);
   Out += ",\"phase\":";
   appendJsonString(Out, Phase);
-  char Buf[128];
+  char Buf[192];
   std::snprintf(Buf, sizeof(Buf),
                 ",\"start_tick\":%llu,\"end_tick\":%llu,\"ms\":%.6f,"
-                "\"value\":%lld,\"detail\":",
+                "\"value\":%lld,\"tid\":%llu,\"seq\":%llu,\"detail\":",
                 static_cast<unsigned long long>(StartTick),
                 static_cast<unsigned long long>(EndTick), Ms,
-                static_cast<long long>(Value));
+                static_cast<long long>(Value),
+                static_cast<unsigned long long>(Tid),
+                static_cast<unsigned long long>(Seq));
   Out += Buf;
   appendJsonString(Out, Detail);
   Out += '}';
@@ -176,6 +198,12 @@ bool TraceEvent::parseLine(const std::string &Line, TraceEvent &Out) {
   E.StartTick = static_cast<uint64_t>(Start);
   E.EndTick = static_cast<uint64_t>(End);
   E.Value = static_cast<int64_t>(Val);
+  // tid/seq were added with the streaming layer; older traces omit them.
+  double Tid = 0, Seq = 0;
+  if (parseNumberField(Line, "tid", Tid))
+    E.Tid = static_cast<uint64_t>(Tid);
+  if (parseNumberField(Line, "seq", Seq))
+    E.Seq = static_cast<uint64_t>(Seq);
   Out = std::move(E);
   return true;
 }
@@ -197,8 +225,10 @@ TraceSink::~TraceSink() {
 }
 
 void TraceSink::emit(TraceEvent E) {
-  if (!Out)
+  if (!Out) {
+    ++NumDropped; // no file: loss is counted, never silent
     return;
+  }
   Buffer.push_back(std::move(E));
   ++NumEmitted;
   if (Buffer.size() >= BufferCap)
@@ -230,10 +260,23 @@ Telemetry::Telemetry() {
   const char *Env = std::getenv("JVOLVE_TELEMETRY");
   if (Env && Env[0] && std::strcmp(Env, "0") != 0)
     Enabled = true;
+  const char *WindowEnv = std::getenv("JVOLVE_STATS_WINDOW");
+  if (WindowEnv && WindowEnv[0]) {
+    long long Ticks = std::atoll(WindowEnv);
+    if (Ticks > 0) {
+      windows().configure(static_cast<uint64_t>(Ticks));
+      Enabled = true; // windowed stats over frozen metrics are meaningless
+    }
+  }
   const char *TraceOut = std::getenv("JVOLVE_TRACE_OUT");
   if (TraceOut && TraceOut[0])
     openTrace(TraceOut);
 }
+
+// Never runs — global() leaks the singleton on purpose so handles never
+// dangle — but must be defined where TelemetryStreamer/WindowAggregator
+// are complete types for the unique_ptr members.
+Telemetry::~Telemetry() = default;
 
 std::vector<double> Telemetry::defaultBuckets() {
   // Doubling ladder from 1e-3 to ~1e7: covers sub-ms GC pauses, multi-ms
@@ -288,6 +331,23 @@ const TelGauge *Telemetry::findGauge(const std::string &Name) const {
 const TelHistogram *Telemetry::findHistogram(const std::string &Name) const {
   auto It = Histograms.find(Name);
   return It == Histograms.end() ? nullptr : It->second.get();
+}
+
+std::vector<std::pair<std::string, TelCounter *>> Telemetry::allCounters() {
+  std::vector<std::pair<std::string, TelCounter *>> Out;
+  Out.reserve(Counters.size());
+  for (auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C.get());
+  return Out;
+}
+
+std::vector<std::pair<std::string, TelHistogram *>>
+Telemetry::allHistograms() {
+  std::vector<std::pair<std::string, TelHistogram *>> Out;
+  Out.reserve(Histograms.size());
+  for (auto &[Name, H] : Histograms)
+    Out.emplace_back(Name, H.get());
+  return Out;
 }
 
 void Telemetry::reset() {
@@ -409,18 +469,39 @@ std::string Telemetry::Snapshot::table() const {
 }
 
 bool Telemetry::openTrace(const std::string &Path) {
-  Sink = std::make_unique<TraceSink>(Path);
-  if (!Sink->ok()) {
-    Sink.reset();
+  closeTrace();
+  TelemetrySessionConfig Cfg;
+  Cfg.Name = "default";
+  Cfg.Path = Path;
+  DefaultSession = streamer().openSession(std::move(Cfg));
+  if (!DefaultSession)
     return false;
-  }
   Enabled = true;
   return true;
 }
 
-void Telemetry::closeTrace() { Sink.reset(); }
+void Telemetry::closeTrace() {
+  if (!DefaultSession)
+    return;
+  Streamer->closeSession(DefaultSession);
+  DefaultSession.reset();
+}
+
+bool Telemetry::tracing() const { return Streamer && Streamer->active(); }
 
 void Telemetry::emit(TraceEvent E) {
-  if (Sink)
-    Sink->emit(std::move(E));
+  if (Streamer && Streamer->active())
+    Streamer->write(std::move(E));
+}
+
+TelemetryStreamer &Telemetry::streamer() {
+  if (!Streamer)
+    Streamer = std::make_unique<TelemetryStreamer>(*this);
+  return *Streamer;
+}
+
+WindowAggregator &Telemetry::windows() {
+  if (!Windows)
+    Windows = std::make_unique<WindowAggregator>();
+  return *Windows;
 }

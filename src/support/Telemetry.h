@@ -146,6 +146,30 @@ inline constexpr const char *DsuRevertResidualNewObjects =
 inline constexpr const char *NetShedTotal = "net.shed_total";
 inline constexpr const char *NetDrains = "net.drains";
 inline constexpr const char *NetDrainMs = "net.drain_ms";
+/// Per-response service latency in virtual ticks (consumed-request to
+/// response send). Feeds the windowed stats view and the canary latency
+/// monitor's per-window mean.
+inline constexpr const char *NetLatencyTicks = "net.latency_ticks";
+inline constexpr const char *NetResponses = "net.responses";
+// support/TelemetryStream (streaming sessions; see docs/INTERNALS.md §15)
+/// Events lost at producer buffers because a ring wrapped before the
+/// writer drained it. Every drop is counted — emitted + dropped always
+/// equals events attempted.
+inline constexpr const char *TelemetryDroppedTotal =
+    "telemetry.dropped_total";
+inline constexpr const char *TelemetryEventsAttempted =
+    "telemetry.events_attempted";
+inline constexpr const char *TelemetryEventsStreamed =
+    "telemetry.events_streamed";
+inline constexpr const char *TelemetryBlocksFlushed =
+    "telemetry.blocks_flushed";
+inline constexpr const char *TelemetrySessionsOpened =
+    "telemetry.sessions_opened";
+/// Events discarded by a TraceSink whose file never opened (or that was
+/// handed events after a write failure) — file-layer loss, distinct from
+/// the producer-buffer loss above.
+inline constexpr const char *TelemetryTraceDropped =
+    "telemetry.trace.dropped";
 
 /// Update-phase histogram name: `dsu.update.phase_ms{phase=<Phase>}`.
 /// Phases: snapshot, classload, stack_repair, gc, transform, certify,
@@ -215,6 +239,15 @@ public:
   /// Number of raw samples currently retained (<= sampleCapacity()).
   size_t samplesRetained() const;
   size_t sampleCapacity() const { return Samples.size(); }
+  /// Total samples ever recorded (a watermark for samplesSince).
+  uint64_t samplesSeen() const { return SamplesSeen; }
+  /// Appends the samples recorded after watermark \p Seen (oldest first)
+  /// to \p Out and advances \p Seen to the current samplesSeen(). Only the
+  /// ring capacity of history exists: when more than sampleCapacity()
+  /// samples landed since the watermark, only the most recent
+  /// sampleCapacity() are returned. Same thread-affinity caveat as the
+  /// reservoir itself (VM thread only).
+  void samplesSince(uint64_t &Seen, std::vector<double> &Out) const;
 
 private:
   friend class Telemetry;
@@ -250,11 +283,18 @@ struct TraceEvent {
   double Ms = 0;
   int64_t Value = 0;
   std::string Detail;
+  /// Producer identity, stamped by the streaming layer: the id of the
+  /// thread buffer this event went through and its per-thread sequence
+  /// number (1-based; 0 = not streamed). A gap in Seq within one Tid is a
+  /// dropped event — never silent reordering.
+  uint64_t Tid = 0;
+  uint64_t Seq = 0;
 
   /// Renders one JSONL line (no trailing newline).
   std::string jsonLine() const;
   /// Parses a line produced by jsonLine(). \returns false on malformed
-  /// input. Unknown keys are ignored.
+  /// input. Unknown keys are ignored; tid/seq are optional (older traces
+  /// predate them).
   static bool parseLine(const std::string &Line, TraceEvent &Out);
 };
 
@@ -277,6 +317,10 @@ public:
   void flush();
 
   uint64_t eventsEmitted() const { return NumEmitted; }
+  /// Events handed to a sink that had no open file (or whose writes
+  /// started failing): discarded, but never silently — the count is also
+  /// published as `telemetry.trace.dropped`.
+  uint64_t eventsDropped() const { return NumDropped; }
 
 private:
   std::string Path;
@@ -284,11 +328,16 @@ private:
   std::vector<TraceEvent> Buffer;
   size_t BufferCap;
   uint64_t NumEmitted = 0;
+  uint64_t NumDropped = 0;
 };
 
 //===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
+
+class TelemetryStreamer;
+class TelemetrySession;
+class WindowAggregator;
 
 /// The process-wide telemetry registry.
 class Telemetry {
@@ -316,6 +365,17 @@ public:
   const TelCounter *findCounter(const std::string &Name) const;
   const TelGauge *findGauge(const std::string &Name) const;
   const TelHistogram *findHistogram(const std::string &Name) const;
+
+  /// Name-sorted enumeration of every registered instrument, for the
+  /// window aggregator (VM thread; handles stay valid forever).
+  std::vector<std::pair<std::string, TelCounter *>> allCounters();
+  std::vector<std::pair<std::string, TelHistogram *>> allHistograms();
+
+  /// Registry sizes — cheap staleness checks so per-window rollers only
+  /// re-enumerate (and pay allCounters()'s string copies) when a metric
+  /// was actually registered since they last looked.
+  size_t numCounters() const { return Counters.size(); }
+  size_t numHistograms() const { return Histograms.size(); }
 
   /// Zeroes every instrument's values; registrations persist.
   void reset();
@@ -345,18 +405,31 @@ public:
 
   Snapshot snapshot() const;
 
-  //===--- Trace sink -------------------------------------------------------===//
+  //===--- Streaming trace (support/TelemetryStream.h) ----------------------===//
 
-  /// Opens (replacing any previous) JSONL sink at \p Path. \returns false
-  /// when the file cannot be created. Also enables telemetry: a trace
-  /// without metrics is never what the operator meant.
+  /// Opens the default streaming session writing JSONL to \p Path
+  /// (replacing any previous default session). \returns false when the
+  /// file cannot be created. Also enables telemetry: a trace without
+  /// metrics is never what the operator meant.
   bool openTrace(const std::string &Path);
+  /// Synchronously drains every thread buffer, flushes, and closes the
+  /// default session — the file is complete when this returns.
   void closeTrace();
-  bool tracing() const { return Sink && Sink->ok(); }
-  TraceSink *traceSink() { return Sink.get(); }
+  /// True while any streaming session (default or explicit) is open.
+  bool tracing() const;
 
-  /// Emits \p E to the sink when one is attached; no-op otherwise.
+  /// Routes \p E into the calling thread's event buffer when a session is
+  /// open; no-op otherwise. Wait-free on the hot path.
   void emit(TraceEvent E);
+
+  /// The streaming buffer manager (sessions, drop accounting). Created on
+  /// first use; immortal like the registry itself.
+  TelemetryStreamer &streamer();
+  bool hasStreamer() const { return Streamer != nullptr; }
+
+  /// The windowed event-counter aggregator (jvolve-serve --stats,
+  /// jvolve-run --stats-window, canary latency baseline). VM-thread only.
+  WindowAggregator &windows();
 
   /// Default histogram bucket upper bounds (powers-of-two style ladder
   /// covering sub-ms pauses through multi-second stalls and tick counts).
@@ -364,6 +437,8 @@ public:
 
 private:
   Telemetry();
+  ~Telemetry(); // never runs (the singleton is immortal); defined where
+                // TelemetryStreamer is complete so members destruct
 
   static bool Enabled;
 
@@ -371,7 +446,9 @@ private:
   std::map<std::string, std::unique_ptr<TelCounter>> Counters;
   std::map<std::string, std::unique_ptr<TelGauge>> Gauges;
   std::map<std::string, std::unique_ptr<TelHistogram>> Histograms;
-  std::unique_ptr<TraceSink> Sink;
+  std::unique_ptr<TelemetryStreamer> Streamer;
+  std::unique_ptr<WindowAggregator> Windows;
+  std::shared_ptr<TelemetrySession> DefaultSession;
 };
 
 inline void TelCounter::add(uint64_t N) {

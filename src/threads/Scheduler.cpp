@@ -2,11 +2,17 @@
 
 #include "support/Error.h"
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 
 #include <cassert>
 #include <limits>
 
 using namespace jvolve;
+
+Scheduler::~Scheduler() {
+  for (auto &T : Threads)
+    retireThreadTelemetry(*T);
+}
 
 void Scheduler::noteSafePointReached() {
   if (!Telemetry::isEnabled())
@@ -15,6 +21,10 @@ void Scheduler::noteSafePointReached() {
   Tel.counter(metrics::SchedSafePoints).inc();
   Tel.histogram(metrics::SchedSafePointWaitTicks)
       .record(static_cast<double>(Ticks - YieldRequestTick));
+  // The world is stopped: a good moment to make the pre-pause event tail
+  // durable before GC or an update attempt mutates everything.
+  if (Tel.tracing())
+    Tel.streamer().kick();
 }
 
 VMThread &Scheduler::spawn(const std::string &Name, bool Daemon) {
@@ -22,8 +32,26 @@ VMThread &Scheduler::spawn(const std::string &Name, bool Daemon) {
   T->Id = NextId++;
   T->Name = Name;
   T->Daemon = Daemon;
+  Telemetry &Tel = Telemetry::global();
+  if (Tel.tracing()) {
+    T->TelBuf = Tel.streamer().acquireThreadBuffer(T->Id, T->Name);
+    // Birth event goes through the thread's own buffer (seq 1) so the
+    // merged stream shows the registration itself.
+    T->TelBuf->tryWrite({"vm.thread", "spawn", Ticks, Ticks, 0,
+                         static_cast<int64_t>(T->Id), T->Name});
+  }
   Threads.push_back(std::move(T));
   return *Threads.back();
+}
+
+void Scheduler::retireThreadTelemetry(VMThread &T) {
+  if (!T.TelBuf)
+    return;
+  T.TelBuf->tryWrite({"vm.thread", "exit", Ticks, Ticks, 0,
+                      static_cast<int64_t>(T.Id),
+                      threadStateName(T.State)});
+  Telemetry::global().streamer().retireThreadBuffer(T.TelBuf);
+  T.TelBuf = nullptr;
 }
 
 VMThread *Scheduler::findThread(ThreadId Id) {

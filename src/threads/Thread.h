@@ -25,6 +25,8 @@
 
 namespace jvolve {
 
+class ThreadEventBuffer;
+
 /// One activation record.
 struct Frame {
   std::shared_ptr<CompiledMethod> Code;
@@ -89,6 +91,12 @@ struct VMThread {
   /// thread stays Runnable and set State itself when done. NativeWork
   /// threads have no frames, so they never pin a dynamic update.
   std::function<uint64_t(VMThread &, uint64_t)> NativeWork;
+
+  /// This thread's streaming-telemetry write buffer (see
+  /// support/TelemetryStream.h): registered at spawn while a session is
+  /// open (or lazily at the first quantum after one opens), retired at
+  /// thread death. Owned by the TelemetryStreamer, never by the thread.
+  ThreadEventBuffer *TelBuf = nullptr;
 
   bool stopped() const {
     return State == ThreadState::Finished || State == ThreadState::Trapped;

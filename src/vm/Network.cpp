@@ -96,9 +96,21 @@ void Network::send(int Conn, int64_t Value, uint64_t Now) {
   ++NumResponses;
   auto It = Connections.find(Conn);
   if (It != Connections.end()) {
-    Latencies.push_back(
-        static_cast<double>(Now - It->second.LastConsumedArrival));
-    LatencySumTicks += Now - It->second.LastConsumedArrival;
+    uint64_t LatencyTicks = Now - It->second.LastConsumedArrival;
+    Latencies.push_back(static_cast<double>(LatencyTicks));
+    LatencySumTicks += LatencyTicks;
+    if (Telemetry::isEnabled()) {
+      // Feeds the windowed stats view and the canary latency monitor's
+      // per-window baseline (jvolve-serve --stats). Handles bind once;
+      // send() runs per response and must not pay registry lookups.
+      if (!TelResponses) {
+        Telemetry &Tel = Telemetry::global();
+        TelResponses = &Tel.counter(metrics::NetResponses);
+        TelLatency = &Tel.histogram(metrics::NetLatencyTicks);
+      }
+      TelResponses->inc();
+      TelLatency->record(static_cast<double>(LatencyTicks));
+    }
   }
 }
 

@@ -23,6 +23,9 @@
 
 namespace jvolve {
 
+class TelCounter;
+class TelHistogram;
+
 /// One response produced by NetSend.
 struct NetResponse {
   int Conn = -1;
@@ -128,6 +131,12 @@ private:
   uint64_t NumShed = 0;
   uint64_t LatencySumTicks = 0;
   bool Draining = false;
+
+  // Telemetry handles, bound on first instrumented send — send() runs
+  // per response, and registry lookups are string-keyed. Handles are
+  // never invalidated (Telemetry keeps map nodes alive forever).
+  TelCounter *TelResponses = nullptr;
+  TelHistogram *TelLatency = nullptr;
 };
 
 } // namespace jvolve

@@ -6,6 +6,7 @@
 #include "support/Error.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -45,7 +46,8 @@ static void preregisterStandardMetrics() {
         metrics::DsuLazyFailed, metrics::DsuCanaryWindows,
         metrics::DsuCanaryChecks, metrics::DsuCanaryBreaches,
         metrics::DsuCanaryRetired, metrics::DsuRevertAttempts,
-        metrics::DsuRevertFailed, metrics::NetShedTotal, metrics::NetDrains})
+        metrics::DsuRevertFailed, metrics::NetShedTotal, metrics::NetDrains,
+        metrics::NetResponses})
     Tel.counter(C);
   // dsu.revert.completed is deliberately NOT preregistered: its very
   // presence in a snapshot means a revert actually converged, which is
@@ -54,13 +56,16 @@ static void preregisterStandardMetrics() {
        {metrics::DsuAnalysisRestrictedPrecise,
         metrics::DsuAnalysisRestrictedConservative,
         metrics::DsuAnalysisRestrictedDelta, metrics::DsuLazyPending,
-        metrics::DsuCanaryOpen, metrics::DsuRevertResidualNewObjects})
+        metrics::DsuCanaryOpen, metrics::DsuRevertResidualNewObjects,
+        metrics::TelemetryDroppedTotal, metrics::TelemetryEventsAttempted,
+        metrics::TelemetryEventsStreamed, metrics::TelemetryBlocksFlushed,
+        metrics::TelemetrySessionsOpened, metrics::TelemetryTraceDropped})
     Tel.gauge(G);
   for (const char *H :
        {metrics::SchedSafePointWaitTicks, metrics::SchedQuantumTicks,
         metrics::GcPauseMs, metrics::GcSurvivorRate, metrics::GcDsuPauseMs,
         metrics::DsuTotalPauseMs, metrics::DsuUpdateRetries,
-        metrics::NetDrainMs})
+        metrics::NetDrainMs, metrics::NetLatencyTicks})
     Tel.histogram(H);
   for (const char *Phase : {"snapshot", "classload", "stack_repair", "gc",
                             "transform", "certify", "rollback"})
@@ -173,8 +178,11 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
   RunResult Result;
   uint64_t Start = Sched.ticks();
   uint64_t End = Start + MaxTicks;
+  Telemetry &Tel = Telemetry::global();
+  WindowAggregator &Windows = Tel.windows();
 
   while (Sched.ticks() < End) {
+    Windows.onTick(Sched.ticks());
     if (TickCallback)
       TickCallback(Sched.ticks());
     if (CanaryCtl)
@@ -212,18 +220,29 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
     }
 
     uint64_t Budget = std::min<uint64_t>(Cfg.Quantum, End - Sched.ticks());
+    // Threads spawned before the session opened get their buffer at their
+    // first quantum; events emitted during the quantum (interpreter traps,
+    // DSU barriers the thread trips) are attributed to the green thread,
+    // not the OS thread hosting the VM.
+    if (Tel.tracing() && !T->TelBuf)
+      T->TelBuf = Tel.streamer().acquireThreadBuffer(T->Id, T->Name);
+    TelemetryStreamer::setCurrentBuffer(T->TelBuf);
     uint64_t Executed;
     if (T->NativeWork) {
       if (Sched.yieldRequested()) {
         // Native workers have no frames to scan; they cooperate with the
         // stop-the-world protocol by parking until resumeAfterYield().
         T->State = ThreadState::Parked;
+        TelemetryStreamer::setCurrentBuffer(nullptr);
         continue;
       }
       Executed = T->NativeWork(*T, Budget);
     } else {
       Executed = Interp->runThread(*T, Budget);
     }
+    TelemetryStreamer::setCurrentBuffer(nullptr);
+    if (T->stopped())
+      Sched.retireThreadTelemetry(*T);
     Sched.advanceTicks(Executed);
     if (Telemetry::isEnabled() && Executed > 0)
       Telemetry::global()
@@ -452,7 +471,13 @@ void VM::onTrap(VMThread &T, const std::string &Message) {
   T.State = ThreadState::Trapped;
   T.TrapMessage = Message;
   ++Stats.Traps;
+  Telemetry &Tel = Telemetry::global();
   if (Telemetry::isEnabled())
-    Telemetry::global().counter(metrics::InterpTraps).inc();
+    Tel.counter(metrics::InterpTraps).inc();
+  if (Tel.tracing())
+    // Routed through the trapping green thread's buffer (the interpreter
+    // runs inside its quantum), so the merged stream attributes the trap.
+    Tel.emit({"vm.thread", "trap", Sched.ticks(), Sched.ticks(), 0,
+              static_cast<int64_t>(T.Id), Message});
   PrintLog.push_back("TRAP[" + T.Name + "]: " + Message);
 }

@@ -8,9 +8,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 
 #include <fstream>
 #include <gtest/gtest.h>
+#include <map>
+#include <thread>
 
 using namespace jvolve;
 
@@ -242,6 +245,191 @@ TEST_F(TelemetryTest, DsuMetricNameBuilders) {
   EXPECT_EQ(std::string(metrics::DsuTotalPauseMs), metrics::dsuPhaseMs("total"));
   EXPECT_EQ(metrics::faultFired("class-load"),
             "dsu.faults.fired{site=class-load}");
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming pipeline (support/TelemetryStream.h)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, TraceSinkCountsUnwritableEventsAsDropped) {
+  // A sink that never opened its file discards events — but the loss is
+  // ledgered, never silent.
+  TraceSink Sink("/nonexistent-dir-for-telemetry-test/out.jsonl");
+  EXPECT_FALSE(Sink.ok());
+  TraceEvent E;
+  E.Name = "test.lost";
+  Sink.emit(std::move(E));
+  EXPECT_EQ(Sink.eventsEmitted(), 0u);
+  EXPECT_EQ(Sink.eventsDropped(), 1u);
+}
+
+TEST_F(TelemetryTest, ThreadBufferConsumesSeqOnDrop) {
+  ThreadEventBuffer Buf(7, "seq-test", 4);
+  for (int I = 0; I < 10; ++I) {
+    TraceEvent E;
+    E.Name = "test.seq";
+    E.Value = I;
+    Buf.tryWrite(std::move(E));
+  }
+  // Capacity 4: six writes found the ring full. Every attempt consumed a
+  // sequence number, so the drained events expose the loss as a seq gap.
+  EXPECT_EQ(Buf.attempted(), 10u);
+  EXPECT_EQ(Buf.dropped(), 6u);
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(Buf.drainInto(Out, static_cast<size_t>(-1)), 4u);
+  ASSERT_EQ(Out.size(), 4u);
+  for (size_t I = 0; I < Out.size(); ++I) {
+    EXPECT_EQ(Out[I].Tid, 7u);
+    EXPECT_EQ(Out[I].Seq, I + 1);
+  }
+  EXPECT_TRUE(Buf.empty());
+}
+
+TEST_F(TelemetryTest, StreamSessionFiltersByPrefix) {
+  Telemetry &Tel = Telemetry::global();
+  TelemetrySessionConfig Cfg;
+  Cfg.Name = "filter-test";
+  Cfg.Prefixes = {"keepme."};
+  auto S = Tel.streamer().openSession(Cfg);
+  ASSERT_TRUE(S);
+  TraceEvent Keep;
+  Keep.Name = "keepme.event";
+  Tel.emit(std::move(Keep));
+  TraceEvent Drop;
+  Drop.Name = "dropme.event";
+  Tel.emit(std::move(Drop));
+  Tel.streamer().flushAll();
+  std::vector<TraceEvent> Got = S->drainBuffered();
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].Name, "keepme.event");
+  EXPECT_GE(S->eventsFiltered(), 1u);
+  Tel.streamer().closeSession(S);
+}
+
+TEST_F(TelemetryTest, NativeThreadStressExactDropAccounting) {
+  // N OS threads hammer deliberately tiny buffers; most events drop. The
+  // pipeline's contract: per-thread sequence numbers stay strictly
+  // increasing across what survives, every loss surfaces as a gap record,
+  // and the global ledger balances to the event.
+  Telemetry &Tel = Telemetry::global();
+  TelemetryStreamer &St = Tel.streamer();
+  const uint64_t A0 = St.attemptedTotal();
+  const uint64_t S0 = St.streamedTotal();
+  const uint64_t D0 = St.droppedTotal();
+
+  St.setThreadBufferCapacity(16);
+  TelemetrySessionConfig Cfg;
+  Cfg.Name = "stress";
+  Cfg.Prefixes = {"stress."};
+  Cfg.BufferBudgetEvents = 1u << 20;
+  auto S = St.openSession(Cfg);
+  ASSERT_TRUE(S);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&Tel, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        TraceEvent E;
+        E.Name = "stress.event";
+        E.Phase = "t" + std::to_string(T);
+        E.Value = I;
+        Tel.emit(std::move(E));
+      }
+    }); // thread exit retires its buffer via the streamer's TLS hook
+  for (std::thread &W : Workers)
+    W.join();
+  St.flushAll();
+
+  EXPECT_EQ(St.attemptedTotal() - A0,
+            static_cast<uint64_t>(NumThreads) * PerThread);
+  // The hard invariant: nothing leaks out of the books.
+  EXPECT_EQ(St.attemptedTotal() - A0,
+            (St.streamedTotal() - S0) + (St.droppedTotal() - D0));
+
+  // Replay the session: per-tid seqs strictly monotonic, and written
+  // events plus gap-record drop counts reconstruct every attempt.
+  std::map<uint64_t, uint64_t> LastSeq;
+  uint64_t WrittenEvents = 0, GapDrops = 0;
+  for (const TraceEvent &E : S->drainBuffered()) {
+    if (E.Name == "telemetry.block") {
+      EXPECT_EQ(E.Phase, "gap");
+      EXPECT_GT(E.Value, 0);
+      GapDrops += static_cast<uint64_t>(E.Value);
+      continue;
+    }
+    ASSERT_EQ(E.Name, "stress.event");
+    EXPECT_GT(E.Seq, LastSeq[E.Tid]) << "seq regressed on tid " << E.Tid;
+    LastSeq[E.Tid] = E.Seq;
+    ++WrittenEvents;
+  }
+  EXPECT_EQ(WrittenEvents + GapDrops,
+            static_cast<uint64_t>(NumThreads) * PerThread);
+  EXPECT_EQ(GapDrops, St.droppedTotal() - D0);
+  EXPECT_GT(GapDrops, 0u) << "capacity 16 under 5000 writes must drop";
+
+  St.closeSession(S);
+  St.setThreadBufferCapacity(2048);
+}
+
+TEST_F(TelemetryTest, WindowAggregatorRatesAndPercentiles) {
+  Telemetry &Tel = Telemetry::global();
+  WindowAggregator &W = Tel.windows();
+  W.configure(100, 4);
+  TelCounter &C = Tel.counter("wintest.counter");
+  TelHistogram &H = Tel.histogram("wintest.hist");
+  C.add(5);
+  for (int I = 1; I <= 100; ++I)
+    H.record(static_cast<double>(I));
+  W.roll(100);
+
+  WindowAggregator::CounterSeries CS;
+  ASSERT_TRUE(W.counterSeries("wintest.counter", CS));
+  EXPECT_EQ(CS.LastDelta, 5u);
+  EXPECT_DOUBLE_EQ(CS.LastRatePerKtick, 50.0); // 5 per 100 ticks
+  EXPECT_EQ(CS.Windows, 1u);
+
+  WindowAggregator::HistSeries HS;
+  ASSERT_TRUE(W.histSeries("wintest.hist", HS));
+  EXPECT_EQ(HS.LastCount, 100u);
+  EXPECT_DOUBLE_EQ(HS.Max, 100.0);
+  EXPECT_NEAR(HS.Mean, 50.5, 1e-9);
+  EXPECT_NEAR(HS.P50, 50.5, 1e-9);
+  EXPECT_NEAR(HS.P99, 99.01, 1e-9);
+
+  // Second window: only the counter moves; deltas are per-window.
+  C.add(7);
+  W.roll(200);
+  ASSERT_TRUE(W.counterSeries("wintest.counter", CS));
+  EXPECT_EQ(CS.LastDelta, 7u);
+  EXPECT_EQ(CS.MinDelta, 5u);
+  EXPECT_EQ(CS.MaxDelta, 7u);
+  EXPECT_DOUBLE_EQ(CS.MeanDelta, 6.0);
+  EXPECT_EQ(CS.Windows, 2u);
+  ASSERT_TRUE(W.histSeries("wintest.hist", HS));
+  EXPECT_EQ(HS.LastCount, 0u);
+
+  std::string Table = W.table();
+  EXPECT_NE(Table.find("wintest.counter"), std::string::npos);
+  EXPECT_NE(Table.find("wintest.hist"), std::string::npos);
+  W.configure(0);
+}
+
+TEST_F(TelemetryTest, WindowAggregatorSeesLateRegistrations) {
+  // The aggregator caches instrument handles between rolls; a metric
+  // registered after the first roll must still show up in the next one.
+  Telemetry &Tel = Telemetry::global();
+  WindowAggregator &W = Tel.windows();
+  W.configure(100, 4);
+  W.roll(100);
+  TelCounter &C = Tel.counter("latereg.counter");
+  C.add(3);
+  W.roll(200);
+  WindowAggregator::CounterSeries CS;
+  ASSERT_TRUE(W.counterSeries("latereg.counter", CS));
+  EXPECT_EQ(CS.LastDelta, 3u);
+  W.configure(0);
 }
 
 } // namespace

@@ -4,7 +4,8 @@
 /// jvolve-run: load a MiniVM assembly program and execute it.
 ///
 ///   jvolve-run [--verify-heap] [--metrics[=json|table]]
-///              [--trace-out <file>] program.mvm [Class.method] [ints...]
+///              [--trace-out <file>] [--stats-window[=TICKS]]
+///              program.mvm [Class.method] [ints...]
 ///
 /// The entry point defaults to Main.main()V; an explicit entry point may
 /// take int parameters supplied on the command line. Prints the program's
@@ -13,7 +14,10 @@
 /// the heap verifier and registry-consistency check after execution and
 /// fails the run on any violation. --metrics enables telemetry and dumps
 /// the registry snapshot at exit (table by default, JSON with =json);
-/// --trace-out enables telemetry and streams JSONL trace events to <file>.
+/// --trace-out enables telemetry and streams JSONL trace events to <file>;
+/// --stats-window enables windowed event-counter aggregation (default
+/// 5000-tick windows) and dumps the per-window rate/percentile table at
+/// exit — the offline twin of `jvolve-serve --stats`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +25,7 @@
 #include "bytecode/Verifier.h"
 #include "heap/HeapVerifier.h"
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 #include "vm/VM.h"
 
 #include <cstdio>
@@ -44,6 +49,7 @@ static std::string readFile(const char *Path) {
 int main(int argc, char **argv) {
   bool VerifyHeap = false;
   enum class MetricsMode { Off, Table, Json } Metrics = MetricsMode::Off;
+  uint64_t StatsWindowTicks = 0;
 
   while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
     std::string Flag = argv[1];
@@ -53,6 +59,19 @@ int main(int argc, char **argv) {
       Metrics = MetricsMode::Table;
     } else if (Flag == "--metrics=json") {
       Metrics = MetricsMode::Json;
+    } else if (Flag == "--stats-window" ||
+               Flag.rfind("--stats-window=", 0) == 0) {
+      StatsWindowTicks = 5000;
+      if (Flag.size() > std::strlen("--stats-window=")) {
+        long long N = std::atoll(Flag.c_str() + std::strlen("--stats-window="));
+        if (N <= 0) {
+          std::fprintf(stderr,
+                       "jvolve-run: --stats-window needs a positive tick "
+                       "count\n");
+          return 2;
+        }
+        StatsWindowTicks = static_cast<uint64_t>(N);
+      }
     } else if (Flag == "--trace-out") {
       if (argc < 3) {
         std::fprintf(stderr, "jvolve-run: --trace-out requires a file\n");
@@ -74,11 +93,16 @@ int main(int argc, char **argv) {
   }
   if (Metrics != MetricsMode::Off)
     Telemetry::global().setEnabled(true);
+  if (StatsWindowTicks > 0) {
+    Telemetry::global().setEnabled(true);
+    Telemetry::global().windows().configure(StatsWindowTicks);
+  }
 
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-run [--verify-heap] [--metrics[=json|table]] "
-                 "[--trace-out <file>] <program.mvm> [Class.method] [ints]\n");
+                 "[--trace-out <file>] [--stats-window[=TICKS]] "
+                 "<program.mvm> [Class.method] [ints]\n");
     return 2;
   }
 
@@ -156,7 +180,17 @@ int main(int argc, char **argv) {
     std::printf("%s\n", Telemetry::global().snapshot().json().c_str());
   else if (Metrics == MetricsMode::Table)
     std::printf("%s", Telemetry::global().snapshot().table().c_str());
-  Telemetry::global().closeTrace(); // flush any buffered JSONL events
+  if (StatsWindowTicks > 0) {
+    // Close the final (possibly partial) window so short programs still
+    // show their activity, then print the per-window view.
+    WindowAggregator &W = Telemetry::global().windows();
+    W.roll(TheVM.scheduler().ticks());
+    std::printf("stats-window: %llu-tick windows, %llu rolled\n",
+                static_cast<unsigned long long>(W.windowTicks()),
+                static_cast<unsigned long long>(W.windowsRolled()));
+    std::printf("%s", W.table().c_str());
+  }
+  Telemetry::global().closeTrace(); // drain + flush the streaming session
 
   VMThread *T = TheVM.scheduler().findThread(Main);
   if (T->State == ThreadState::Trapped) {

@@ -54,12 +54,17 @@
 /// The usage text lists the current site names; FaultInjector::allSites()
 /// is the single source of truth for the set.
 ///
-/// --stats enables telemetry and issues an in-band stats request after
-/// boot and after every update: a probe connection travels the same
-/// simulated network path as client traffic, and when the server's
-/// response comes back the current telemetry registry snapshot prints —
-/// the live stats surface. --trace-out streams JSONL trace events (update
-/// phase spans and lifecycle events) to <file>. --metrics-out enables
+/// --stats enables telemetry with windowed aggregation (5000-tick
+/// windows) and issues an in-band stats request after boot and after
+/// every update: a probe connection travels the same simulated network
+/// path as client traffic, and when the server's response comes back the
+/// per-window rate/p50/p99 table prints (support/TelemetryStream.h
+/// WindowAggregator) together with the streaming pipeline's drop
+/// accounting — the live stats surface the canary latency monitor also
+/// reads its window means from. --trace-out streams JSONL trace events
+/// (update phase spans and lifecycle events) to <file>, buffered through
+/// per-thread lock-free buffers and a background session writer.
+/// --metrics-out enables
 /// telemetry and writes the final registry snapshot as JSON to <file> at
 /// exit, the format scripts/metrics-diff.py consumes — so an eager and a
 /// --lazy run of the same release history can be diffed and gated.
@@ -81,6 +86,7 @@
 #include "dsu/Upt.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -135,9 +141,11 @@ std::string injectSiteList() {
 
 /// The in-band stats request: a probe connection is injected through the
 /// same simulated network path as client traffic, and the VM runs until
-/// the server's response to it comes back — so the snapshot reflects a
-/// server that has caught up with everything ahead of the probe. \returns
-/// false when the server never answered (e.g. every worker trapped).
+/// the server's response to it comes back — so the view reflects a
+/// server that has caught up with everything ahead of the probe. Prints
+/// the windowed rate/p50/p99 table over recent windows plus the
+/// streaming pipeline's drop accounting. \returns false when the server
+/// never answered (e.g. every worker trapped).
 bool serveStatsRequest(VM &TheVM, int Port) {
   int Conn = TheVM.injectConnection(Port, {1});
   for (int Round = 0; Round < 500; ++Round) {
@@ -147,9 +155,21 @@ bool serveStatsRequest(VM &TheVM, int Port) {
     bool Idle = TheVM.run(2'000).Idle;
     for (const NetResponse &R : TheVM.net().drainResponses())
       if (R.Conn == Conn) {
-        std::printf("stats @ tick %llu:\n%s",
+        Telemetry &Tel = Telemetry::global();
+        WindowAggregator &W = Tel.windows();
+        std::printf("stats @ tick %llu (%llu %llu-tick window(s)):\n%s",
                     static_cast<unsigned long long>(TheVM.scheduler().ticks()),
-                    Telemetry::global().snapshot().table().c_str());
+                    static_cast<unsigned long long>(W.windowsRolled()),
+                    static_cast<unsigned long long>(W.windowTicks()),
+                    W.table().c_str());
+        if (Tel.hasStreamer()) {
+          TelemetryStreamer &S = Tel.streamer();
+          std::printf("  telemetry: %llu event(s) attempted, %llu streamed, "
+                      "%llu dropped\n",
+                      static_cast<unsigned long long>(S.attemptedTotal()),
+                      static_cast<unsigned long long>(S.streamedTotal()),
+                      static_cast<unsigned long long>(S.droppedTotal()));
+        }
         return true;
       }
     if (Idle)
@@ -190,6 +210,9 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       ShowStats = true;
       Telemetry::global().setEnabled(true);
+      // Windowed aggregation feeds both the live table and the canary
+      // latency monitor's per-window mean (dsu/Revert.cpp take()).
+      Telemetry::global().windows().configure(5'000);
     } else if (std::strcmp(argv[I], "--analyze") == 0) {
       AnalyzeFirst = true;
     } else if (std::strcmp(argv[I], "--lazy") == 0) {
