@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Summarize a jvolve-chaos --json campaign report.
+
+    jvolve-chaos --first-order --json > report.json
+    scripts/chaos-report.py report.json
+    jvolve-chaos --first-order --json | scripts/chaos-report.py -
+
+Prints the coverage headline, the per-mode unreachable-site tally, and
+every oracle violation with its ready-to-paste reproducer. Exits 1 when
+the campaign found violations or left attempted probe points uncovered
+(the same gate as jvolve-chaos --check, applied after the fact to a
+stored report); --no-gate makes it purely informational.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="summarize a jvolve-chaos --json report")
+    ap.add_argument("report", help="report file, or - for stdin")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="always exit 0, even on violations or "
+                         "incomplete coverage")
+    args = ap.parse_args()
+
+    text = (sys.stdin.read() if args.report == "-"
+            else open(args.report).read())
+    try:
+        rep = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"chaos-report: {args.report}: not a campaign report: {e}")
+
+    points = rep.get("probe_points", 0)
+    covered = rep.get("covered", 0)
+    coverage = rep.get("coverage", 1.0)
+    print(f"chaos-report: {points} probe point(s), {covered} covered "
+          f"({100.0 * coverage:.1f}%), "
+          f"{rep.get('enumerated', points)} enumerable, "
+          f"{rep.get('executions', 0)} execution(s)")
+    if rep.get("skipped_by_budget", 0):
+        print(f"  budget truncation: {rep['skipped_by_budget']} "
+              f"point(s) skipped (stable prefix; rerun unbounded for "
+              f"the full sweep)")
+    if rep.get("second_order_capped", 0):
+        print(f"  second-order windows capped: "
+              f"{rep['second_order_capped']} slot(s) beyond the "
+              f"recovery-path bound")
+
+    # "mode: site" entries collapse to one line per mode.
+    by_mode = Counter(u.split(":", 1)[0]
+                      for u in rep.get("unreachable_in_mode", []))
+    for mode, n in sorted(by_mode.items()):
+        print(f"  unreachable in {mode}: {n} site(s)")
+
+    violations = rep.get("violations", [])
+    if not violations:
+        print("  oracles: all invariants hold on every execution")
+    for v in violations:
+        print(f"  VIOLATION [{v.get('mode', '?')}] "
+              f"status {v.get('status', '?')}: {v.get('spec', '')}")
+        for line in v.get("violations", []):
+            print(f"    {line}")
+        if v.get("reproducer"):
+            print(f"    repro: {v['reproducer']}")
+
+    if args.no_gate:
+        return 0
+    if violations:
+        print(f"chaos-report: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    if covered < points:
+        print(f"chaos-report: coverage below 100% "
+              f"({covered}/{points})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@
 # bench_lazy_pause trade-off gate, the streaming-telemetry overhead gate
 # (bench_telemetry --check + a coarse metrics-diff backstop), the canary
 # pause and revert-convergence gates (an injected health breach must
-# auto-revert and leave zero residual), then the update-transaction
+# auto-revert and leave zero residual), the chaos-campaign gate (the
+# exhaustive first-order fault sweep must cover every enumerable probe
+# point with zero oracle violations), then the update-transaction
 # (rollback), quiescence-escalation, and GC-fuzz suites under a sanitizer
 # build — including a pass with both update-time fault sites armed via
 # the environment.
@@ -151,6 +153,26 @@ scripts/metrics-diff.py "$EAGER_JSON" "$CANARY_JSON" --threshold 1000 \
   --max-delta dsu.revert.failed=0 \
   > /dev/null || [ $? -ne 2 ]
 rm -f "$EAGER_JSON" "$CANARY_JSON"
+
+# Chaos-campaign gate: sweep every enumerable first-order (site,
+# fire-index) probe point on the email and jetty streams; --check fails
+# on any oracle violation or on an attempted point whose fault did not
+# fire (coverage below 100%). The run is deterministic (fresh VMs,
+# virtual time, fixed seeds), so this is the same sweep every CI pass.
+# chaos-report.py re-applies the gate to the stored JSON report, and
+# metrics-diff asserts the fault.coverage.{probes,covered} gauges made
+# it into the snapshot unchanged.
+CHAOS_JSON="$(mktemp /tmp/jvolve-tier1-chaos.XXXXXX.json)"
+CHAOS_REPORT="$(mktemp /tmp/jvolve-tier1-chaosrep.XXXXXX.json)"
+build/tools/jvolve-chaos --first-order --check --json \
+  --metrics-out "$CHAOS_JSON" > "$CHAOS_REPORT"
+scripts/chaos-report.py "$CHAOS_REPORT"
+scripts/metrics-diff.py "$CHAOS_JSON" "$CHAOS_JSON" \
+  --require fault.coverage.probes \
+  --require fault.coverage.covered \
+  --max-delta fault.coverage.covered=0 \
+  > /dev/null
+rm -f "$CHAOS_JSON" "$CHAOS_REPORT"
 
 if [ "${JVOLVE_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B "build-$SAN" -S . -DJVOLVE_SANITIZE="$SAN"

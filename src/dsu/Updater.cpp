@@ -11,6 +11,7 @@
 #include "support/Error.h"
 #include "support/Stopwatch.h"
 #include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 
 #include <algorithm>
 #include <cassert>
@@ -30,6 +31,13 @@ void Updater::markPhase(const std::string &Phase, int64_t Value,
   double Now = PhaseClock.elapsedMs();
   double Ms = Now - LastPhaseMark;
   LastPhaseMark = Now;
+  // Probed before the enablement check so probe indices are stable whether
+  // or not telemetry is live; a fire only bites when a streamer exists.
+  // The stalled writer must degrade to counted drops — producers (and this
+  // VM thread) never block on it.
+  if (TheVM.faults().probe(FaultInjector::Site::TelemetryWriterStall) &&
+      Telemetry::isEnabled() && Telemetry::global().hasStreamer())
+    Telemetry::global().streamer().injectWriterStall(3);
   if (!Telemetry::isEnabled())
     return;
   Telemetry &Tel = Telemetry::global();
@@ -101,6 +109,18 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   Opts = InOpts;
   Result = UpdateResult();
   ensureBuiltins(Bundle.NewProgram);
+
+  // A torn/truncated bundle must be rejected at ingest, before any
+  // snapshot or pipeline state exists — nothing to roll back.
+  if (TheVM.faults().probe(FaultInjector::Site::BundleTruncated)) {
+    std::string Msg = "update bundle truncated (injected): rejected before "
+                      "verification";
+    Result.Trace.record(UpdateEventKind::Rejected,
+                        TheVM.scheduler().ticks(), 0, Msg);
+    bumpDsuCounter(metrics::DsuUpdatesRejected);
+    finish(UpdateStatus::RejectedNotVerifiable, Msg);
+    return;
+  }
 
   // JVOLVE_LAZY=1 turns every scheduled update lazy — the environment
   // counterpart of UpdateOptions::LazyTransform (tier1.sh runs the DSU
@@ -755,7 +775,28 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
   try {
     installSteps(OsrFrames, MappedFrames);
   } catch (const UpdateError &E) {
-    rollback(RegSnap, HeapSnap, Roots, E);
+    // The rollback path must survive a nested fault (an injected
+    // allocation failure, a faulting certification) with a defined
+    // terminal status — never an escaped exception that would tear down
+    // the VM mid-restore. The heap/registry restores themselves are
+    // non-allocating; anything after them may fail without voiding the
+    // restored image.
+    try {
+      rollback(RegSnap, HeapSnap, Roots, E);
+    } catch (const UpdateError &Nested) {
+      TheVM.setTransformationInProgress(false);
+      for (auto &T : TheVM.scheduler().threads())
+        for (Frame &F : T->Frames)
+          F.ReturnBarrier = false;
+      Result.Trace.record(UpdateEventKind::RolledBack,
+                          TheVM.scheduler().ticks(), 0,
+                          "nested fault during rollback: " + Nested.str());
+      finish(E.phase() == "transform" ? UpdateStatus::FailedTransformer
+                                      : UpdateStatus::RolledBack,
+             "update rolled back (" + E.str() +
+                 "); nested fault during rollback (" + Nested.str() + ")");
+      TheVM.resumeAfterYield();
+    }
     Result.TotalPauseMs = PhaseClock.elapsedMs();
     recordTotalPause(TheVM, Result.TotalPauseMs, "rolled-back");
     return;

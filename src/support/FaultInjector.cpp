@@ -32,6 +32,9 @@ const char *FaultInjector::siteName(Site S) {
   case Site::NetSlowClient: return "net-slow-client";
   case Site::LazyDrainTransformer: return "lazy-drain-transformer";
   case Site::CanaryHealthBreach: return "canary-health-breach";
+  case Site::HeapAllocNth: return "heap-alloc-nth";
+  case Site::BundleTruncated: return "bundle-truncated";
+  case Site::TelemetryWriterStall: return "telemetry-writer-stall";
   }
   unreachable("bad fault site");
 }
@@ -64,6 +67,34 @@ bool FaultInjector::armFromSpec(const std::string &Spec, std::string *Err) {
   return true;
 }
 
+bool FaultInjector::armFromSpecList(const std::string &List,
+                                    std::vector<std::string> *Errors) {
+  bool Ok = true;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    size_t End = Comma == std::string::npos ? List.size() : Comma;
+    std::string Spec = List.substr(Pos, End - Pos);
+    // Trim surrounding spaces so pasted lists survive shell quoting.
+    while (!Spec.empty() && Spec.front() == ' ')
+      Spec.erase(Spec.begin());
+    while (!Spec.empty() && Spec.back() == ' ')
+      Spec.pop_back();
+    if (!Spec.empty()) {
+      std::string Err;
+      if (!armFromSpec(Spec, &Err)) {
+        Ok = false;
+        if (Errors)
+          Errors->push_back(Err);
+      }
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Ok;
+}
+
 bool FaultInjector::siteByName(const std::string &Name, Site &Out) {
   for (size_t I = 0; I < NumSites; ++I) {
     Site S = static_cast<Site>(I);
@@ -88,6 +119,7 @@ void FaultInjector::armRandom(Site S, double Probability, uint64_t Seed) {
   SiteState &St = state(S);
   St.M = SiteState::Mode::Random;
   St.Probability = Probability;
+  St.Seed = Seed;
   St.R = Rng(Seed);
   St.Probes = 0;
   St.Fires = 0;
@@ -98,6 +130,19 @@ void FaultInjector::disarm(Site S) { state(S).M = SiteState::Mode::Off; }
 void FaultInjector::reset() {
   for (SiteState &St : Sites)
     St = SiteState();
+  FirstFireSnapshot = SiteCounts{};
+  HasFired = false;
+}
+
+void FaultInjector::resetCounters() {
+  for (SiteState &St : Sites) {
+    St.Probes = 0;
+    St.Fires = 0;
+    if (St.M == SiteState::Mode::Random)
+      St.R = Rng(St.Seed);
+  }
+  FirstFireSnapshot = SiteCounts{};
+  HasFired = false;
 }
 
 bool FaultInjector::armed(Site S) const {
@@ -119,6 +164,10 @@ bool FaultInjector::probe(Site S) {
     break;
   }
   St.Fires += Fail;
+  if (Fail && !HasFired) {
+    HasFired = true;
+    FirstFireSnapshot = probeCounts();
+  }
   if (Fail && Telemetry::isEnabled())
     Telemetry::global().counter(metrics::faultFired(siteName(S))).inc();
   return Fail;
@@ -127,3 +176,23 @@ bool FaultInjector::probe(Site S) {
 uint64_t FaultInjector::probeCount(Site S) const { return state(S).Probes; }
 
 uint64_t FaultInjector::fireCount(Site S) const { return state(S).Fires; }
+
+FaultInjector::SiteCounts FaultInjector::probeCounts() const {
+  SiteCounts Counts{};
+  for (size_t I = 0; I < NumSites; ++I)
+    Counts[I] = Sites[I].Probes;
+  return Counts;
+}
+
+FaultInjector::SiteCounts FaultInjector::fireCounts() const {
+  SiteCounts Counts{};
+  for (size_t I = 0; I < NumSites; ++I)
+    Counts[I] = Sites[I].Fires;
+  return Counts;
+}
+
+FaultInjector::SiteCounts FaultInjector::probesAtFirstFire() const {
+  return FirstFireSnapshot;
+}
+
+bool FaultInjector::anyFired() const { return HasFired; }

@@ -27,6 +27,15 @@
 ///   canary-health-breach   a post-commit canary health check reports an
 ///                          SLO breach even though the telemetry is
 ///                          healthy (forces an automatic revert)
+///   heap-alloc-nth         the N-th heap allocation fails once: inside an
+///                          update transaction the allocation throws (the
+///                          transaction rolls back); outside, the VM falls
+///                          back to a forced collection and retries
+///   bundle-truncated       the UpdateBundle arrives torn/truncated and
+///                          must be rejected cleanly before any snapshot
+///   telemetry-writer-stall the streaming-telemetry writer stalls for a
+///                          few passes; producers must keep running and
+///                          degrade to counted drops, never block
 ///
 /// The list above is generated from the same registry the code uses:
 /// allSites()/allSiteNames() is the single source of truth for tool usage
@@ -39,6 +48,7 @@
 
 #include "support/Rng.h"
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -58,8 +68,16 @@ public:
     NetSlowClient,
     LazyDrainTransformer,
     CanaryHealthBreach,
+    HeapAllocNth,
+    BundleTruncated,
+    TelemetryWriterStall,
   };
-  static constexpr size_t NumSites = 9;
+  static constexpr size_t NumSites = 12;
+
+  /// One counter per registered site, indexed by Site enumeration order.
+  /// The chaos campaign's recording mode snapshots probe/fire counts into
+  /// these to enumerate every (site, fire-index) pair of a scenario.
+  using SiteCounts = std::array<uint64_t, NumSites>;
 
   /// \returns the stable site name used in traces and tool flags.
   static const char *siteName(Site S);
@@ -85,6 +103,13 @@ public:
   /// \returns false with \p Err set on an unknown site or malformed spec.
   bool armFromSpec(const std::string &Spec, std::string *Err = nullptr);
 
+  /// Arms every spec in a comma-separated "spec[,spec...]" list. Every
+  /// valid spec is armed even when others are malformed; one diagnostic
+  /// per bad spec is appended to \p Errors (when non-null). \returns true
+  /// only when the whole list parsed.
+  bool armFromSpecList(const std::string &List,
+                       std::vector<std::string> *Errors = nullptr);
+
   /// Arms \p S probabilistically: each probe fails with \p Probability,
   /// drawn from a dedicated Rng seeded with \p Seed (deterministic runs).
   void armRandom(Site S, double Probability, uint64_t Seed);
@@ -93,6 +118,12 @@ public:
 
   /// Disarms every site and clears all counters.
   void reset();
+
+  /// Clears probe/fire counters and the first-fire snapshot while keeping
+  /// every site armed exactly as configured; Random-mode sites are
+  /// reseeded from their original seed, so back-to-back runs with the
+  /// same seed are bit-identical.
+  void resetCounters();
 
   bool armed(Site S) const;
 
@@ -103,6 +134,23 @@ public:
   uint64_t probeCount(Site S) const;
   uint64_t fireCount(Site S) const;
 
+  /// Per-site probe counts in Site enumeration order — the recording-mode
+  /// output a clean reference pass yields.
+  SiteCounts probeCounts() const;
+
+  /// Per-site fire counts in Site enumeration order.
+  SiteCounts fireCounts() const;
+
+  /// Per-site probe counts captured at the instant the first probe (on any
+  /// site) fired. A second-order campaign arms site B's fire index inside
+  /// the window [probesAtFirstFire()[B], probeCounts()[B]) to land the
+  /// nested fault in the recovery path the first fault triggered. All
+  /// zeros until anyFired().
+  SiteCounts probesAtFirstFire() const;
+
+  /// True once any probe has fired since the last reset()/resetCounters().
+  bool anyFired() const;
+
 private:
   struct SiteState {
     enum class Mode : uint8_t { Off, Counted, Random };
@@ -110,6 +158,7 @@ private:
     uint64_t Skip = 0;
     uint64_t Fire = 0;
     double Probability = 0;
+    uint64_t Seed = 0;
     Rng R;
     uint64_t Probes = 0;
     uint64_t Fires = 0;
@@ -121,6 +170,8 @@ private:
   }
 
   SiteState Sites[NumSites];
+  SiteCounts FirstFireSnapshot{};
+  bool HasFired = false;
 };
 
 } // namespace jvolve

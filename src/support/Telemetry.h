@@ -170,6 +170,13 @@ inline constexpr const char *TelemetrySessionsOpened =
 /// the producer-buffer loss above.
 inline constexpr const char *TelemetryTraceDropped =
     "telemetry.trace.dropped";
+// support/ChaosCampaign (fault-space campaigns; see docs/INTERNALS.md §17)
+/// Gauges published by jvolve-chaos: the (site, fire-index) probe points
+/// the campaign attempted, and the subset whose armed fault verifiably
+/// fired — scripts/metrics-diff.py --require gates on both.
+inline constexpr const char *FaultCoverageProbes = "fault.coverage.probes";
+inline constexpr const char *FaultCoverageCovered =
+    "fault.coverage.covered";
 
 /// Update-phase histogram name: `dsu.update.phase_ms{phase=<Phase>}`.
 /// Phases: snapshot, classload, stack_repair, gc, transform, certify,

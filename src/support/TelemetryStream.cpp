@@ -335,7 +335,7 @@ void TelemetryStreamer::writerLoop() {
       break;
     bool Kicked = KickPending.exchange(false, std::memory_order_relaxed);
     uint64_t Before = Streamed.load(std::memory_order_relaxed);
-    drainPassLocked();
+    drainPassLocked(/*Forced=*/false);
     publishMetricsLocked();
     bool Drained = Streamed.load(std::memory_order_relaxed) != Before;
     PeriodMs = Drained || Kicked ? MinPeriodMs
@@ -347,7 +347,16 @@ void TelemetryStreamer::writerLoop() {
   publishMetricsLocked();
 }
 
-void TelemetryStreamer::drainPassLocked() {
+void TelemetryStreamer::drainPassLocked(bool Forced) {
+  if (Forced) {
+    // Durability point: whatever stall was injected is over — the caller
+    // needs every event on disk (or counted dropped) before returning.
+    StallPasses.store(0, std::memory_order_relaxed);
+  } else if (StallPasses.load(std::memory_order_relaxed) > 0) {
+    StallPasses.fetch_sub(1, std::memory_order_relaxed);
+    StallsTaken.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::vector<TraceEvent> Scratch;
   for (size_t I = 0; I < Buffers.size();) {
     ThreadEventBuffer *B = Buffers[I].get();

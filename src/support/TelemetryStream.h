@@ -274,6 +274,18 @@ public:
   /// session — synchronous durability for closeTrace()/atexit.
   void flushAll();
 
+  /// Fault hook (`telemetry-writer-stall`): the next \p Passes *timed*
+  /// writer passes skip their drain, so producer rings fill and overflow
+  /// into counted drops — the degradation mode the wait-free design
+  /// promises. Durability points (flushAll, closeSession, shutdown) drain
+  /// regardless and clear the stall, so the ledger still balances at exit.
+  void injectWriterStall(uint64_t Passes) {
+    StallPasses.fetch_add(Passes, std::memory_order_relaxed);
+  }
+  uint64_t stalledPasses() const {
+    return StallsTaken.load(std::memory_order_relaxed);
+  }
+
   //===--- Accounting -------------------------------------------------------===//
 
   /// Sums over live and retired buffers. attempted == streamed + dropped
@@ -292,7 +304,9 @@ private:
   void writerLoop();
   /// One drain pass over every buffer into every session. Caller holds Mu
   /// (the single-consumer guarantee for every ring: Mu serializes drains).
-  void drainPassLocked();
+  /// A forced pass (durability points) ignores and clears an injected
+  /// writer stall; a timed pass consumes one stalled pass and skips.
+  void drainPassLocked(bool Forced = true);
   void publishMetricsLocked();
   ThreadEventBuffer *nativeThreadBufferLocked();
   /// Pool-or-new buffer registration (caller holds Mu).
@@ -327,6 +341,8 @@ private:
   std::atomic<uint64_t> RetiredDropped{0};
   std::atomic<uint64_t> Streamed{0};
   std::atomic<uint64_t> Blocks{0};
+  std::atomic<uint64_t> StallPasses{0}; ///< injected writer stalls pending
+  std::atomic<uint64_t> StallsTaken{0}; ///< timed passes actually skipped
 
   // Registry handles cached at construction: the writer thread must never
   // race a map registration.

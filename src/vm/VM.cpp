@@ -77,13 +77,13 @@ VM::VM(Config C) : Cfg(C) {
   // JVOLVE_INJECT=<site>[:fire[:skip]][,<spec>...] arms fault sites on
   // every VM the process builds — the environment-level counterpart of the
   // tools' --inject flag (tier1.sh uses it for the sanitizer fault pass).
-  if (const char *Specs = std::getenv("JVOLVE_INJECT"))
-    for (const std::string &Spec : splitString(Specs, ',')) {
-      std::string Err;
-      if (!Spec.empty() && !Faults.armFromSpec(Spec, &Err))
-        std::fprintf(stderr, "jvolve: ignoring JVOLVE_INJECT entry '%s': %s\n",
-                     Spec.c_str(), Err.c_str());
-    }
+  if (const char *Specs = std::getenv("JVOLVE_INJECT")) {
+    std::vector<std::string> Errs;
+    Faults.armFromSpecList(Specs, &Errs);
+    for (const std::string &Err : Errs)
+      std::fprintf(stderr, "jvolve: ignoring JVOLVE_INJECT entry: %s\n",
+                   Err.c_str());
+  }
   TheHeap = std::make_unique<Heap>(Cfg.HeapSpaceBytes);
   Gc = std::make_unique<Collector>(*TheHeap, Registry);
   Gc->setFaultInjector(&Faults);
@@ -293,26 +293,32 @@ Slot VM::callStatic(const std::string &ClassName,
 
 Ref VM::allocateObject(ClassId Cls) {
   const RtClass &C = Registry.cls(Cls);
-  Ref Obj = TheHeap->allocateObject(C);
+  bool Forced = Faults.probe(FaultInjector::Site::HeapAllocNth);
+  Ref Obj = Forced ? nullptr : TheHeap->allocateObject(C);
   if (Obj)
     return Obj;
   if (TransformationInProgress)
     throw UpdateError("transform",
-                      "heap exhausted while the update transaction held "
-                      "off collection");
+                      Forced
+                          ? "injected allocation failure (heap-alloc-nth)"
+                          : "heap exhausted while the update transaction "
+                            "held off collection");
   collectGarbage();
   return TheHeap->allocateObject(C);
 }
 
 Ref VM::allocateArray(ClassId ArrCls, int64_t Length) {
   const RtClass &C = Registry.cls(ArrCls);
-  Ref Arr = TheHeap->allocateArray(C, Length);
+  bool Forced = Faults.probe(FaultInjector::Site::HeapAllocNth);
+  Ref Arr = Forced ? nullptr : TheHeap->allocateArray(C, Length);
   if (Arr)
     return Arr;
   if (TransformationInProgress)
     throw UpdateError("transform",
-                      "heap exhausted while the update transaction held "
-                      "off collection");
+                      Forced
+                          ? "injected allocation failure (heap-alloc-nth)"
+                          : "heap exhausted while the update transaction "
+                            "held off collection");
   collectGarbage();
   return TheHeap->allocateArray(C, Length);
 }

@@ -471,3 +471,78 @@ TEST(Canary, StackedUpdateDuringRevertIsRefused) {
     TheVM.run(10'000);
   expectFullyReverted(TheVM, Ctl->revertResult());
 }
+
+//===----------------------------------------------------------------------===//
+// Second-order faults (fault inside the revert).
+//===----------------------------------------------------------------------===//
+
+/// A fault that lands while the revert is already running must resolve to
+/// a defined terminal state — RevertFailed when it breaks the reverse
+/// path, never a window stuck observing/reverting or a corrupted heap.
+/// A recording pass with only the health breach armed captures, via
+/// probesAtFirstFire(), how many times each nested site was probed before
+/// the breach fired; every later probe index lands inside the revert.
+TEST(Canary, FaultDuringRevertResolvesToDefinedTerminalState) {
+  using Site = FaultInjector::Site;
+
+  FaultInjector::SiteCounts Lo{}, Hi{};
+  {
+    VM Rec(smallConfig());
+    bootV1(Rec);
+    Updater U(Rec);
+    UpdateResult Fwd = U.applyNow(Upt::prepare(canaryV1(), canaryV2(), "v1"),
+                                  canaryOpts(100'000'000, 500));
+    ASSERT_EQ(Fwd.Status, UpdateStatus::Applied) << Fwd.Message;
+    Rec.faults().arm(Site::CanaryHealthBreach, 1);
+    CanaryController *Ctl = controller(Rec);
+    for (int Round = 0; Ctl->windowOpen() && Round < 1'000; ++Round)
+      Rec.run(10'000);
+    ASSERT_EQ(Ctl->state(), CanaryState::Reverted);
+    Lo = Rec.faults().probesAtFirstFire();
+    Hi = Rec.faults().probeCounts();
+  }
+
+  size_t Window = 0;
+  size_t RevertsBroken = 0;
+  for (Site Nested : {Site::ClassLoad, Site::TransformerNthObject}) {
+    size_t N = static_cast<size_t>(Nested);
+    // arm() zeroes the site's probe counter, so arming right where the
+    // recording pass armed the breach makes skips relative to that point:
+    // the revert's own probes are indices [0, Hi - Lo).
+    for (uint64_t Skip = 0; Skip < Hi[N] - Lo[N]; ++Skip, ++Window) {
+      SCOPED_TRACE(std::string("nested ") + FaultInjector::siteName(Nested) +
+                   " skip=" + std::to_string(Skip));
+      VM TheVM(smallConfig());
+      bootV1(TheVM);
+      Updater U(TheVM);
+      UpdateResult Fwd = U.applyNow(Upt::prepare(canaryV1(), canaryV2(), "v1"),
+                                    canaryOpts(100'000'000, 500));
+      ASSERT_EQ(Fwd.Status, UpdateStatus::Applied) << Fwd.Message;
+
+      TheVM.faults().arm(Site::CanaryHealthBreach, 1);
+      TheVM.faults().arm(Nested, 1, Skip);
+      CanaryController *Ctl = controller(TheVM);
+      for (int Round = 0; Ctl->windowOpen() && Round < 1'000; ++Round)
+        TheVM.run(10'000);
+
+      ASSERT_GT(TheVM.faults().fireCounts()[N], 0u);
+      EXPECT_FALSE(Ctl->windowOpen());
+      CanaryState Terminal = Ctl->state();
+      ASSERT_TRUE(Terminal == CanaryState::RevertFailed ||
+                  Terminal == CanaryState::Reverted)
+          << "state " << canaryStateName(Terminal);
+      if (Terminal == CanaryState::RevertFailed) {
+        ++RevertsBroken;
+        EXPECT_EQ(Ctl->revertResult().Status, UpdateStatus::RevertFailed);
+      } else {
+        expectFullyReverted(TheVM, Ctl->revertResult());
+      }
+      expectHeapClean(TheVM, "after fault-during-revert");
+    }
+  }
+  // The revert reinstalls classes and re-transforms objects, so both
+  // nested windows must be non-empty and at least one injection must have
+  // actually broken the reverse path.
+  EXPECT_GT(Window, 0u);
+  EXPECT_GT(RevertsBroken, 0u);
+}

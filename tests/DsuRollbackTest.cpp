@@ -17,6 +17,8 @@
 #include "dsu/Upt.h"
 #include "heap/HeapVerifier.h"
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
+#include "support/TelemetryStream.h"
 
 #include <cstdlib>
 #include <gtest/gtest.h>
@@ -557,10 +559,13 @@ TEST(DsuRollback, EveryFaultSiteResolvesWithoutProcessDeath) {
 
       // Terminal, recoverable statuses only — and with a high Skip the
       // fault may simply never fire, which must mean a clean apply.
+      // `bundle-truncated` rejects at ingest (RejectedNotVerifiable), the
+      // clean-refusal analogue of a rollback.
       EXPECT_TRUE(R.Status == UpdateStatus::Applied ||
                   R.Status == UpdateStatus::RolledBack ||
                   R.Status == UpdateStatus::FailedTransformer ||
-                  R.Status == UpdateStatus::TimedOut)
+                  R.Status == UpdateStatus::TimedOut ||
+                  R.Status == UpdateStatus::RejectedNotVerifiable)
           << updateStatusName(R.Status) << ": " << R.Message;
 
       expectHealthy(TheVM, "post-update certification");
@@ -577,6 +582,100 @@ TEST(DsuRollback, EveryFaultSiteResolvesWithoutProcessDeath) {
         ASSERT_EQ(R2.Status, UpdateStatus::Applied) << R2.Message;
         EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 900);
       }
+    }
+  }
+}
+
+//===--- Second-order faults (fault inside the rollback) -------------------===//
+
+/// A telemetry writer stall firing at the rollback's markPhase must not
+/// change the rollback's outcome, and the streaming ledger must still
+/// balance once the durability flush runs: attempted == streamed + dropped.
+TEST(DsuRollback, WriterStallDuringRollbackKeepsLedgerBalanced) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "the trigger (transformer fault) degrades instead of "
+                    "rolling back under JVOLVE_LAZY=1";
+  Telemetry::global().setEnabled(true);
+  TelemetrySessionConfig Cfg;
+  Cfg.Name = "rollback-stall";
+  auto Session = Telemetry::global().streamer().openSession(Cfg);
+
+  // Recording pass: the trigger alone, counting telemetry-writer-stall
+  // probes before and after its first firing — the rollback window.
+  VM Rec(smallConfig());
+  Rec.loadProgram(ptVersion(false));
+  Rec.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+  Rec.faults().arm(Site::TransformerNthObject);
+  UpdateResult RecR = Updater(Rec).applyNow(
+      Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+  ASSERT_EQ(RecR.Status, UpdateStatus::FailedTransformer) << RecR.Message;
+  size_t Stall = static_cast<size_t>(Site::TelemetryWriterStall);
+  uint64_t Lo = Rec.faults().probesAtFirstFire()[Stall];
+  uint64_t Hi = Rec.faults().probeCounts()[Stall];
+  ASSERT_GT(Hi, Lo) << "rollback path never probes the writer-stall site";
+
+  // Aimed pass: same trigger, plus the stall at every rollback-window
+  // probe index.
+  for (uint64_t Skip = Lo; Skip < Hi; ++Skip) {
+    SCOPED_TRACE("skip=" + std::to_string(Skip));
+    VM TheVM(smallConfig());
+    TheVM.loadProgram(ptVersion(false));
+    TheVM.callStatic("Setup", "init", "(I)V", {Slot::ofInt(9)});
+    TheVM.faults().arm(Site::TransformerNthObject);
+    TheVM.faults().arm(Site::TelemetryWriterStall, /*Fire=*/1, Skip);
+    UpdateResult R = Updater(TheVM).applyNow(
+        Upt::prepare(ptVersion(false), ptVersion(true), "v1"));
+    EXPECT_EQ(R.Status, UpdateStatus::FailedTransformer) << R.Message;
+    EXPECT_GT(TheVM.faults().fireCounts()[Stall], 0u);
+    expectRolledBackCleanly(TheVM, R, "after stalled rollback");
+    EXPECT_EQ(TheVM.callStatic("Probe", "check", "()I").IntVal, 9);
+  }
+
+  TelemetryStreamer &St = Telemetry::global().streamer();
+  St.flushAll();
+  EXPECT_EQ(St.attemptedTotal(), St.streamedTotal() + St.droppedTotal());
+  St.closeSession(Session);
+}
+
+/// A second fault landing inside the rollback itself (the nested-fault
+/// path Updater::install hardens) must still resolve to the rollback's
+/// terminal status with the old version serving — never process death or
+/// a stuck transaction.
+TEST(DsuRollback, NestedFaultDuringRollbackStillTerminates) {
+  if (lazyModeForced())
+    GTEST_SKIP() << "the trigger (transformer fault) degrades instead of "
+                    "rolling back under JVOLVE_LAZY=1";
+  // Recording pass for each candidate nested site: how many probes land
+  // after the trigger fires (i.e. inside rollback + certification).
+  VM Rec(smallConfig());
+  Rec.loadProgram(arrVersion(false));
+  Rec.callStatic("ArrSetup", "init", "()V");
+  Rec.faults().arm(Site::TransformerNthObject, /*Fire=*/1, /*Skip=*/3);
+  UpdateResult RecR = Updater(Rec).applyNow(
+      Upt::prepare(arrVersion(false), arrVersion(true), "v1"));
+  ASSERT_EQ(RecR.Status, UpdateStatus::FailedTransformer) << RecR.Message;
+
+  for (Site Nested : {Site::HeapAllocNth, Site::GcAllocExhaustion}) {
+    size_t I = static_cast<size_t>(Nested);
+    uint64_t Lo = Rec.faults().probesAtFirstFire()[I];
+    uint64_t Hi = Rec.faults().probeCounts()[I];
+    for (uint64_t Skip = Lo; Skip < Hi; ++Skip) {
+      SCOPED_TRACE(std::string("nested=") + FaultInjector::siteName(Nested) +
+                   " skip=" + std::to_string(Skip));
+      VM TheVM(smallConfig());
+      TheVM.loadProgram(arrVersion(false));
+      TheVM.callStatic("ArrSetup", "init", "()V");
+      TheVM.faults().arm(Site::TransformerNthObject, /*Fire=*/1, /*Skip=*/3);
+      TheVM.faults().arm(Nested, /*Fire=*/1, Skip);
+      UpdateResult R = Updater(TheVM).applyNow(
+          Upt::prepare(arrVersion(false), arrVersion(true), "v1"));
+      // The nested fault may skip certification, but the status must be
+      // the rollback family and the old version must still answer.
+      EXPECT_TRUE(R.Status == UpdateStatus::FailedTransformer ||
+                  R.Status == UpdateStatus::RolledBack)
+          << updateStatusName(R.Status) << ": " << R.Message;
+      EXPECT_EQ(TheVM.callStatic("ArrProbe", "sum", "()I").IntVal, 28);
+      expectHealthy(TheVM, "after nested-fault rollback");
     }
   }
 }

@@ -5,6 +5,7 @@
 ///
 ///   jvolve-run [--verify-heap] [--metrics[=json|table]]
 ///              [--trace-out <file>] [--stats-window[=TICKS]]
+///              [--inject <site>[:fire[:skip]][,<spec>...]]
 ///              program.mvm [Class.method] [ints...]
 ///
 /// The entry point defaults to Main.main()V; an explicit entry point may
@@ -17,13 +18,17 @@
 /// --trace-out enables telemetry and streams JSONL trace events to <file>;
 /// --stats-window enables windowed event-counter aggregation (default
 /// 5000-tick windows) and dumps the per-window rate/percentile table at
-/// exit — the offline twin of `jvolve-serve --stats`.
+/// exit — the offline twin of `jvolve-serve --stats`. --inject arms one
+/// or more FaultInjector sites (comma-separated site[:fire[:skip]] specs,
+/// the same syntax JVOLVE_INJECT accepts); every malformed entry in the
+/// list is reported before the tool exits.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
 #include "bytecode/Verifier.h"
 #include "heap/HeapVerifier.h"
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 #include "support/TelemetryStream.h"
 #include "vm/VM.h"
@@ -50,6 +55,7 @@ int main(int argc, char **argv) {
   bool VerifyHeap = false;
   enum class MetricsMode { Off, Table, Json } Metrics = MetricsMode::Off;
   uint64_t StatsWindowTicks = 0;
+  std::string InjectSpecs;
 
   while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
     std::string Flag = argv[1];
@@ -72,6 +78,24 @@ int main(int argc, char **argv) {
         }
         StatsWindowTicks = static_cast<uint64_t>(N);
       }
+    } else if (Flag == "--inject") {
+      if (argc < 3) {
+        std::fprintf(stderr, "jvolve-run: --inject requires a spec list\n");
+        return 2;
+      }
+      InjectSpecs = argv[2];
+      // Validate the whole list up front on a scratch injector (the VM is
+      // constructed later); report every bad entry, not just the first.
+      FaultInjector Probe;
+      std::vector<std::string> Errs;
+      if (!Probe.armFromSpecList(InjectSpecs, &Errs)) {
+        for (const std::string &E : Errs)
+          std::fprintf(stderr, "jvolve-run: bad --inject entry: %s\n",
+                       E.c_str());
+        return 2;
+      }
+      --argc;
+      ++argv;
     } else if (Flag == "--trace-out") {
       if (argc < 3) {
         std::fprintf(stderr, "jvolve-run: --trace-out requires a file\n");
@@ -102,6 +126,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: jvolve-run [--verify-heap] [--metrics[=json|table]] "
                  "[--trace-out <file>] [--stats-window[=TICKS]] "
+                 "[--inject <site>[:fire[:skip]][,<spec>...]] "
                  "<program.mvm> [Class.method] [ints]\n");
     return 2;
   }
@@ -130,6 +155,8 @@ int main(int argc, char **argv) {
     Args.push_back(Slot::ofInt(std::atoll(argv[I])));
 
   VM TheVM((VM::Config()));
+  if (!InjectSpecs.empty())
+    TheVM.faults().armFromSpecList(InjectSpecs);
   TheVM.loadProgram(*Program); // verifies; aborts with diagnostics on error
 
   // Find the entry signature: (I...)V or (I...)I with argc-3 parameters.

@@ -11,7 +11,7 @@
 ///   jvolve-serve jetty|email|crossftp [--trace] [--stats] [--analyze]
 ///                [--lazy] [--canary[=<ticks>]] [--revert]
 ///                [--trace-out <file>] [--metrics-out <file>]
-///                [--inject <site>[:fire[:skip]]] [--admit <N>]
+///                [--inject <site>[:fire[:skip]][,<spec>...]] [--admit <N>]
 ///
 /// --lazy commits every update with lazy object transformation
 /// (dsu/LazyTransform.h): the pause covers only the DSU collection and
@@ -48,11 +48,15 @@
 /// the server on its previous version; subsequent releases are prepared
 /// against it, as with any other failed update.
 ///
-/// --inject arms one of the FaultInjector's named sites so failure paths
-/// can be watched live: rollback during install, or (with
-/// canary-health-breach under --canary) an automatic post-commit revert.
-/// The usage text lists the current site names; FaultInjector::allSites()
-/// is the single source of truth for the set.
+/// --inject arms one or more of the FaultInjector's named sites
+/// (comma-separated site[:fire[:skip]] specs, the same syntax
+/// JVOLVE_INJECT accepts) so failure paths can be watched live: rollback
+/// during install, or (with canary-health-breach under --canary) an
+/// automatic post-commit revert — and, with two specs, a nested fault
+/// inside the recovery path the first one triggers. Every malformed
+/// entry in the list is reported before the tool exits. The usage text
+/// lists the current site names; FaultInjector::allSites() is the single
+/// source of truth for the set.
 ///
 /// --stats enables telemetry with windowed aggregation (5000-tick
 /// windows) and issues an in-band stats request after boot and after
@@ -188,7 +192,8 @@ int main(int argc, char **argv) {
                  "[--stats] [--analyze] [--lazy] [--canary[=<ticks>]] "
                  "[--revert] [--trace-out <file>] "
                  "[--metrics-out <file>] "
-                 "[--inject <site>[:fire[:skip]]] [--admit <N>]\n"
+                 "[--inject <site>[:fire[:skip]][,<spec>...]] "
+                 "[--admit <N>]\n"
                  "  valid --inject sites: %s\n",
                  injectSiteList().c_str());
     return 2;
@@ -201,9 +206,7 @@ int main(int argc, char **argv) {
   bool WantRevert = false;
   const char *MetricsOut = nullptr;
   size_t AdmitLimit = 16;
-  FaultInjector::Site InjectSite{};
-  uint64_t InjectFire = 0, InjectSkip = 0;
-  bool Inject = false;
+  std::string InjectSpecs;
   for (int I = 2; I < argc; ++I) {
     if (std::strcmp(argv[I], "--trace") == 0) {
       ShowTrace = true;
@@ -239,24 +242,18 @@ int main(int argc, char **argv) {
         return 2;
       }
     } else if (std::strcmp(argv[I], "--inject") == 0 && I + 1 < argc) {
-      std::string Spec = argv[++I];
-      std::string Name = Spec.substr(0, Spec.find(':'));
-      if (!FaultInjector::siteByName(Name, InjectSite)) {
-        std::fprintf(stderr,
-                     "jvolve-serve: unknown fault site '%s'\n"
-                     "  valid sites: %s\n",
-                     Name.c_str(), injectSiteList().c_str());
+      InjectSpecs = argv[++I];
+      // Validate the whole list up front on a scratch injector (the VM is
+      // constructed later); report every bad entry, not just the first.
+      FaultInjector Probe;
+      std::vector<std::string> Errs;
+      if (!Probe.armFromSpecList(InjectSpecs, &Errs)) {
+        for (const std::string &E : Errs)
+          std::fprintf(stderr, "jvolve-serve: bad --inject entry: %s\n",
+                       E.c_str());
+        std::fprintf(stderr, "  valid sites: %s\n", injectSiteList().c_str());
         return 2;
       }
-      InjectFire = 1;
-      size_t C1 = Spec.find(':');
-      if (C1 != std::string::npos) {
-        InjectFire = std::strtoull(Spec.c_str() + C1 + 1, nullptr, 10);
-        size_t C2 = Spec.find(':', C1 + 1);
-        if (C2 != std::string::npos)
-          InjectSkip = std::strtoull(Spec.c_str() + C2 + 1, nullptr, 10);
-      }
-      Inject = true;
     } else if (std::strcmp(argv[I], "--admit") == 0 && I + 1 < argc) {
       AdmitLimit = std::strtoull(argv[++I], nullptr, 10);
     } else {
@@ -287,12 +284,9 @@ int main(int argc, char **argv) {
   else
     startCrossFtpThreads(TheVM);
 
-  if (Inject) {
-    TheVM.faults().arm(InjectSite, InjectFire, InjectSkip);
-    std::printf("fault armed: %s (fire %llu after %llu probe(s))\n",
-                FaultInjector::siteName(InjectSite),
-                static_cast<unsigned long long>(InjectFire),
-                static_cast<unsigned long long>(InjectSkip));
+  if (!InjectSpecs.empty()) {
+    TheVM.faults().armFromSpecList(InjectSpecs);
+    std::printf("fault(s) armed: %s\n", InjectSpecs.c_str());
   }
 
   TheVM.net().setAdmissionLimit(Port, AdmitLimit);
