@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transformer-synthesis coverage over the three modeled update streams
+/// (Tables 2-4): for each of the 22 releases, run the synthesis pass and
+/// report what it inferred — copy/rename/flagged field counts, the
+/// impact-closure and bulk-settle set sizes, and the synthesis wall time.
+///
+/// The headline claim this bench pins down: synthesis handles every
+/// stream, and the fields it hands back to the operator are exactly the
+/// statically-unresolvable ones — same-type dropped/added pairs with no
+/// copy-chain evidence (which only a human can pair safely) plus the one
+/// genuine value conversion, JES 1.3.2's User.forwardAddresses (the
+/// paper's Fig. 2 String[] -> EmailAddress[] change). The process exits
+/// 1 when the flagged set drifts from the pinned reproduction numbers or
+/// when synthesis over all 22 streams blows a generous time budget.
+///
+/// Writes BENCH_synthesis.json in the telemetry snapshot format for
+/// scripts/metrics-diff.py.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "apps/CrossFtpApp.h"
+#include "apps/EmailApp.h"
+#include "apps/JettyApp.h"
+#include "bytecode/Builtins.h"
+#include "dsu/Synthesis.h"
+#include "dsu/Upt.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace jvolve;
+
+int main() {
+  const AppModel Apps[] = {makeJettyApp(), makeEmailApp(),
+                           makeCrossFtpApp()};
+
+  std::printf("%-18s %-8s %6s %7s %7s %9s %7s %8s\n", "app", "release",
+              "copies", "renames", "flagged", "untouched", "impact",
+              "ms");
+  std::vector<std::string> Flagged;
+  std::vector<double> Times;
+  size_t Renames = 0, Streams = 0;
+  for (const AppModel &App : Apps) {
+    for (size_t V = 1; V < App.numVersions(); ++V) {
+      ClassSet Old = App.version(V - 1);
+      ClassSet New = App.version(V);
+      ensureBuiltins(Old);
+      ensureBuiltins(New);
+      UpdateSpec Spec = Upt::computeSpec(Old, New);
+      Stopwatch SW;
+      SynthesisReport R = TransformerSynthesis(Old, New).synthesize(Spec);
+      double Ms = SW.elapsedMs();
+      Times.push_back(Ms);
+      Renames += R.NumRenames;
+      ++Streams;
+      for (const std::string &F : R.flaggedFields())
+        Flagged.push_back(App.name() + " " + App.versionName(V) + ": " + F);
+      std::printf("%-18s %-8s %6zu %7zu %7zu %9zu %7zu %8.3f\n",
+                  App.name().c_str(), App.versionName(V).c_str(),
+                  R.NumCopies, R.NumRenames, R.NumFlagged,
+                  R.UntouchedClasses.size(), R.ImpactClasses.size(), Ms);
+    }
+  }
+
+  double TotalMs = 0;
+  for (double T : Times)
+    TotalMs += T;
+  std::printf("\n%zu streams synthesized in %.2f ms total; %zu field(s) "
+              "need a human rule:\n",
+              Streams, TotalMs, Flagged.size());
+  for (const std::string &F : Flagged)
+    std::printf("  %s\n", F.c_str());
+
+  BenchJson J;
+  J.value("bench.synth.streams", static_cast<long long>(Streams));
+  J.value("bench.synth.renames", static_cast<long long>(Renames));
+  J.value("bench.synth.flagged", static_cast<long long>(Flagged.size()));
+  J.histogram("bench.synth.ms", Times);
+  J.write("BENCH_synthesis.json");
+
+  // Check: pinned reproduction numbers. 21 fields flagged across the 22
+  // streams (evidence-free same-type pairs in jetty 5.1.6/5.1.7 and JES
+  // 1.3), among them the Fig. 2 value conversion; the modeled apps ship
+  // no constructor bodies, so no rename is evidenced.
+  bool Ok = Streams == 22;
+  bool SawFig2 = false;
+  for (const std::string &F : Flagged)
+    if (F.find("User.forwardAddresses") != std::string::npos)
+      SawFig2 = true;
+  if (Flagged.size() != 21 || !SawFig2) {
+    std::printf("MISMATCH: expected 21 flagged fields including "
+                "User.forwardAddresses, got %zu\n",
+                Flagged.size());
+    Ok = false;
+  }
+  if (Renames != 0) {
+    std::printf("MISMATCH: expected no evidenced renames in the modeled "
+                "streams, got %zu\n",
+                Renames);
+    Ok = false;
+  }
+  if (TotalMs > 5000) {
+    std::printf("MISMATCH: synthesis over all streams took %.1f ms "
+                "(budget 5000)\n",
+                TotalMs);
+    Ok = false;
+  }
+  if (Ok)
+    std::printf("Matches expectation: synthesis covers every stream; the "
+                "flagged set is exactly the statically-unresolvable "
+                "fields (incl. Fig. 2).\n");
+  return Ok ? 0 : 1;
+}

@@ -14,7 +14,9 @@ same workload.
 `--require METRIC` (repeatable) asserts that METRIC exists in the after
 dump; a missing required metric prints a diagnostic and exits 2, so
 experiment scripts can verify an instrumented path actually ran (e.g.
-`--require net.shed_total` after a drain/shed experiment).
+`--require net.shed_total` after a drain/shed experiment). METRIC may be
+a shell-style glob (`--require 'dsu.analysis.*'`), which passes when at
+least one metric name matches the pattern.
 
 `--require-any PREFIX` (repeatable) asserts that at least one metric in
 the after dump has a name starting with PREFIX — the family-level form
@@ -32,6 +34,7 @@ bit-for-bit unchanged.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -103,7 +106,8 @@ def main():
     before = load(args.before)
     after = load(args.after)
 
-    missing = [m for m in args.require if m not in after]
+    missing = [m for m in args.require
+               if not any(fnmatch.fnmatchcase(name, m) for name in after)]
     if missing:
         for m in missing:
             print(f"metrics-diff: required metric missing: {m}",

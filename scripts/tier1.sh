@@ -32,8 +32,38 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 # Static update-safety analysis: predict the applicability column of
 # Tables 2-4 for all 22 modeled updates; exit non-zero on any drift from
-# the paper's expected verdicts.
-build/tools/jvolve-analyze --app all --check
+# the paper's expected verdicts. The metrics snapshot feeds the schema
+# and runtime-budget gates below.
+ANALYZE_JSON="$(mktemp /tmp/jvolve-tier1-analyze.XXXXXX.json)"
+build/tools/jvolve-analyze --app all --check --metrics-out "$ANALYZE_JSON"
+
+# Transformer synthesis gate: synthesize object/class transformers for
+# all 22 updates from static evidence, apply every release twice on live
+# VMs (handwritten vs synthesized), and fail on any outcome or
+# certification mismatch.
+build/tools/jvolve-analyze --synthesize --app all --check > /dev/null
+
+# Impact-bounded drain gate: a lazy drain that bulk-settles provably-
+# untouched classes and certifies the impact closure only must reach the
+# same certified heap (status, certification, per-class census) as the
+# full drain on every stream.
+build/tools/jvolve-analyze --impact --app all --check > /dev/null
+
+# Analysis metrics schema + runtime budget: the dsu.analysis.* family
+# must be published, and a second analyzer run must land within +50% of
+# the first run's whole-suite analysis runtime (summed over the 22
+# streams, so per-release jitter does not trip the budget).
+ANALYZE_JSON2="$(mktemp /tmp/jvolve-tier1-analyze2.XXXXXX.json)"
+build/tools/jvolve-analyze --app all --metrics-out "$ANALYZE_JSON2" > /dev/null
+scripts/metrics-diff.py "$ANALYZE_JSON" "$ANALYZE_JSON2" \
+  --require 'dsu.analysis.*' \
+  --threshold 100 \
+  --max-delta dsu.analysis.restricted_precise=0 \
+  --max-delta dsu.analysis.restricted_cha=0 \
+  --max-delta dsu.analysis.restricted_conservative=0 \
+  --max-delta dsu.analysis.runtime_ms=50 \
+  > /dev/null
+rm -f "$ANALYZE_JSON" "$ANALYZE_JSON2"
 
 # Static analysis over the DSU and bytecode layers (.clang-tidy at the
 # repo root picks the checks). Skipped when the tool is not installed.

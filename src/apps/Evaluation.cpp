@@ -5,7 +5,10 @@
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
 #include "dsu/EcUpdater.h"
+#include "dsu/LazyTransform.h"
 #include "dsu/Upt.h"
+#include "heap/HeapVerifier.h"
+#include "runtime/ObjectModel.h"
 #include "support/Error.h"
 
 using namespace jvolve;
@@ -54,22 +57,69 @@ std::unique_ptr<VM> bootApp(const AppModel &App, size_t V, bool Idle) {
 }
 
 UpdateResult applyTo(VM &TheVM, const AppModel &App, size_t V,
-                     uint64_t TimeoutTicks, bool Lazy) {
+                     const EvalOptions &EOpts, SynthesisReport *Synth) {
   UpdateBundle B = Upt::prepare(App.version(V - 1), App.version(V),
                                 "v" + std::to_string(V - 1));
-  if (App.name() == "javaemailserver")
+  if (EOpts.Transformers == TransformerMode::Synthesized) {
+    TransformerSynthesis Synthesis(App.version(V - 1), App.version(V));
+    SynthesisReport R = Synthesis.synthesize(B.Spec);
+    recordSynthesisMetrics(R);
+    TransformerSynthesis::installTransformers(B, R);
+    if (Synth)
+      *Synth = std::move(R);
+  } else if (App.name() == "javaemailserver") {
     registerEmailTransformers(B, App, V);
+  }
   UpdateOptions Opts;
-  Opts.TimeoutTicks = TimeoutTicks;
-  Opts.LazyTransform = Lazy;
+  Opts.TimeoutTicks = EOpts.TimeoutTicks;
+  Opts.LazyTransform = EOpts.Lazy;
+  Opts.ImpactBoundedDrain = EOpts.ImpactBounded;
   Updater U(TheVM);
-  return U.applyNow(std::move(B), Opts, /*MaxDriveTicks=*/TimeoutTicks * 4);
+  return U.applyNow(std::move(B), Opts,
+                    /*MaxDriveTicks=*/EOpts.TimeoutTicks * 4);
+}
+
+/// DrainFully evidence: run \p TheVM for the fixed tick budget, then record
+/// the engine's drain state, a full heap certification, and the per-class
+/// live-object census into \p Out.
+void recordDrainEvidence(VM &TheVM, const EvalOptions &Opts,
+                         ReleaseOutcome &Out) {
+  TheVM.run(Opts.DrainTicks);
+  if (VmLazyEngine *Engine = TheVM.lazyEngine()) {
+    Out.Drained = Engine->drained();
+    Out.LazyTransformed = Engine->transformedCount();
+    if (auto *Impl = dynamic_cast<LazyTransformEngine *>(Engine))
+      Out.BulkSettled = Impl->bulkSettled();
+  }
+  HeapVerifier Verifier(TheVM.heap(), TheVM.registry());
+  if (VmLazyEngine *Engine = TheVM.lazyEngine())
+    Verifier.setLazyContext(
+        [Engine](Ref Obj) { return Engine->isPendingShell(Obj); },
+        /*AllowOldCopyReserved=*/!Engine->drained());
+  Out.PostDrainCertified =
+      Verifier
+          .verify([&TheVM](const std::function<void(Ref &)> &Visit) {
+            TheVM.visitRoots(Visit);
+          })
+          .empty();
+
+  ClassRegistry &Reg = TheVM.registry();
+  Heap &H = TheVM.heap();
+  size_t Scan = 0;
+  while (Scan < H.bytesAllocated()) {
+    Ref Obj = H.currentSpaceStart() + Scan;
+    const RtClass &Cls = Reg.cls(classOf(Obj));
+    if (!Cls.IsArray)
+      ++Out.HeapCensus[Cls.Name];
+    size_t Bytes = objectBytes(Cls, Obj);
+    Scan += (Bytes + 7) & ~size_t(7);
+  }
 }
 
 } // namespace
 
 ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
-                                       uint64_t TimeoutTicks, bool Lazy) {
+                                       const EvalOptions &Opts) {
   ReleaseOutcome Out;
   Out.Version = App.release(V).Name;
   Out.Summary =
@@ -78,7 +128,9 @@ ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
 
   {
     std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/false);
-    Out.Result = applyTo(*TheVM, App, V, TimeoutTicks, Lazy);
+    Out.Result = applyTo(*TheVM, App, V, Opts, &Out.Synth);
+    if (Opts.DrainFully && Out.Result.LazyInstalled)
+      recordDrainEvidence(*TheVM, Opts, Out);
   }
 
   // The paper applied CrossFTP 1.07 -> 1.08 "when the server was
@@ -86,17 +138,33 @@ ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
   if (Out.Result.Status == UpdateStatus::TimedOut) {
     std::unique_ptr<VM> TheVM = bootApp(App, V - 1, /*Idle=*/true);
     TheVM->run(2'000);
-    UpdateResult IdleResult = applyTo(*TheVM, App, V, TimeoutTicks, Lazy);
+    UpdateResult IdleResult = applyTo(*TheVM, App, V, Opts, nullptr);
     Out.AppliedWhenIdle = IdleResult.Status == UpdateStatus::Applied;
   }
   return Out;
 }
 
 std::vector<ReleaseOutcome> jvolve::evaluateApp(const AppModel &App,
-                                                uint64_t TimeoutTicks,
-                                                bool Lazy) {
+                                                const EvalOptions &Opts) {
   std::vector<ReleaseOutcome> Out;
   for (size_t V = 1; V < App.numVersions(); ++V)
-    Out.push_back(evaluateRelease(App, V, TimeoutTicks, Lazy));
+    Out.push_back(evaluateRelease(App, V, Opts));
   return Out;
+}
+
+ReleaseOutcome jvolve::evaluateRelease(const AppModel &App, size_t V,
+                                       uint64_t TimeoutTicks, bool Lazy) {
+  EvalOptions Opts;
+  Opts.TimeoutTicks = TimeoutTicks;
+  Opts.Lazy = Lazy;
+  return evaluateRelease(App, V, Opts);
+}
+
+std::vector<ReleaseOutcome> jvolve::evaluateApp(const AppModel &App,
+                                                uint64_t TimeoutTicks,
+                                                bool Lazy) {
+  EvalOptions Opts;
+  Opts.TimeoutTicks = TimeoutTicks;
+  Opts.Lazy = Lazy;
+  return evaluateApp(App, Opts);
 }

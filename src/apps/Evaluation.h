@@ -12,12 +12,42 @@
 #define JVOLVE_APPS_EVALUATION_H
 
 #include "apps/AppModel.h"
+#include "dsu/Synthesis.h"
 #include "dsu/Updater.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
 namespace jvolve {
+
+/// Where the update's transformers come from.
+enum class TransformerMode {
+  Handwritten, ///< the app's registered transformers (paper §3.4)
+  Synthesized, ///< dsu/Synthesis.h output only; handwritten rules skipped
+};
+
+/// Tuning knobs for one release evaluation.
+struct EvalOptions {
+  /// Bounds the safe-point search (kept small so the two impossible
+  /// updates fail quickly).
+  uint64_t TimeoutTicks = 120'000;
+  /// Commit with untransformed shells and drain through the read barrier
+  /// instead of transforming eagerly in the DSU collection.
+  bool Lazy = false;
+  /// Lazy only: bulk-settle provably-untouched classes at arm time and
+  /// certify the impact closure only (UpdateOptions::ImpactBoundedDrain).
+  bool ImpactBounded = false;
+  TransformerMode Transformers = TransformerMode::Handwritten;
+  /// Lazy only: after the commit, keep the VM running for a fixed tick
+  /// budget (identical across configurations, so two runs observe the
+  /// same virtual time), then record whether the engine drained, a full
+  /// (unfiltered) heap certification, and a per-class live-object census
+  /// — the evidence the impact-bounded drain reaches the same certified
+  /// heap as the full drain.
+  bool DrainFully = false;
+  uint64_t DrainTicks = 400'000;
+};
 
 /// Result of applying one release's update to a live, loaded server.
 struct ReleaseOutcome {
@@ -28,6 +58,17 @@ struct ReleaseOutcome {
   /// For updates that fail under load: did a retry on an idle server
   /// succeed (CrossFTP 1.07 -> 1.08, §4.4)?
   bool AppliedWhenIdle = false;
+  /// Synthesized mode: what the synthesis pass inferred for this release.
+  SynthesisReport Synth;
+
+  /// DrainFully evidence (lazy updates only; see EvalOptions::DrainFully).
+  bool Drained = false;          ///< engine settled every shell in budget
+  bool PostDrainCertified = false; ///< full HeapVerifier pass was clean
+  uint64_t BulkSettled = 0;      ///< shells settled at arm (impact-bounded)
+  uint64_t LazyTransformed = 0;  ///< on-demand + background transforms
+  /// Live non-array objects per class after the drain window — equal
+  /// between a full and an impact-bounded drain of the same release.
+  std::map<std::string, size_t> HeapCensus;
 
   bool supported() const {
     return Result.Status == UpdateStatus::Applied || AppliedWhenIdle;
@@ -35,15 +76,19 @@ struct ReleaseOutcome {
 };
 
 /// Applies the update to version \p V of \p App on a freshly booted VM
-/// running version V-1 under load. \p TimeoutTicks bounds the safe-point
-/// search (kept small so the two impossible updates fail quickly).
-/// \p Lazy commits with untransformed shells and drains through the read
-/// barrier instead of transforming eagerly in the DSU collection.
+/// running version V-1 under load.
+ReleaseOutcome evaluateRelease(const AppModel &App, size_t V,
+                               const EvalOptions &Opts);
+
+/// Evaluates every release of \p App.
+std::vector<ReleaseOutcome> evaluateApp(const AppModel &App,
+                                        const EvalOptions &Opts);
+
+/// Back-compat convenience overloads (handwritten transformers, full
+/// drain) used by the existing tables/benches.
 ReleaseOutcome evaluateRelease(const AppModel &App, size_t V,
                                uint64_t TimeoutTicks = 120'000,
                                bool Lazy = false);
-
-/// Evaluates every release of \p App.
 std::vector<ReleaseOutcome> evaluateApp(const AppModel &App,
                                         uint64_t TimeoutTicks = 120'000,
                                         bool Lazy = false);

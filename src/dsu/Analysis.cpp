@@ -1,10 +1,12 @@
 #include "dsu/Analysis.h"
 
 #include "bytecode/Verifier.h"
+#include "dsu/Dataflow.h"
 #include "dsu/UpdateBundle.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 using namespace jvolve;
@@ -268,6 +270,7 @@ AnalysisReport UpdateAnalysis::analyze(
     const std::map<std::string, ActiveMethodMapping> &Mappings,
     const AnalysisOptions &Opts) const {
   AnalysisReport R;
+  auto Start = std::chrono::steady_clock::now();
 
   CallGraph CG(Old);
   R.NumMethods = CG.numMethods();
@@ -290,6 +293,23 @@ AnalysisReport UpdateAnalysis::analyze(
   for (const std::string &Key : CG.possibleInliners(
            Seeds, Opts.MaxInlineCodeLen, Opts.MaxInlineDepth))
     R.PreciseRestricted.insert(Key);
+  R.PreciseRestrictedCha = R.PreciseRestricted;
+
+  // Dataflow refinement: with entry points, the points-to fixpoint prunes
+  // call edges whose receiver provably never holds a relevant class, so a
+  // restricted method outside its reachable set can never be on a
+  // post-boot stack — its safe point stays usable. Without entry points
+  // every method may be live and the refinement must be a no-op.
+  if (!Opts.EntryPoints.empty()) {
+    DataflowOptions DfOpts;
+    DfOpts.EntryPoints = Opts.EntryPoints;
+    DataflowResult Df = DataflowAnalysis(Old).run(DfOpts);
+    R.DataflowVirtualSites = Df.virtualSites();
+    R.DataflowNarrowed = Df.sitesNarrowed();
+    std::erase_if(R.PreciseRestricted, [&](const std::string &Key) {
+      return !Df.reachableMethods().count(Key);
+    });
+  }
 
   // Entry reachability: with no declared entry points every method is
   // assumed live on some stack.
@@ -365,6 +385,9 @@ AnalysisReport UpdateAnalysis::analyze(
     R.Verdict = Applicability::Applicable;
     R.Reason = "no changed or indirect method can pin a thread stack";
   }
+  R.RuntimeMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
   return R;
 }
 
@@ -389,6 +412,13 @@ std::string AnalysisReport::table() const {
          std::to_string(ConservativeRestricted.size() -
                         PreciseRestricted.size()) +
          " methods keep their safe points)\n";
+  if (PreciseRestrictedCha.size() != PreciseRestricted.size())
+    Out += "  dataflow refinement: CHA precise " +
+           std::to_string(PreciseRestrictedCha.size()) + " -> " +
+           std::to_string(PreciseRestricted.size()) + " (" +
+           std::to_string(DataflowNarrowed) + "/" +
+           std::to_string(DataflowVirtualSites) +
+           " virtual sites narrowed)\n";
   Out += "  verdict: " + std::string(applicabilityName(Verdict)) + " — " +
          Reason + "\n";
   if (!PinnedForever.empty())
@@ -410,6 +440,22 @@ std::string AnalysisReport::json() const {
   Out += "\"restricted_conservative\":" +
          jsonStringArray(ConservativeRestricted) + ",";
   Out += "\"restricted_precise\":" + jsonStringArray(PreciseRestricted) + ",";
+  Out += "\"restricted_cha\":" + jsonStringArray(PreciseRestrictedCha) + ",";
+  // The same gauge values --metrics-out publishes, under their metric
+  // names, so the JSON and the metrics file share one schema.
+  Out += "\"gauges\":{";
+  Out += "\"dsu.analysis.restricted_conservative\":" +
+         std::to_string(ConservativeRestricted.size()) + ",";
+  Out += "\"dsu.analysis.restricted_precise\":" +
+         std::to_string(PreciseRestricted.size()) + ",";
+  Out += "\"dsu.analysis.restricted_delta\":" +
+         std::to_string(ConservativeRestricted.size() -
+                        PreciseRestricted.size()) +
+         ",";
+  Out += "\"dsu.analysis.restricted_cha\":" +
+         std::to_string(PreciseRestrictedCha.size()) + ",";
+  Out += "\"dsu.analysis.runtime_ms\":" +
+         std::to_string(static_cast<int64_t>(RuntimeMs + 0.5)) + "},";
   Out += "\"pinned_forever\":" + jsonStringArray(PinnedForever) + ",";
   Out += "\"osr_required\":" + jsonStringArray(OsrRequired) + ",";
   Out += "\"mapping_issues\":" + jsonStringArray(MappingIssues) + ",";
@@ -433,4 +479,8 @@ void jvolve::recordAnalysisMetrics(const AnalysisReport &R) {
   Tel.gauge(metrics::DsuAnalysisRestrictedDelta)
       .set(static_cast<int64_t>(R.ConservativeRestricted.size() -
                                 R.PreciseRestricted.size()));
+  Tel.gauge(metrics::DsuAnalysisRestrictedCha)
+      .set(static_cast<int64_t>(R.PreciseRestrictedCha.size()));
+  Tel.gauge(metrics::DsuAnalysisRuntimeMs)
+      .set(static_cast<int64_t>(R.RuntimeMs + 0.5));
 }

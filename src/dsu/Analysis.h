@@ -80,8 +80,23 @@ struct AnalysisReport {
   std::set<std::string> ConservativeRestricted;
   /// Seeds plus possible inliners only — always a subset of the
   /// conservative set; unchanged non-inlining callers keep their safe
-  /// points.
+  /// points. When entry points are given, further refined by the
+  /// flow-sensitive dataflow pass (dsu/Dataflow.h): methods the points-to
+  /// fixpoint proves unreachable from the entry points can never be on a
+  /// post-boot stack, so they keep their safe points too.
   std::set<std::string> PreciseRestricted;
+  /// The precise set under CHA alone, before the dataflow refinement
+  /// (equal to PreciseRestricted when no entry points were given).
+  /// PreciseRestricted is always a subset of this.
+  std::set<std::string> PreciseRestrictedCha;
+
+  /// Dataflow refinement evidence: virtual call sites analyzed, and how
+  /// many had their CHA fan-out strictly narrowed by receiver points-to.
+  size_t DataflowVirtualSites = 0;
+  size_t DataflowNarrowed = 0;
+
+  /// Wall-clock milliseconds this analysis run took (CHA + dataflow).
+  double RuntimeMs = 0;
 
   /// Changed (category 1/3) methods with no CFG path to a return,
   /// reachable from a thread entry point, and not lifted by a valid

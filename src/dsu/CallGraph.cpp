@@ -22,6 +22,31 @@ CallGraph::CallGraph(const ClassSet &Set) {
       continue;
     std::set<std::string> All, Direct;
     for (const Instr &I : N.Def->Code) {
+      if (I.Op == Opcode::NewArray) {
+        // Allocating an array whose (possibly nested) element class declares
+        // constructors can reach those initializers when the elements are
+        // populated. Peel the descriptor the same way Upt::referencedClasses
+        // does so methods reached only through array-typed receivers keep
+        // their call-graph edges (and precise stays a subset of
+        // conservative).
+        if (!Type::isValidDescriptor(I.Sig))
+          continue;
+        Type T = Type::parse(I.Sig);
+        while (T.isArray())
+          T = T.elementType();
+        if (!T.isRef())
+          continue;
+        const ClassDef *Elem = Set.find(T.className());
+        if (!Elem)
+          continue;
+        for (const MethodDef &M : Elem->Methods)
+          if (M.Name == "<init>") {
+            std::string InitKey = MethodRef{Elem->Name, M.Name, M.Sig}.key();
+            All.insert(InitKey);
+            Direct.insert(InitKey);
+          }
+        continue;
+      }
       if (I.Op != Opcode::InvokeVirtual && I.Op != Opcode::InvokeStatic &&
           I.Op != Opcode::InvokeSpecial)
         continue;

@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-sensitive, field-sensitive allocation-site dataflow over MiniVM
+/// bytecode.
+///
+/// The PR 4 analyzer answers *whether* an update applies using CHA alone;
+/// this pass answers *what an update can touch*. It runs an abstract
+/// interpretation per method — the same per-pc discipline as the
+/// verifier's computeStackShapes, but over a may-points-to lattice whose
+/// elements are sets of allocation sites (New / NewArray / SConst
+/// instructions, identified by declaring method and pc) — and a
+/// whole-program fixpoint that propagates values through method
+/// parameters, return values, instance fields (keyed per allocation
+/// site), statics, and array elements. Three refinements fall out:
+///
+///  * virtual call sites dispatch over the receiver's points-to classes
+///    instead of the full CHA subclass fan-out, which prunes call edges
+///    whose receiver provably never holds an updated class;
+///  * methods unreachable from the analysis entry points (the thread
+///    run() loops every post-boot frame hangs under) can never be on a
+///    stack, so the restricted safe-point set may drop them;
+///  * constructor bodies expose which parameter flows into which field —
+///    the copy-chain evidence transformer synthesis (dsu/Synthesis.h)
+///    uses to pair renamed fields across versions.
+///
+/// Soundness: "unknown" (Top) absorbs everything the analysis cannot
+/// track — entry-point parameters, intrinsic results, static reads whose
+/// writers predate the analyzed region, and any value that escapes into
+/// an intrinsic. Dispatch on a Top receiver falls back to the CHA
+/// fan-out, so every refinement degrades to the PR 4 answer rather than
+/// past it. The entry-point contract matches the updater's AnalyzeFirst
+/// seeding: entries are the methods live frames hang under, so anything a
+/// future stack can hold is reachable from them by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVOLVE_DSU_DATAFLOW_H
+#define JVOLVE_DSU_DATAFLOW_H
+
+#include "bytecode/ClassDef.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jvolve {
+
+/// One abstract allocation: a New/NewArray/SConst instruction. Array sites
+/// record the *peeled* element class (the same descriptor peel
+/// Upt::referencedClasses applies) so class-level clients can ask "may an
+/// array of updated-class elements flow here".
+struct AllocSite {
+  std::string Method; ///< declaring method key ("Class.NameSig")
+  size_t Pc = 0;
+  std::string TypeName;  ///< class name, or "[<elem>" for arrays, "String"
+  std::string ElemClass; ///< peeled element class for ref arrays, else ""
+
+  std::string str() const;
+};
+
+/// A may-points-to value: a set of allocation-site ids, or Top (unknown
+/// provenance). Bottom is the empty non-Top set. Sets wider than a fixed
+/// cap collapse to Top so the lattice stays shallow.
+struct AbstractRef {
+  bool Top = false;
+  std::set<uint32_t> Sites;
+
+  static AbstractRef top() { return {true, {}}; }
+  static AbstractRef one(uint32_t Site) { return {false, {Site}}; }
+  bool bottom() const { return !Top && Sites.empty(); }
+
+  /// \returns true when the join changed this value.
+  bool join(const AbstractRef &Other);
+};
+
+/// Per-method analysis options.
+struct DataflowOptions {
+  /// Fixpoint seeds; empty analyzes every method with unknown (Top)
+  /// parameters — the mode synthesis uses when no live frames exist.
+  std::set<std::string> EntryPoints;
+  /// Points-to sets wider than this collapse to Top.
+  size_t MaxSitesPerValue = 32;
+};
+
+/// The converged whole-program result.
+class DataflowResult {
+public:
+  const std::vector<AllocSite> &sites() const { return Sites; }
+
+  /// Every method the fixpoint reached from the entry points (all methods
+  /// when EntryPoints was empty). A method outside this set can never be
+  /// on a post-boot stack.
+  const std::set<std::string> &reachableMethods() const { return Reachable; }
+
+  /// The refined dispatch targets of the call at \p Pc in \p MethodKey,
+  /// or nullptr when the pc is not an analyzed call site. Always a subset
+  /// of the CHA targets; equals them when the receiver was Top. The
+  /// pointer aliases this result, so calling on a temporary is deleted.
+  const std::set<std::string> *calleesAt(const std::string &MethodKey,
+                                         size_t Pc) const &;
+  const std::set<std::string> *calleesAt(const std::string &MethodKey,
+                                         size_t Pc) const && = delete;
+
+  /// Classes the receiver of the call at \p Pc may point to (alloc-site
+  /// classes only; empty with \p Unknown=true when the receiver was Top).
+  std::set<std::string> receiverClasses(const std::string &MethodKey,
+                                        size_t Pc, bool &Unknown) const;
+
+  /// Virtual call sites whose refined target set is strictly smaller than
+  /// the CHA fan-out — the report's narrowing evidence.
+  size_t sitesNarrowed() const { return Narrowed; }
+  size_t virtualSites() const { return VirtualSites; }
+
+private:
+  friend class DataflowAnalysis;
+  friend struct DataflowResultBuilder;
+  std::vector<AllocSite> Sites;
+  std::set<std::string> Reachable;
+  /// (method key, pc) -> refined callee keys.
+  std::map<std::pair<std::string, size_t>, std::set<std::string>> Callees;
+  /// (method key, pc) -> receiver value at the call.
+  std::map<std::pair<std::string, size_t>, AbstractRef> Receivers;
+  size_t Narrowed = 0;
+  size_t VirtualSites = 0;
+};
+
+/// Runs the whole-program fixpoint. The ClassSet must contain the
+/// built-ins and outlive the analysis.
+class DataflowAnalysis {
+public:
+  explicit DataflowAnalysis(const ClassSet &Set);
+
+  DataflowResult run(const DataflowOptions &Opts = {});
+
+private:
+  const ClassSet &Set;
+};
+
+/// Intra-procedural copy-chain analysis for transformer synthesis: which
+/// parameter slots of \p M flow (through locals, stack moves, and direct
+/// copies) into which fields of `this`. Keys are field names; values are
+/// the parameter slot indices (0 = `this` for instance methods) whose
+/// value may be stored into the field. Only assignments through the
+/// method's own receiver are recorded.
+std::map<std::string, std::set<uint16_t>>
+paramFieldFlows(const ClassSet &Set, const ClassDef &Cls, const MethodDef &M);
+
+} // namespace jvolve
+
+#endif // JVOLVE_DSU_DATAFLOW_H

@@ -19,12 +19,13 @@ LazyTransformEngine::LazyTransformEngine(VM &TheVM, UpdateBundle Bundle,
                                          std::vector<UpdateLogEntry> Log,
                                          std::unordered_map<Ref, size_t> Index,
                                          bool OwnsOldCopySpace,
-                                         size_t DrainBatch)
+                                         size_t DrainBatch, bool ImpactBounded)
     : TheVM(TheVM), Bundle(std::move(Bundle)), UpdateLog(std::move(Log)),
       NewToLogIndex(std::move(Index)),
       Runner(TheVM, this->Bundle, UpdateLog, NewToLogIndex),
       OwnsOldCopySpace(OwnsOldCopySpace),
-      DrainBatch(std::max<size_t>(DrainBatch, 1)) {
+      DrainBatch(std::max<size_t>(DrainBatch, 1)),
+      ImpactBounded(ImpactBounded) {
   for (const UpdateLogEntry &E : UpdateLog)
     if (E.St == UpdateLogEntry::State::Done ||
         E.St == UpdateLogEntry::State::Failed)
@@ -33,16 +34,61 @@ LazyTransformEngine::LazyTransformEngine(VM &TheVM, UpdateBundle Bundle,
 
 void LazyTransformEngine::arm() {
   setAllBarriers(true);
+  if (ImpactBounded)
+    settleUntouched();
   if (Telemetry::isEnabled()) {
     Telemetry::global().counter(metrics::DsuLazyUpdates).inc();
     publishPendingGauge();
   }
 }
 
+void LazyTransformEngine::settleUntouched() {
+  ClassRegistry &Reg = TheVM.registry();
+  // Memoized per new-version class: is this class's transform provably the
+  // identity copy? True only when no custom object transformer is
+  // registered and the flattened instance layouts (name, type, offset)
+  // match slot for slot — the same criterion the static impact analysis
+  // applies, checked against the live registry so it can never be stale.
+  std::unordered_map<ClassId, bool> Untouched;
+  uint64_t Settled = 0;
+  for (UpdateLogEntry &E : UpdateLog) {
+    if (E.St != UpdateLogEntry::State::Pending || !E.NewObj || !E.OldCopy)
+      continue;
+    ClassId NewId = classOf(E.NewObj);
+    auto It = Untouched.find(NewId);
+    if (It == Untouched.end()) {
+      const RtClass &NewCls = Reg.cls(NewId);
+      const RtClass &OldCls = Reg.cls(classOf(E.OldCopy));
+      bool Same = Bundle.ObjectTransformers.count(NewCls.Name) == 0 &&
+                  NewCls.InstanceFields.size() == OldCls.InstanceFields.size();
+      for (size_t F = 0; Same && F < NewCls.InstanceFields.size(); ++F) {
+        const RtField &NF = NewCls.InstanceFields[F];
+        const RtField &OF = OldCls.InstanceFields[F];
+        Same = NF.Name == OF.Name && NF.Ty == OF.Ty &&
+               NF.Offset == OF.Offset;
+      }
+      It = Untouched.emplace(NewId, Same).first;
+    }
+    if (!It->second)
+      continue;
+    TransformerRunner::applyDefaultObjectTransform(TheVM, E.NewObj,
+                                                   E.OldCopy);
+    header(E.NewObj)->Flags &= ~(FlagUninitialized | FlagLazyPending);
+    E.St = UpdateLogEntry::State::Done;
+    ++Settled;
+  }
+  NumBulkSettled = Settled;
+  if (Telemetry::isEnabled())
+    Telemetry::global()
+        .gauge(metrics::DsuImpactBulkSettled)
+        .set(static_cast<int64_t>(Settled));
+}
+
 size_t LazyTransformEngine::pendingCount() const {
   return UpdateLog.size() - PreSettled -
          static_cast<size_t>(Runner.objectsTransformed()) -
-         static_cast<size_t>(NumFailed);
+         static_cast<size_t>(NumFailed) -
+         static_cast<size_t>(NumBulkSettled);
 }
 
 bool LazyTransformEngine::isPendingShell(Ref Obj) const {

@@ -73,14 +73,21 @@ public:
   /// heap's old-copy block and left it reserved; the engine releases it at
   /// barrier retirement (or hands the copies to a regular GC first).
   /// \p DrainBatch: background transforms per drainer quantum.
+  /// \p ImpactBounded: at arm time, bulk-settle every pending shell whose
+  /// class the impact analysis proves untouched (instance layout identical
+  /// between versions and no custom object transformer) — those objects
+  /// are pure bitwise copies, so the drain loop and the read barrier skip
+  /// them entirely.
   LazyTransformEngine(VM &TheVM, UpdateBundle Bundle,
                       std::vector<UpdateLogEntry> Log,
                       std::unordered_map<Ref, size_t> Index,
-                      bool OwnsOldCopySpace, size_t DrainBatch);
+                      bool OwnsOldCopySpace, size_t DrainBatch,
+                      bool ImpactBounded = false);
 
   /// Sets the LazyBarriers bit on every compiled method (registry and
   /// active frames) and on future compilations, and publishes the initial
-  /// pending gauge. Called once, right after commit.
+  /// pending gauge. Called once, right after commit. In impact-bounded
+  /// mode, first settles the provably-untouched classes in bulk.
   void arm();
 
   //===--- VmLazyEngine -----------------------------------------------------//
@@ -106,6 +113,8 @@ public:
   uint64_t backgroundTransforms() const { return NumBackground; }
   uint64_t drainTicks() const { return NumDrainTicks; }
   uint64_t failedTransforms() const { return NumFailed; }
+  /// Entries settled in bulk at arm time (impact-bounded mode only).
+  uint64_t bulkSettled() const { return NumBulkSettled; }
   const std::vector<LazyTransformError> &failures() const { return Failures; }
 
 private:
@@ -114,6 +123,12 @@ private:
   /// in-progress entry to Failed, clears the shells' flags, and records the
   /// structured diagnostic. \returns false on failure with \p Err set.
   bool transformIndex(size_t Index, bool OnDemand, std::string *Err);
+
+  /// Bulk-settles every pending entry of a provably-untouched class (the
+  /// runtime mirror of SynthesisReport::UntouchedClasses): identical
+  /// instance layout old -> new and no custom object transformer, so the
+  /// default copy is the whole transform.
+  void settleUntouched();
 
   /// Applies \p V to the LazyBarriers bit of all compiled code: registry
   /// methods, every frame on every thread stack (catches OSR-synthesized
@@ -131,6 +146,8 @@ private:
 
   bool OwnsOldCopySpace;
   size_t DrainBatch;
+  bool ImpactBounded = false;
+  uint64_t NumBulkSettled = 0;
   size_t NextDrainIndex = 0;
   /// Entries already settled at handoff (a class transformer may have
   /// force-transformed objects through its statics before commit).

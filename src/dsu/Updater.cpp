@@ -5,6 +5,7 @@
 #include "dsu/Canary.h"
 #include "dsu/EcUpdater.h"
 #include "dsu/LazyTransform.h"
+#include "dsu/Synthesis.h"
 #include "dsu/Transformers.h"
 #include "heap/HeapVerifier.h"
 #include "runtime/ObjectModel.h"
@@ -725,6 +726,13 @@ void Updater::certify() {
     Verifier.setLazyContext(
         [Engine](Ref Obj) { return Engine->isPendingShell(Obj); },
         /*AllowOldCopyReserved=*/!Engine->drained());
+  // Impact-bounded mode certifies partially: field-level checks run for
+  // the update-impact closure only; classes the analysis proves untouched
+  // keep their (already certified) pre-update field graphs and get the
+  // structural checks alone.
+  if (Opts.ImpactBoundedDrain && Result.LazyInstalled)
+    Verifier.setClassFocus(
+        TransformerSynthesis::impactClasses(Bundle.NewProgram, Bundle.Spec));
   std::vector<std::string> Problems =
       Verifier.verify([this](const std::function<void(Ref &)> &Visit) {
         TheVM.visitRoots(Visit);
@@ -813,7 +821,8 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     LazyCommitPending = false;
     auto Engine = std::make_unique<LazyTransformEngine>(
         TheVM, Bundle, std::move(LazyLog), std::move(LazyIndex),
-        /*OwnsOldCopySpace=*/Opts.UseOldCopySpace, Opts.LazyDrainBatch);
+        /*OwnsOldCopySpace=*/Opts.UseOldCopySpace, Opts.LazyDrainBatch,
+        Opts.ImpactBoundedDrain);
     Engine->arm();
     Result.LazyInstalled = true;
     Result.LazyPendingAtCommit = Engine->pendingCount();

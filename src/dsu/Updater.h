@@ -85,6 +85,13 @@ struct UpdateOptions {
   bool LazyTransform = false;
   /// Lazy mode: background transforms per drainer quantum.
   size_t LazyDrainBatch = 32;
+  /// Lazy mode, impact-bounded drain (dsu/Synthesis.h): at engine arm time,
+  /// bulk-settle every pending shell whose class the update-impact analysis
+  /// proves untouched (identical instance layout and no custom object
+  /// transformer) so the drain loop and read barrier only ever see objects
+  /// the update can actually reach. Certification runs partially, checking
+  /// classes inside the impact closure in depth and the rest structurally.
+  bool ImpactBoundedDrain = false;
   /// Run HeapVerifier plus a registry-consistency check after every applied
   /// *or rolled-back* update (certification). Benchmarks can turn it off.
   bool CertifyAfterUpdate = true;

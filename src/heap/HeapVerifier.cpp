@@ -76,9 +76,17 @@ std::vector<std::string> HeapVerifier::verify(
       Report(Where + " points into the middle of an object");
   };
 
-  // Pass 2: every reference field/element.
+  // Pass 2: every reference field/element. A class focus (partial
+  // certification) narrows the non-array field checks to the impacted
+  // classes; arrays are always checked because element stores are cheap
+  // to validate and arrays carry no per-class layout to have changed.
+  NumSkipped = 0;
   for (Ref Obj : Starts) {
     const RtClass &Cls = Registry.cls(classOf(Obj));
+    if (HasClassFocus && !Cls.IsArray && !ClassFocus.count(Cls.Name)) {
+      ++NumSkipped;
+      continue;
+    }
     if (Cls.IsArray) {
       if (!Cls.ElemIsRef)
         continue;

@@ -5,6 +5,7 @@
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
 #include "dsu/Canary.h"
+#include "dsu/Synthesis.h"
 #include "dsu/Upt.h"
 #include "heap/HeapVerifier.h"
 #include "support/Error.h"
@@ -160,6 +161,16 @@ jvolve::runScenario(const ScenarioSpec &Spec,
                                 "v" + std::to_string(Ver - 1));
   if (Spec.Stream == "email")
     registerEmailTransformers(B, App, Ver);
+  // Synthesized transformers ride along (handwritten entries win). The
+  // synthesis pass probes the synth-transformer-field site once per
+  // inferred instance mapping, so the first-order sweep can corrupt one
+  // mapping and watch the faulted transformer throw at run time: rollback
+  // when eager, degraded settle when lazy.
+  {
+    TransformerSynthesis Synthesis(App.version(Ver - 1), App.version(Ver));
+    SynthesisReport SynthRep = Synthesis.synthesize(B.Spec, &TheVM.faults());
+    TransformerSynthesis::installTransformers(B, SynthRep);
+  }
   UpdateOptions Opts;
   Opts.TimeoutTicks = 20'000;
   Opts.LazyTransform = Spec.Lazy;

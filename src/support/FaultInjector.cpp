@@ -35,6 +35,7 @@ const char *FaultInjector::siteName(Site S) {
   case Site::HeapAllocNth: return "heap-alloc-nth";
   case Site::BundleTruncated: return "bundle-truncated";
   case Site::TelemetryWriterStall: return "telemetry-writer-stall";
+  case Site::SynthTransformerField: return "synth-transformer-field";
   }
   unreachable("bad fault site");
 }

@@ -36,6 +36,11 @@
 ///   telemetry-writer-stall the streaming-telemetry writer stalls for a
 ///                          few passes; producers must keep running and
 ///                          degrade to counted drops, never block
+///   synth-transformer-field transformer synthesis emits a wrong field
+///                          mapping (the source field does not exist), so
+///                          the synthesized transformer throws when it
+///                          first runs — rollback when eager, degraded
+///                          when lazy
 ///
 /// The list above is generated from the same registry the code uses:
 /// allSites()/allSiteNames() is the single source of truth for tool usage
@@ -71,8 +76,9 @@ public:
     HeapAllocNth,
     BundleTruncated,
     TelemetryWriterStall,
+    SynthTransformerField,
   };
-  static constexpr size_t NumSites = 12;
+  static constexpr size_t NumSites = 13;
 
   /// One counter per registered site, indexed by Site enumeration order.
   /// The chaos campaign's recording mode snapshots probe/fire counts into

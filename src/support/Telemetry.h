@@ -106,6 +106,24 @@ inline constexpr const char *DsuAnalysisRestrictedConservative =
     "dsu.analysis.restricted_conservative";
 inline constexpr const char *DsuAnalysisRestrictedDelta =
     "dsu.analysis.restricted_delta";
+/// Gauge: size the precise set would have under CHA alone — the dataflow
+/// refinement's shrink shows as restricted_cha - restricted_precise.
+inline constexpr const char *DsuAnalysisRestrictedCha =
+    "dsu.analysis.restricted_cha";
+/// Gauge: wall-clock milliseconds the most recent analysis run took
+/// (CHA + dataflow refinement together).
+inline constexpr const char *DsuAnalysisRuntimeMs = "dsu.analysis.runtime_ms";
+// dsu/Synthesis (transformer synthesis and impact bounding)
+inline constexpr const char *DsuSynthRuns = "dsu.synth.runs";
+inline constexpr const char *DsuSynthRenames = "dsu.synth.renames";
+inline constexpr const char *DsuSynthFlagged = "dsu.synth.flagged";
+/// Gauges: sizes of the most recent impact bound — classes the update can
+/// touch, and updated classes provably untouched at the instance level.
+inline constexpr const char *DsuImpactClasses = "dsu.impact.classes";
+inline constexpr const char *DsuImpactUntouched = "dsu.impact.untouched";
+/// Log entries the impact-bounded lazy engine settled in bulk at arm time
+/// (bitwise-copied shells of layout-unchanged classes).
+inline constexpr const char *DsuImpactBulkSettled = "dsu.impact.bulk_settled";
 // dsu/LazyTransform (lazy object-transformation engine)
 inline constexpr const char *DsuLazyUpdates = "dsu.lazy.updates";
 inline constexpr const char *DsuLazyBarrierHits = "dsu.lazy.barrier_hits";

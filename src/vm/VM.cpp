@@ -40,6 +40,8 @@ static void preregisterStandardMetrics() {
         metrics::DsuQuiescenceExpiries, metrics::DsuQuiescenceRescuedFrames,
         metrics::DsuQuiescenceForcedYields, metrics::DsuQuiescenceDegraded,
         metrics::DsuAnalysisRuns, metrics::DsuAnalysisRejected,
+        metrics::DsuSynthRuns, metrics::DsuSynthRenames,
+        metrics::DsuSynthFlagged,
         metrics::DsuLazyUpdates, metrics::DsuLazyBarrierHits,
         metrics::DsuLazyOnDemandTransforms,
         metrics::DsuLazyBackgroundTransforms, metrics::DsuLazyDrainTicks,
@@ -55,7 +57,10 @@ static void preregisterStandardMetrics() {
   for (const char *G :
        {metrics::DsuAnalysisRestrictedPrecise,
         metrics::DsuAnalysisRestrictedConservative,
-        metrics::DsuAnalysisRestrictedDelta, metrics::DsuLazyPending,
+        metrics::DsuAnalysisRestrictedDelta,
+        metrics::DsuAnalysisRestrictedCha, metrics::DsuAnalysisRuntimeMs,
+        metrics::DsuImpactClasses, metrics::DsuImpactUntouched,
+        metrics::DsuImpactBulkSettled, metrics::DsuLazyPending,
         metrics::DsuCanaryOpen, metrics::DsuRevertResidualNewObjects,
         metrics::TelemetryDroppedTotal, metrics::TelemetryEventsAttempted,
         metrics::TelemetryEventsStreamed, metrics::TelemetryBlocksFlushed,

@@ -535,3 +535,51 @@ TEST(AnalysisGate, MappingsFlipThePredictionAndTheUpdateApplies) {
   EXPECT_EQ(R.Status, UpdateStatus::Applied) << R.Message;
   EXPECT_GT(R.ActiveFramesRemapped, 0);
 }
+
+//===----------------------------------------------------------------------===//
+// Dataflow refinement of the precise restricted set
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, RefinedSetNestsInsideChaSetOnEveryStream) {
+  // The acceptance bar for the dataflow refinement: on every stream the
+  // refined precise set is a subset of the CHA-precise set (which in turn
+  // nests inside the conservative closure), and on several streams the
+  // receiver-points-to pruning makes it strictly smaller.
+  const AppModel Apps[] = {makeJettyApp(), makeEmailApp(),
+                           makeCrossFtpApp()};
+  size_t Streams = 0, StrictlySmaller = 0;
+  for (const AppModel &App : Apps) {
+    for (size_t V = 1; V < App.numVersions(); ++V) {
+      AnalysisReport R = analyzeRelease(App, V);
+      std::string Tag = App.name() + " " + App.versionName(V);
+      for (const std::string &K : R.PreciseRestricted)
+        EXPECT_TRUE(R.PreciseRestrictedCha.count(K))
+            << Tag << ": refined member " << K << " not in the CHA set";
+      for (const std::string &K : R.PreciseRestrictedCha)
+        EXPECT_TRUE(R.ConservativeRestricted.count(K))
+            << Tag << ": CHA-precise member " << K
+            << " not in the conservative closure";
+      if (R.PreciseRestricted.size() < R.PreciseRestrictedCha.size())
+        ++StrictlySmaller;
+      ++Streams;
+    }
+  }
+  EXPECT_EQ(Streams, 22u);
+  EXPECT_GE(StrictlySmaller, 3u)
+      << "the refinement should bite on at least three streams";
+}
+
+TEST(Analysis, NoEntryPointsMeansNoRefinement) {
+  // Without entry points there is nothing sound to seed the dataflow
+  // from, so the refined set must equal the CHA set exactly — never
+  // smaller, which would be an unsound guess.
+  const AppModel App = makeJettyApp();
+  ClassSet Old = App.version(0);
+  ClassSet New = App.version(1);
+  ensureBuiltins(Old);
+  ensureBuiltins(New);
+  UpdateSpec Spec = Upt::computeSpec(Old, New);
+  AnalysisReport R = UpdateAnalysis(Old, New).analyze(Spec, {}, {});
+  EXPECT_EQ(R.PreciseRestricted, R.PreciseRestrictedCha);
+  EXPECT_EQ(R.DataflowNarrowed, 0u);
+}

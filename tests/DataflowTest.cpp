@@ -1,0 +1,266 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataflow-analysis tests: allocation-site tracking, virtual-dispatch
+/// narrowing against the CHA fan-out, Top-receiver fallback,
+/// entry-point-bounded reachability, checkcast site filtering, array
+/// element flow, points-to widening under a site cap, and the
+/// paramFieldFlows copy-chain evidence transformer synthesis consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Builtins.h"
+#include "dsu/Dataflow.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvolve;
+
+namespace {
+
+/// Base.id() = 1, LeafA.id() = 2, LeafB.id() = 3: a three-way CHA fan-out
+/// for the narrowing tests to shrink.
+void addDispatchClasses(ClassSet &Set) {
+  ClassBuilder B("Base");
+  B.method("id", "()I").iconst(1).iret();
+  Set.add(B.build());
+  ClassBuilder A("LeafA", "Base");
+  A.method("id", "()I").iconst(2).iret();
+  Set.add(A.build());
+  ClassBuilder L("LeafB", "Base");
+  L.method("id", "()I").iconst(3).iret();
+  Set.add(L.build());
+}
+
+/// Builds a set with the dispatch classes plus one caller class T whose
+/// static method m has the given signature and body.
+ClassSet callerSet(const std::string &Sig,
+                   const std::function<void(MethodBuilder &)> &Fill,
+                   const std::function<void(ClassSet &)> &Extra = nullptr) {
+  ClassSet Set;
+  addDispatchClasses(Set);
+  if (Extra)
+    Extra(Set);
+  ClassBuilder CB("T");
+  MethodBuilder &M = CB.staticMethod("m", Sig);
+  Fill(M);
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+  return Set;
+}
+
+DataflowResult runOn(const ClassSet &Set, DataflowOptions Opts = {}) {
+  DataflowAnalysis An(Set);
+  return An.run(Opts);
+}
+
+} // namespace
+
+TEST(Dataflow, RecordsAllocationSites) {
+  ClassSet Set = callerSet("()V", [](MethodBuilder &M) {
+    M.newobj("LeafA").pop().iconst(2).newarray("LBase;").pop().ret();
+  });
+  DataflowResult R = runOn(Set);
+
+  bool SawObj = false, SawArr = false;
+  for (const AllocSite &S : R.sites()) {
+    if (S.Method == "T.m()V" && S.Pc == 0 && S.TypeName == "LeafA")
+      SawObj = true;
+    if (S.Method == "T.m()V" && S.Pc == 3 && S.TypeName == "[LBase;" &&
+        S.ElemClass == "Base")
+      SawArr = true;
+  }
+  EXPECT_TRUE(SawObj);
+  EXPECT_TRUE(SawArr);
+}
+
+TEST(Dataflow, VirtualDispatchNarrowsToReceiverSites) {
+  ClassSet Set = callerSet("()I", [](MethodBuilder &M) {
+    M.newobj("LeafA").invokevirtual("Base", "id", "()I").iret();
+  });
+  DataflowResult R = runOn(Set);
+
+  const std::set<std::string> *Callees = R.calleesAt("T.m()I", 1);
+  ASSERT_NE(Callees, nullptr);
+  EXPECT_EQ(*Callees, (std::set<std::string>{"LeafA.id()I"}));
+  EXPECT_GE(R.virtualSites(), 1u);
+  EXPECT_GE(R.sitesNarrowed(), 1u);
+
+  bool Unknown = true;
+  std::set<std::string> Recv = R.receiverClasses("T.m()I", 1, Unknown);
+  EXPECT_FALSE(Unknown);
+  EXPECT_EQ(Recv, (std::set<std::string>{"LeafA"}));
+}
+
+TEST(Dataflow, TopReceiverFallsBackToChaFanOut) {
+  // m's receiver is an entry-point parameter: unknown provenance, so the
+  // call must degrade to the full CHA target set, never past it.
+  ClassSet Set = callerSet("(LBase;)I", [](MethodBuilder &M) {
+    M.load(0).invokevirtual("Base", "id", "()I").iret();
+  });
+  DataflowOptions Opts;
+  Opts.EntryPoints = {"T.m(LBase;)I"};
+  DataflowResult R = runOn(Set, Opts);
+
+  const std::set<std::string> *Callees = R.calleesAt("T.m(LBase;)I", 1);
+  ASSERT_NE(Callees, nullptr);
+  EXPECT_EQ(*Callees, (std::set<std::string>{"Base.id()I", "LeafA.id()I",
+                                             "LeafB.id()I"}));
+  bool Unknown = false;
+  std::set<std::string> Recv = R.receiverClasses("T.m(LBase;)I", 1, Unknown);
+  EXPECT_TRUE(Unknown);
+  EXPECT_TRUE(Recv.empty());
+}
+
+TEST(Dataflow, ReachabilityStopsAtEntryPointFrontier) {
+  ClassSet Set;
+  addDispatchClasses(Set);
+  ClassBuilder CB("T");
+  CB.staticMethod("entry", "()V")
+      .invokestatic("T", "called", "()V")
+      .ret();
+  CB.staticMethod("called", "()V").ret();
+  CB.staticMethod("orphan", "()V").ret();
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+
+  DataflowOptions Opts;
+  Opts.EntryPoints = {"T.entry()V"};
+  DataflowResult R = runOn(Set, Opts);
+  EXPECT_TRUE(R.reachableMethods().count("T.entry()V"));
+  EXPECT_TRUE(R.reachableMethods().count("T.called()V"));
+  EXPECT_FALSE(R.reachableMethods().count("T.orphan()V"));
+
+  // No entry points: everything is analyzed, so everything is reachable.
+  DataflowResult All = runOn(Set);
+  EXPECT_TRUE(All.reachableMethods().count("T.orphan()V"));
+}
+
+TEST(Dataflow, CheckCastFiltersIncompatibleSites) {
+  // Two sites merge at the join; the cast to LeafA proves the LeafB site
+  // cannot reach the call on the fallthrough path.
+  ClassSet Set = callerSet("(I)I", [](MethodBuilder &M) {
+    M.load(0).branch(Opcode::IfEq, "other");
+    M.newobj("LeafA").jump("join");
+    M.label("other").newobj("LeafB");
+    M.label("join")
+        .checkcast("LeafA")
+        .invokevirtual("Base", "id", "()I")
+        .iret();
+  });
+  DataflowResult R = runOn(Set);
+
+  const std::set<std::string> *Callees = R.calleesAt("T.m(I)I", 6);
+  ASSERT_NE(Callees, nullptr);
+  EXPECT_EQ(*Callees, (std::set<std::string>{"LeafA.id()I"}));
+}
+
+TEST(Dataflow, ArrayElementFlowReachesLoads) {
+  // A LeafB stored into a tracked array resurfaces at the aload, so the
+  // dispatch over the loaded element narrows to LeafB alone.
+  ClassSet Set = callerSet("()I", [](MethodBuilder &M) {
+    M.locals(1)
+        .iconst(1)
+        .newarray("LBase;")
+        .store(0)
+        .load(0)
+        .iconst(0)
+        .newobj("LeafB")
+        .astore()
+        .load(0)
+        .iconst(0)
+        .aload()
+        .invokevirtual("Base", "id", "()I")
+        .iret();
+  });
+  DataflowResult R = runOn(Set);
+
+  const std::set<std::string> *Callees = R.calleesAt("T.m()I", 10);
+  ASSERT_NE(Callees, nullptr);
+  EXPECT_EQ(*Callees, (std::set<std::string>{"LeafB.id()I"}));
+}
+
+TEST(Dataflow, SiteCapWidensFieldToTop) {
+  // Three distinct sites flow into H.f. Under the default cap the load
+  // narrows to the two receiver classes; under a cap of two the value
+  // collapses to Top and dispatch degrades to the CHA fan-out.
+  auto Body = [](MethodBuilder &M) {
+    M.locals(1).newobj("H").store(0);
+    for (const char *Leaf : {"LeafA", "LeafA", "LeafB"})
+      M.load(0).newobj(Leaf).putfield("H", "f", "LBase;");
+    M.load(0)
+        .getfield("H", "f", "LBase;")
+        .invokevirtual("Base", "id", "()I")
+        .iret();
+  };
+  auto AddHolder = [](ClassSet &Set) {
+    ClassBuilder H("H");
+    H.field("f", "LBase;");
+    Set.add(H.build());
+  };
+  const size_t CallPc = 13;
+
+  ClassSet Set = callerSet("()I", Body, AddHolder);
+  DataflowResult Default = runOn(Set);
+  const std::set<std::string> *Precise = Default.calleesAt("T.m()I", CallPc);
+  ASSERT_NE(Precise, nullptr);
+  EXPECT_EQ(*Precise, (std::set<std::string>{"LeafA.id()I", "LeafB.id()I"}));
+
+  DataflowOptions Tight;
+  Tight.MaxSitesPerValue = 2;
+  DataflowResult R = runOn(Set, Tight);
+  const std::set<std::string> *Widened = R.calleesAt("T.m()I", CallPc);
+  ASSERT_NE(Widened, nullptr);
+  EXPECT_EQ(*Widened, (std::set<std::string>{"Base.id()I", "LeafA.id()I",
+                                             "LeafB.id()I"}));
+  bool Unknown = false;
+  R.receiverClasses("T.m()I", CallPc, Unknown);
+  EXPECT_TRUE(Unknown);
+}
+
+TEST(Dataflow, ParamFieldFlowsTracksCopyChains) {
+  ClassSet Set;
+  addDispatchClasses(Set);
+  ClassBuilder CB("P");
+  CB.field("x", "I");
+  CB.field("y", "I");
+  CB.field("o", "LBase;");
+  CB.field("w", "I");
+  CB.field("z", "I");
+  CB.method("<init>", "(IILBase;)V")
+      .locals(5)
+      .load(0)
+      .load(1)
+      .putfield("P", "x", "I")
+      .load(0)
+      .load(2)
+      .putfield("P", "y", "I")
+      .load(0)
+      .load(3)
+      .putfield("P", "o", "LBase;")
+      .load(1)
+      .store(4) // copy chain: param 1 -> local 4 -> field w
+      .load(0)
+      .load(4)
+      .putfield("P", "w", "I")
+      .load(0)
+      .iconst(7)
+      .putfield("P", "z", "I")
+      .ret();
+  Set.add(CB.build());
+  ensureBuiltins(Set);
+
+  const ClassDef &Cls = *Set.find("P");
+  auto Flows = paramFieldFlows(Set, Cls, *Cls.findMethod("<init>"));
+  ASSERT_TRUE(Flows.count("x"));
+  EXPECT_EQ(Flows.at("x"), (std::set<uint16_t>{1}));
+  ASSERT_TRUE(Flows.count("y"));
+  EXPECT_EQ(Flows.at("y"), (std::set<uint16_t>{2}));
+  ASSERT_TRUE(Flows.count("o"));
+  EXPECT_EQ(Flows.at("o"), (std::set<uint16_t>{3}));
+  ASSERT_TRUE(Flows.count("w"));
+  EXPECT_EQ(Flows.at("w"), (std::set<uint16_t>{1}));
+  // A constant store carries no parameter provenance.
+  EXPECT_TRUE(!Flows.count("z") || Flows.at("z").empty());
+}

@@ -628,3 +628,127 @@ TEST(StackShapes, NonVerifyingMethodYieldsNothing) {
   auto Shapes = computeStackShapes(Set, Cls, *Cls.findMethod("m"));
   EXPECT_TRUE(Shapes.empty());
 }
+
+namespace {
+
+/// One table-driven computeStackShapes case: a method body plus the
+/// expected shape at selected pcs. nullopt expects an unreachable pc.
+struct ShapeCase {
+  const char *Name;
+  const char *Sig;
+  std::function<void(MethodBuilder &, ClassSet &)> Build;
+  std::vector<std::pair<size_t, std::optional<StackShape>>> Expect;
+};
+
+void addSiblingClasses(ClassSet &Set) {
+  Set.add(ClassBuilder("Base").build());
+  Set.add(ClassBuilder("LeafA", "Base").build());
+  Set.add(ClassBuilder("LeafB", "Base").build());
+}
+
+} // namespace
+
+/// Unreachable-block joins and back-edge widening: the analyzer trusts
+/// these shapes when it checks ActiveMethodMapping pc maps, so the join
+/// rules get pinned down case by case. Back-edge cases seed a loop-carried
+/// stack slot with one type and feed a different one around the back edge;
+/// the fixpoint must revisit the loop head and publish the widened merge
+/// (null ∪ T = T, siblings = common super, mismatched arrays = Object),
+/// not the first-visit shape.
+TEST(StackShapes, JoinAndBackEdgeTable) {
+  const std::vector<ShapeCase> Cases = {
+      {"join-skips-unreachable-pred", "()V",
+       [](MethodBuilder &M, ClassSet &) {
+         // pc2 falls through into the join but is itself unreachable: the
+         // join shape must come from the jump alone, not a bottom merge.
+         M.iconst(1).jump("end").iconst(9).label("end").pop().ret();
+       },
+       {{0, StackShape{}},
+        {1, StackShape{"int"}},
+        {2, std::nullopt},
+        {3, StackShape{"int"}},
+        {4, StackShape{}}}},
+
+      {"whole-loop-unreachable", "(I)V",
+       [](MethodBuilder &M, ClassSet &) {
+         // A complete loop (including its back edge) behind a ret: no pc
+         // in it gets a shape, and the back edge must not resurrect it.
+         M.ret();
+         M.label("top").load(0).branch(Opcode::IfEq, "top").ret();
+       },
+       {{0, StackShape{}},
+        {1, std::nullopt},
+        {2, std::nullopt},
+        {3, std::nullopt}}},
+
+      {"back-edge-stable-shape", "(I)V",
+       [](MethodBuilder &M, ClassSet &) {
+         // Back-edge state equals the first-visit state: one pass
+         // converges and the loop head keeps its seeded shape.
+         M.label("top").load(0).branch(Opcode::IfNe, "top").ret();
+       },
+       {{0, StackShape{}}, {1, StackShape{"int"}}, {2, StackShape{}}}},
+
+      {"back-edge-widens-null-to-class", "(I)V",
+       [](MethodBuilder &M, ClassSet &) {
+         // Loop-carried slot is null on entry, a T around the back edge.
+         M.nullconst();
+         M.label("top").load(0).branch(Opcode::IfEq, "done");
+         M.pop().newobj("T").jump("top");
+         M.label("done").pop().ret();
+       },
+       {{1, StackShape{"T"}},
+        {2, StackShape{"T", "int"}},
+        {6, StackShape{"T"}}}},
+
+      {"back-edge-widens-siblings-to-super", "(I)V",
+       [](MethodBuilder &M, ClassSet &Set) {
+         addSiblingClasses(Set);
+         // LeafA on entry, LeafB around the back edge: the head must
+         // republish the common supertype once the fixpoint settles.
+         M.newobj("LeafA");
+         M.label("top").load(0).branch(Opcode::IfEq, "done");
+         M.pop().newobj("LeafB").jump("top");
+         M.label("done").pop().ret();
+       },
+       {{1, StackShape{"Base"}},
+        {2, StackShape{"Base", "int"}},
+        {6, StackShape{"Base"}}}},
+
+      {"back-edge-widens-mismatched-arrays", "(I)V",
+       [](MethodBuilder &M, ClassSet &) {
+         // [I on entry, [LT; around the back edge: arrays of different
+         // element types merge to Object, and downstream pcs see it.
+         M.iconst(4).newarray("I");
+         M.label("top").load(0).branch(Opcode::IfEq, "done");
+         M.pop().iconst(4).newarray("LT;").jump("top");
+         M.label("done").pop().ret();
+       },
+       {{1, StackShape{"int"}},
+        {2, StackShape{"Object"}},
+        {3, StackShape{"Object", "int"}},
+        {8, StackShape{"Object"}}}},
+  };
+
+  for (const ShapeCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    ClassSet Set;
+    ClassBuilder CB("T");
+    MethodBuilder &M = CB.staticMethod("m", C.Sig);
+    C.Build(M, Set);
+    Set.add(CB.build());
+    ensureBuiltins(Set);
+    const ClassDef &Cls = *Set.find("T");
+    ASSERT_TRUE(Verifier(Set).verifyAll().empty());
+    auto Shapes = computeStackShapes(Set, Cls, *Cls.findMethod("m"));
+    ASSERT_FALSE(Shapes.empty());
+    for (const auto &[Pc, Want] : C.Expect) {
+      SCOPED_TRACE("pc " + std::to_string(Pc));
+      ASSERT_LT(Pc, Shapes.size());
+      ASSERT_EQ(Shapes[Pc].has_value(), Want.has_value());
+      if (Want) {
+        EXPECT_EQ(*Shapes[Pc], *Want);
+      }
+    }
+  }
+}
