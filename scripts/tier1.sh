@@ -87,6 +87,14 @@ rm -f "$TRACE_OUT"
 # themselves under this variable.
 JVOLVE_LAZY=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Code-versioning pass: the suite again with every strictly body-only
+# bundle committed through the per-method CodeVersionManager
+# (dsu/CodeVersion.h) instead of the safe-point pipeline. Class-shape
+# updates are unaffected, so the safe-point suites keep their meaning;
+# tests that assert pipeline mechanics on body-only bundles skip
+# themselves under this variable.
+JVOLVE_CODEVERSION=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
 # Streaming pass: the suite a fourth time with the whole streaming
 # pipeline live in every VM — a JSONL session (per-thread buffers, the
 # background writer, drop accounting) plus 2000-tick windowed
@@ -192,6 +200,22 @@ rm -f "$EAGER_JSON" "$CANARY_JSON"
 # chaos-report.py re-applies the gate to the stored JSON report, and
 # metrics-diff asserts the fault.coverage.{probes,covered} gauges made
 # it into the snapshot unchanged.
+# Body-only commit-pause gate: the versioned active-version switch must
+# beat the safe-point pipeline at every heap size, stay ~zero (<= 2 ms),
+# and stay flat while the safe-point pause grows with the heap — the
+# binary exits 1 on any violated relation.
+build/bench/bench_codeversion --check
+rm -f BENCH_codeversion.json
+
+# Code-versioning observability: a --codeversion serve run must publish
+# the dsu.codeversion.* gauge family. The gauges are deliberately not
+# preregistered — their presence proves the versioned commit path ran.
+CV_JSON="$(mktemp /tmp/jvolve-tier1-codeversion.XXXXXX.json)"
+build/tools/jvolve-serve email --codeversion --metrics-out "$CV_JSON" > /dev/null
+scripts/metrics-diff.py "$CV_JSON" "$CV_JSON" \
+  --require 'dsu.codeversion.*' > /dev/null
+rm -f "$CV_JSON"
+
 CHAOS_JSON="$(mktemp /tmp/jvolve-tier1-chaos.XXXXXX.json)"
 CHAOS_REPORT="$(mktemp /tmp/jvolve-tier1-chaosrep.XXXXXX.json)"
 build/tools/jvolve-chaos --first-order --check --json \

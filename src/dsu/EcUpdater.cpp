@@ -2,13 +2,15 @@
 
 #include "bytecode/Builtins.h"
 #include "bytecode/Verifier.h"
+#include "dsu/CodeVersion.h"
 
 #include <cassert>
 
 using namespace jvolve;
 
 bool EcUpdater::apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
-                      std::string *WhyNot) {
+                      std::string *WhyNot, UpdateTrace *Trace,
+                      const std::string &VersionTag) {
   auto Fail = [&](const std::string &Msg) {
     if (WhyNot)
       *WhyNot = Msg;
@@ -25,7 +27,13 @@ bool EcUpdater::apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
   if (!verifies(Program))
     return Fail("new version fails verification");
 
+  // Route every swap through the per-method version chains: the manager
+  // archives the superseded bodies (so a later install of the parent body
+  // pops the chain instead of growing it), invalidates callers that
+  // inlined a swapped body, and commits the batch as one atomic
+  // active-version switch — HotSwap semantics without losing the history.
   ClassRegistry &Reg = TheVM.registry();
+  std::vector<CodeVersionManager::BodyUpdate> Updates;
   for (const MethodRef &R : Spec.MethodBodyUpdates) {
     ClassId Cls = Reg.idOf(R.ClassName);
     assert(Cls != InvalidClassId && "body update on unknown class");
@@ -34,25 +42,12 @@ bool EcUpdater::apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
     const ClassDef *NewCls = Program.find(R.ClassName);
     const MethodDef *NewBody = NewCls->findMethod(R.Name, R.Sig);
     assert(NewBody && "method missing from new version");
-    Reg.setMethodBody(Id, *NewBody);
+    Updates.push_back({Id, NewBody, R.ClassName + "." + R.Name + R.Sig});
   }
-
-  // HotSwap-style: callers that inlined an updated body must recompile.
-  std::set<MethodId> Changed;
-  for (const MethodRef &R : Spec.MethodBodyUpdates) {
-    ClassId Cls = Reg.idOf(R.ClassName);
-    Changed.insert(Reg.resolveMethod(Cls, R.Name, R.Sig));
-  }
-  for (MethodId Id = 0; Id < Reg.numMethods(); ++Id) {
-    RtMethod &M = Reg.method(Id);
-    if (!M.Code)
-      continue;
-    for (MethodId Inl : M.Code->Inlined)
-      if (Changed.count(Inl)) {
-        Reg.invalidateCode(Id);
-        break;
-      }
-  }
+  std::string Why;
+  if (!CodeVersionManager::of(TheVM).installBodySet(Updates, VersionTag,
+                                                    Trace, &Why))
+    return Fail(Why);
 
   TheVM.setProgram(Program);
   return true;

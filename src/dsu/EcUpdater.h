@@ -22,6 +22,8 @@
 
 namespace jvolve {
 
+class UpdateTrace;
+
 /// Method-body-only dynamic updating.
 class EcUpdater {
 public:
@@ -36,11 +38,18 @@ public:
   }
 
   /// Applies a strictly body-only update (no class-signature changes at
-  /// all): swaps bytecode and invalidates compiled code, HotSwap-style.
-  /// Active invocations keep running the old bodies. \returns false (with
-  /// \p WhyNot) when the spec is outside even this restricted model.
+  /// all) through the CodeVersionManager (dsu/CodeVersion.h): each body
+  /// lands in the method's version chain and one atomic active-version
+  /// switch commits the batch — no safe point, no DSU collection. Active
+  /// invocations keep running the old bodies (stale frames of the prior
+  /// version). \returns false (with \p WhyNot) when the spec is outside
+  /// even this restricted model, or when the codeversion-install fault
+  /// fired (the prior active versions keep serving). \p Trace, when
+  /// non-null, receives the manager's codeversion-* events; \p VersionTag
+  /// labels the installed chain nodes.
   bool apply(const ClassSet &NewProgram, const UpdateSpec &Spec,
-             std::string *WhyNot = nullptr);
+             std::string *WhyNot = nullptr, UpdateTrace *Trace = nullptr,
+             const std::string &VersionTag = "ec");
 
 private:
   VM &TheVM;

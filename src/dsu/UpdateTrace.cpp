@@ -46,6 +46,9 @@ const char *jvolve::updateEventKindName(UpdateEventKind K) {
   case UpdateEventKind::RevertStarted: return "revert-started";
   case UpdateEventKind::Reverted: return "reverted";
   case UpdateEventKind::RevertFailed: return "revert-failed";
+  case UpdateEventKind::CodeVersionInstalled: return "codeversion-installed";
+  case UpdateEventKind::CodeVersionSwitched: return "codeversion-switched";
+  case UpdateEventKind::CodeVersionReverted: return "codeversion-reverted";
   }
   unreachable("bad update event kind");
 }

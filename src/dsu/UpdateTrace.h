@@ -55,6 +55,9 @@ enum class UpdateEventKind : uint8_t {
   RevertStarted,    ///< reverse update scheduled through the pipeline
   Reverted,         ///< old versions reinstalled; heap converged
   RevertFailed,     ///< the reverse update could not be applied
+  CodeVersionInstalled, ///< body set installed via version chains, no pause
+  CodeVersionSwitched,  ///< active-version switch committed (epoch bumped)
+  CodeVersionReverted,  ///< chains popped to the prior active versions
 };
 
 const char *updateEventKindName(UpdateEventKind K);

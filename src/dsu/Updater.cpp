@@ -130,6 +130,14 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
     if (Lazy[0] && Lazy[0] != '0')
       Opts.LazyTransform = true;
 
+  // JVOLVE_CODEVERSION=1 routes every strictly body-only update through
+  // the per-method code-version manager — the environment counterpart of
+  // UpdateOptions::CodeVersioning (tier1.sh runs the suite in this mode).
+  // Bundles with class-shape changes are unaffected.
+  if (const char *CV = std::getenv("JVOLVE_CODEVERSION"))
+    if (CV[0] && CV[0] != '0')
+      Opts.CodeVersioning = true;
+
   // A canary revert completes whole or not at all: the reverse update is
   // always eager, even when the environment forces lazy commits.
   if (auto *Canary = static_cast<CanaryController *>(TheVM.canary());
@@ -222,6 +230,21 @@ void Updater::schedule(UpdateBundle InBundle, UpdateOptions InOpts) {
   if (Opts.CanaryWindow.enabled()) {
     CanaryPreProgram = TheVM.program();
     CanaryBaseline = CanaryHealthSample::take(TheVM);
+  }
+
+  // Body-only fast path (CodeVersioning option): a bundle that touches
+  // nothing but method bodies — no class-shape changes, no removed
+  // methods — needs neither a safe point nor a DSU collection. The
+  // CodeVersionManager commits it synchronously, right here, as one
+  // atomic active-version switch; anything touching class shape falls
+  // through to the full five-step pipeline below.
+  if (Opts.CodeVersioning && Bundle.Spec.ClassUpdates.empty() &&
+      Bundle.Spec.AddedClasses.empty() &&
+      Bundle.Spec.DeletedClasses.empty() &&
+      Bundle.Spec.RemovedMethods.empty() &&
+      !Bundle.Spec.MethodBodyUpdates.empty()) {
+    installVersioned();
+    return;
   }
 
   bumpDsuCounter(metrics::DsuUpdatesScheduled);
@@ -846,6 +869,77 @@ void Updater::install(const std::vector<Frame *> &OsrFrames,
     armCanary();
   finish(UpdateStatus::Applied, "update applied");
   TheVM.resumeAfterYield();
+}
+
+void Updater::installVersioned() {
+  // Same clock discipline as install(): spans tile the (tiny) pause.
+  PhaseClock.reset();
+  LastPhaseMark = 0;
+  bumpDsuCounter(metrics::DsuUpdatesScheduled);
+  ScheduleTick = TheVM.scheduler().ticks();
+  Result.Trace.record(UpdateEventKind::Scheduled, ScheduleTick, 0,
+                      "body-only bundle: versioned install, no safe point");
+
+  std::string Why;
+  bool Ok = EcUpdater(TheVM).apply(Bundle.NewProgram, Bundle.Spec, &Why,
+                                   &Result.Trace, Bundle.VersionTag);
+  markPhase("codeversion",
+            static_cast<int64_t>(Bundle.Spec.MethodBodyUpdates.size()),
+            Ok ? "active-version switch committed" : Why);
+
+  // A versioned commit never touches the heap — no allocation, no moved
+  // objects, no transformed fields — so certification checks the structure
+  // it did mutate: the registry's class/method metadata. The full-heap
+  // walk stays with the pipeline whose collection and transformers need
+  // it; that walk is precisely the heap-scaling pause component a
+  // body-only update exists to avoid.
+  auto CertifyRegistry = [&] {
+    Stopwatch Timer;
+    std::vector<std::string> Problems = TheVM.registry().checkConsistency();
+    Result.CertifyMs = Timer.elapsedMs();
+    Result.Certified = Problems.empty();
+    Result.CertificationProblems = Problems;
+    Result.Trace.record(UpdateEventKind::Certified,
+                        TheVM.scheduler().ticks(),
+                        static_cast<int64_t>(Problems.size()),
+                        Problems.empty()
+                            ? "registry consistent (heap untouched)"
+                            : Problems.front());
+    markPhase("certify", static_cast<int64_t>(Problems.size()));
+  };
+
+  if (!Ok) {
+    // The manager unwound the partially-swapped batch and the epoch never
+    // advanced — the prior active versions are still serving, so this is
+    // already a completed rollback.
+    Result.Trace.record(UpdateEventKind::InstallFailed,
+                        TheVM.scheduler().ticks(), 0, Why);
+    bumpDsuCounter(metrics::DsuUpdatesRolledBack);
+    if (Opts.CertifyAfterUpdate)
+      CertifyRegistry();
+    Result.TotalPauseMs = PhaseClock.elapsedMs();
+    Result.Trace.record(UpdateEventKind::RolledBack,
+                        TheVM.scheduler().ticks(), 0, Why);
+    recordTotalPause(TheVM, Result.TotalPauseMs, "rolled-back");
+    finish(UpdateStatus::RolledBack, "update rolled back (" + Why + ")");
+    return;
+  }
+
+  Result.CodeVersioned = true;
+  Result.CodeVersionedMethods =
+      static_cast<int>(Bundle.Spec.MethodBodyUpdates.size());
+  if (Opts.CertifyAfterUpdate)
+    CertifyRegistry();
+  Result.TotalPauseMs = PhaseClock.elapsedMs();
+  Result.TicksToSafePoint = 0; // no safe point was ever sought
+  Result.Trace.record(UpdateEventKind::Applied, TheVM.scheduler().ticks(), 0,
+                      std::to_string(Result.TotalPauseMs) +
+                          " ms total pause (versioned, no safe point)");
+  bumpDsuCounter(metrics::DsuUpdatesApplied);
+  recordTotalPause(TheVM, Result.TotalPauseMs, "applied");
+  if (Opts.CanaryWindow.enabled())
+    armCanary();
+  finish(UpdateStatus::Applied, "update applied (code-versioned)");
 }
 
 void Updater::rollback(const ClassRegistry::RegistrySnapshot &RegSnap,

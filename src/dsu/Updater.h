@@ -133,6 +133,16 @@ struct UpdateOptions {
   /// automatically reverts the update through the normal pipeline on a
   /// breach. Disabled by default.
   CanaryPolicy CanaryWindow;
+  /// Per-method code versioning (dsu/CodeVersion.h): a strictly body-only
+  /// bundle — no class/field/signature changes, no removed methods, the
+  /// same shape EcUpdater::supports certifies and the analyzer's EC
+  /// verdict identifies — commits through the CodeVersionManager: one
+  /// atomic active-version switch observed at the existing call-entry and
+  /// back-edge poll points, no VM-wide safe point, no DSU collection.
+  /// Bundles with class-shape changes ignore this flag and take the full
+  /// stop-the-world pipeline. JVOLVE_CODEVERSION=1 forces this on for
+  /// every scheduled update.
+  bool CodeVersioning = false;
 };
 
 /// Everything measured while applying one update.
@@ -200,6 +210,13 @@ struct UpdateResult {
   /// Canary mode (CanaryWindow option): the commit armed an observation
   /// window on the VM; query VM::canary() for its progress and outcome.
   bool CanaryArmed = false;
+
+  /// Code-versioning fast path (CodeVersioning option): the bundle was
+  /// strictly body-only and committed through the CodeVersionManager —
+  /// SafePointAttempts stays 0 and TotalPauseMs measures only the
+  /// per-method switch, independent of heap size.
+  bool CodeVersioned = false;
+  int CodeVersionedMethods = 0;
 
   /// Structured event log of the whole update lifecycle.
   UpdateTrace Trace;
@@ -292,6 +309,13 @@ private:
   /// false when no applicable subset exists (the ladder falls through to
   /// Abort).
   bool degrade(uint64_t Now);
+  /// Code-versioning fast path (CodeVersioning option): commits a strictly
+  /// body-only bundle through the CodeVersionManager, synchronously inside
+  /// schedule() — no safe-point hunt, no hooks, no snapshot. Resolves the
+  /// update Applied (or RolledBack when the codeversion-install fault
+  /// unwound the batch).
+  void installVersioned();
+
   /// Begins/ends the DrainNetwork window around a pending update.
   void beginDrain();
   void endDrain();

@@ -99,6 +99,14 @@ struct CompiledMethod {
   /// code is bit-identical to code that never saw a lazy update.
   bool LazyBarriers = false;
 
+  /// Set by the CodeVersionManager (dsu/CodeVersion.h) when a versioned
+  /// body-only install replaced this body: frames still holding this code
+  /// finish on it (their shared_ptr keeps it alive), but new invocations
+  /// dispatch to the active version. The interpreter reports a frame's
+  /// return through a superseded body so the manager's stale-frame gauge
+  /// can drain to zero — the rejit-generation bookkeeping.
+  bool Superseded = false;
+
   bool references(ClassId Id) const {
     for (ClassId C : ReferencedClasses)
       if (C == Id)

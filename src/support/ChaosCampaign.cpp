@@ -48,6 +48,8 @@ std::string ScenarioSpec::str() const {
     Out += " lazy";
   if (Canary)
     Out += " canary";
+  if (CodeVersion)
+    Out += " codeversion";
   if (Version)
     Out += " version=" + std::to_string(Version);
   Out += " warm=" + std::to_string(WarmTicks) +
@@ -86,7 +88,18 @@ const AppModel &appFor(const std::string &Stream) {
 /// The per-stream default target version: the release whose update
 /// exercises the most pipeline machinery under fault (class loads, object
 /// transformers, a DSU collection) while still expecting to apply.
-size_t defaultVersionFor(const std::string &Stream) {
+size_t defaultVersionFor(const std::string &Stream, bool CodeVersion) {
+  if (CodeVersion) {
+    // The code-version fast path only takes strictly body-only releases;
+    // pick each stream's first one so the path (and its
+    // codeversion-install probe points) actually runs.
+    if (Stream == "email")
+      return 1; // 1.2.2: method-body changes only
+    if (Stream == "jetty")
+      return 8; // 5.1.8: the stream's first strictly body-only release
+    fatalError("crossftp has no body-only release for a codeversion "
+               "scenario");
+  }
   if (Stream == "email")
     return 6; // 1.3.2: custom transformers + field add/delete (needs OSR)
   if (Stream == "jetty")
@@ -146,7 +159,9 @@ jvolve::runScenario(const ScenarioSpec &Spec,
   for (const ChaosFault &F : Spec.Faults)
     TheVM.faults().arm(F.Where, F.Fire, F.Skip);
 
-  size_t Ver = Spec.Version ? Spec.Version : defaultVersionFor(Spec.Stream);
+  size_t Ver = Spec.Version
+                   ? Spec.Version
+                   : defaultVersionFor(Spec.Stream, Spec.CodeVersion);
   if (Ver < 1 || Ver >= App.numVersions())
     fatalError("chaos scenario version " + std::to_string(Ver) +
                " out of range for " + Spec.Stream + " (1.." +
@@ -174,6 +189,7 @@ jvolve::runScenario(const ScenarioSpec &Spec,
   UpdateOptions Opts;
   Opts.TimeoutTicks = 20'000;
   Opts.LazyTransform = Spec.Lazy;
+  Opts.CodeVersioning = Spec.CodeVersion;
   if (Spec.Canary) {
     Opts.CanaryWindow.WindowTicks = std::max<uint64_t>(Spec.SettleTicks, 200);
     Opts.CanaryWindow.CheckIntervalTicks =
@@ -480,11 +496,14 @@ struct ModeCombo {
   std::string Stream;
   bool Lazy = false;
   bool Canary = false;
+  bool CodeVersion = false;
 
   std::string label() const {
     std::string Out = Stream + (Lazy ? " lazy" : " eager");
     if (Canary)
       Out += "+canary";
+    if (CodeVersion)
+      Out += "+codeversion";
     return Out;
   }
 };
@@ -495,6 +514,8 @@ std::string makeReproducer(const ScenarioSpec &Spec) {
     Cmd += " --lazy";
   if (Spec.Canary)
     Cmd += " --canary";
+  if (Spec.CodeVersion)
+    Cmd += " --codeversion";
   if (Spec.Version)
     Cmd += " --version " + std::to_string(Spec.Version);
   Cmd += " --warm " + std::to_string(Spec.WarmTicks) + " --settle " +
@@ -582,6 +603,13 @@ jvolve::runCampaign(const CampaignOptions &Opts,
         Combos.push_back({Stream, LazyMode == 1, CanaryMode == 1});
       }
     }
+  // One code-versioned combo per stream: eager, canary-off, targeting the
+  // stream's body-only release so the codeversion-install site enumerates.
+  if (Opts.CodeVersion)
+    for (const std::string &Stream : Opts.Streams)
+      if (Stream != "crossftp") // no body-only release
+        Combos.push_back({Stream, /*Lazy=*/false, /*Canary=*/false,
+                          /*CodeVersion=*/true});
 
   auto Record = [&](const ScenarioSpec &Spec, const ModeCombo &Combo,
                     const ScenarioResult &Res) {
@@ -612,7 +640,10 @@ jvolve::runCampaign(const CampaignOptions &Opts,
     Base.Stream = Combo.Stream;
     Base.Lazy = Combo.Lazy;
     Base.Canary = Combo.Canary;
-    Base.Version = Opts.Version;
+    Base.CodeVersion = Combo.CodeVersion;
+    // A campaign-wide --version targets the full-pipeline combos only; a
+    // codeversion combo must stay on its body-only default release.
+    Base.Version = Combo.CodeVersion ? 0 : Opts.Version;
     Base.WarmTicks = Opts.WarmTicks;
     Base.SettleTicks = Opts.SettleTicks;
     Base.Requests = Opts.Requests;

@@ -64,6 +64,12 @@ struct ScenarioSpec {
   std::string Stream = "email"; ///< email | jetty | crossftp
   bool Lazy = false;            ///< commit through the lazy engine
   bool Canary = false;          ///< arm a post-commit canary window
+  /// Commit through the per-method code-version manager
+  /// (UpdateOptions::CodeVersioning). Only meaningful with a body-only
+  /// target release; when Version is 0 the default switches to the
+  /// stream's body-only release (email 1.2.2, jetty 5.1.1) so the fast
+  /// path — and its codeversion-install fault site — actually runs.
+  bool CodeVersion = false;
   /// Target version index: the scenario boots version(Version-1) and
   /// updates to version(Version). 0 picks the per-stream default — the
   /// release that exercises the most machinery (email 1.3.2: transformers
@@ -183,6 +189,11 @@ struct CampaignOptions {
   bool Lazy = false;
   bool CanaryOff = true;
   bool CanaryOn = false;
+  /// Adds one eager, canary-off combo per stream that commits the stream's
+  /// body-only release through the code-version manager, so the
+  /// codeversion-install probe points get enumerated (crossftp has no
+  /// body-only release and is skipped).
+  bool CodeVersion = true;
   bool FirstOrder = true;
   bool SecondOrder = false;
   /// Target version index forwarded into every ScenarioSpec (0 = the

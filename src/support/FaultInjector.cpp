@@ -36,6 +36,7 @@ const char *FaultInjector::siteName(Site S) {
   case Site::BundleTruncated: return "bundle-truncated";
   case Site::TelemetryWriterStall: return "telemetry-writer-stall";
   case Site::SynthTransformerField: return "synth-transformer-field";
+  case Site::CodeVersionInstall: return "codeversion-install";
   }
   unreachable("bad fault site");
 }

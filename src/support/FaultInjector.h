@@ -41,6 +41,11 @@
 ///                          the synthesized transformer throws when it
 ///                          first runs — rollback when eager, degraded
 ///                          when lazy
+///   codeversion-install    a per-method versioned body install fails
+///                          mid-chain; the manager unwinds the already-
+///                          swapped methods of the batch so the prior
+///                          active versions keep serving (no partial
+///                          switch ever becomes observable)
 ///
 /// The list above is generated from the same registry the code uses:
 /// allSites()/allSiteNames() is the single source of truth for tool usage
@@ -77,8 +82,9 @@ public:
     BundleTruncated,
     TelemetryWriterStall,
     SynthTransformerField,
+    CodeVersionInstall,
   };
-  static constexpr size_t NumSites = 13;
+  static constexpr size_t NumSites = 14;
 
   /// One counter per registered site, indexed by Site enumeration order.
   /// The chaos campaign's recording mode snapshots probe/fire counts into

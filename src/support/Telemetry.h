@@ -160,6 +160,23 @@ inline constexpr const char *DsuRevertFailed = "dsu.revert.failed";
 /// completed (0 when the revert converged).
 inline constexpr const char *DsuRevertResidualNewObjects =
     "dsu.revert.residual_new_objects";
+// dsu/CodeVersion (per-method code versioning; see docs/INTERNALS.md §19)
+/// Gauges — deliberately not preregistered (like dsu.revert.completed):
+/// their presence in a snapshot proves a versioned install ran, which
+/// tier1's `metrics-diff.py --require 'dsu.codeversion.*'` gate asserts.
+/// Method bodies installed through versioned (pause-free) installs.
+inline constexpr const char *DsuCodeVersionInstalls =
+    "dsu.codeversion.installs";
+/// Active-version switches committed (one per body-set install or
+/// revert pop — the epoch value threads poll against).
+inline constexpr const char *DsuCodeVersionSwitches =
+    "dsu.codeversion.switches";
+/// Methods with a live version chain (>= one archived version).
+inline constexpr const char *DsuCodeVersionChains = "dsu.codeversion.chains";
+/// In-flight frames still executing a superseded body; drains to zero as
+/// each finishes on its old version (rejit-generation semantics).
+inline constexpr const char *DsuCodeVersionStaleFrames =
+    "dsu.codeversion.stale_frames";
 // vm/Network (update-time traffic draining)
 inline constexpr const char *NetShedTotal = "net.shed_total";
 inline constexpr const char *NetDrains = "net.drains";
@@ -198,7 +215,7 @@ inline constexpr const char *FaultCoverageCovered =
 
 /// Update-phase histogram name: `dsu.update.phase_ms{phase=<Phase>}`.
 /// Phases: snapshot, classload, stack_repair, gc, transform, certify,
-/// rollback, total.
+/// rollback, codeversion, total.
 std::string dsuPhaseMs(const std::string &Phase);
 
 /// Fault-firing counter name: `dsu.faults.fired{site=<Site>}`.

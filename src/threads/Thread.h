@@ -81,6 +81,13 @@ struct VMThread {
   int BlockedConn = -1;   ///< BlockedRecv
   std::string TrapMessage;
 
+  /// Last CodeVersionManager epoch this thread observed. Threads resume
+  /// only at yield points (call entry / loop back edges / returns), so the
+  /// scheduler comparing this against the manager's epoch before each
+  /// quantum *is* the per-method active-version poll — no flag test inside
+  /// the hot interpreter loop (see dsu/CodeVersion.h).
+  uint64_t CodeEpoch = 0;
+
   /// Value returned by the outermost frame (tests and callStatic use this).
   Slot ExitValue;
   bool HasExitValue = false;

@@ -40,7 +40,12 @@ bool Interpreter::doReturn(VMThread &T, bool HasValue) {
     Ret = F.Stack.back();
   }
   bool Barrier = F.ReturnBarrier;
+  bool Stale = F.Code && F.Code->Superseded;
   T.Frames.pop_back();
+  if (Stale)
+    // An in-flight activation of a versioned-out body just completed on
+    // its old version; the CodeVersionManager drains its stale-frame gauge.
+    TheVM.onStaleFrameReturned();
 
   if (T.Frames.empty()) {
     T.State = ThreadState::Finished;

@@ -73,8 +73,12 @@ static void preregisterStandardMetrics() {
         metrics::NetDrainMs, metrics::NetLatencyTicks})
     Tel.histogram(H);
   for (const char *Phase : {"snapshot", "classload", "stack_repair", "gc",
-                            "transform", "certify", "rollback"})
+                            "transform", "certify", "rollback", "codeversion"})
     Tel.histogram(metrics::dsuPhaseMs(Phase));
+  // The dsu.codeversion.* gauges follow the dsu.revert.completed precedent:
+  // they are NOT preregistered, so their presence in a snapshot proves a
+  // versioned body-only install actually ran — what tier1's
+  // `metrics-diff.py --require 'dsu.codeversion.*'` asserts.
 }
 
 VM::VM(Config C) : Cfg(C) {
@@ -223,6 +227,13 @@ VM::RunResult VM::run(uint64_t MaxTicks) {
       Sched.setTicks(std::max(Wake, Sched.ticks()));
       continue;
     }
+
+    // Active-version poll: the thread is at a yield point (it was parked,
+    // blocked, or between quanta — never mid-loop), so observing a code-
+    // version switch here is the call-entry / back-edge poll the manager's
+    // handshake-free install relies on.
+    if (CodeVers && T->CodeEpoch != CodeVers->epoch())
+      CodeVers->onThreadPoll(*T, Sched.ticks());
 
     uint64_t Budget = std::min<uint64_t>(Cfg.Quantum, End - Sched.ticks());
     // Threads spawned before the session opened get their buffer at their

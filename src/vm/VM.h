@@ -98,6 +98,33 @@ public:
   virtual void onHeapMoved() = 0;
 };
 
+/// VM-side view of the DSU per-method code-version manager
+/// (dsu/CodeVersion.h), mirroring VmLazyEngine/VmCanary: the VM owns the
+/// manager through this interface so the core VM library stays independent
+/// of the DSU layer. All methods are invoked from the single VM thread.
+class VmCodeVersions {
+public:
+  virtual ~VmCodeVersions() = default;
+
+  /// Monotonic switch generation, bumped once per committed active-version
+  /// switch (install or revert pop). The scheduler compares each thread's
+  /// VMThread::CodeEpoch against this before every quantum — threads only
+  /// resume at yield points (call entry / loop back edges), so that
+  /// comparison is exactly the paper's poll-point observation with no
+  /// per-instruction cost.
+  virtual uint64_t epoch() const = 0;
+
+  /// Scheduler poll: thread \p T is about to run with a stale CodeEpoch.
+  /// The manager records the observation and stamps the thread current;
+  /// the thread's next invocations dispatch to the active versions.
+  virtual void onThreadPoll(VMThread &T, uint64_t Now) = 0;
+
+  /// Interpreter callback: a frame returned through a compiled body that a
+  /// versioned install superseded — one in-flight activation finished on
+  /// its old version (rejit-generation bookkeeping).
+  virtual void onStaleFrameReturn() = 0;
+};
+
 /// Aggregate execution counters (benchmark instrumentation).
 struct VmStats {
   uint64_t InstructionsExecuted = 0;
@@ -363,9 +390,32 @@ public:
   /// with it the observation window — advancing on an otherwise idle VM).
   void installCanary(std::unique_ptr<VmCanary> Ctl);
 
+  //===--------------------------------------------------------------------===//
+  // Per-method code versioning (UpdateOptions::CodeVersioning)
+  //===--------------------------------------------------------------------===//
+
+  /// The live code-version manager, or nullptr. Non-null from the first
+  /// versioned body-only install for the VM's lifetime: version chains
+  /// persist so stacked updates compose and the canary can revert by
+  /// popping to the prior active version.
+  VmCodeVersions *codeVersions() { return CodeVers.get(); }
+
+  /// Adopts the manager built by the first versioned install. Unlike the
+  /// lazy engine and canary it spawns no daemon: switches are observed
+  /// passively at the scheduler's per-quantum epoch poll.
+  void installCodeVersions(std::unique_ptr<VmCodeVersions> Mgr) {
+    CodeVers = std::move(Mgr);
+  }
+
   // Internal: interpreter callbacks.
   void onReturnBarrierFired(VMThread &T);
   void onTrap(VMThread &T, const std::string &Message);
+  /// Interpreter: a frame whose compiled body was superseded by a
+  /// versioned install just returned.
+  void onStaleFrameReturned() {
+    if (CodeVers)
+      CodeVers->onStaleFrameReturn();
+  }
 
 private:
   void pushEntryFrame(VMThread &T, MethodId Method, std::vector<Slot> Args);
@@ -393,6 +443,7 @@ private:
   std::function<void(VMThread &)> ReturnBarrierCallback;
   std::unique_ptr<VmLazyEngine> Lazy;
   std::unique_ptr<VmCanary> CanaryCtl;
+  std::unique_ptr<VmCodeVersions> CodeVers;
   void *DsuHookOwner = nullptr;
   std::vector<std::string> LazyFailureLog;
   bool TransformationInProgress = false;

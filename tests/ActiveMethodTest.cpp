@@ -52,6 +52,9 @@ int64_t probeTotal(VM &TheVM) {
 } // namespace
 
 TEST(ActiveMethod, WithoutMappingTimesOut) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   TheVM.loadProgram(spinnerVersion(1));
   TheVM.spawnThread("Spinner", "run", "()V", {}, "spin", true);
@@ -67,6 +70,9 @@ TEST(ActiveMethod, WithoutMappingTimesOut) {
 }
 
 TEST(ActiveMethod, IdentityMappingReplacesRunningMethod) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   TheVM.loadProgram(spinnerVersion(1));
   TheVM.spawnThread("Spinner", "run", "()V", {}, "spin", true);
@@ -95,6 +101,9 @@ TEST(ActiveMethod, IdentityMappingReplacesRunningMethod) {
 }
 
 TEST(ActiveMethod, ExplicitPcMapForRestructuredBody) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   // New body inserts an extra instruction before the loop counter update,
   // shifting pcs; the explicit map targets the shifted yield points.
   ClassSet V1 = spinnerVersion(1);
@@ -139,6 +148,9 @@ TEST(ActiveMethod, ExplicitPcMapForRestructuredBody) {
 }
 
 TEST(ActiveMethod, FrameTransformerRebuildsLocals) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   // v2 keeps a per-iteration counter in a *new* local slot; the frame
   // transformer seeds it from virtual state.
   ClassSet V1;
@@ -220,6 +232,9 @@ TEST(ActiveMethod, FrameTransformerRebuildsLocals) {
 }
 
 TEST(ActiveMethod, UnmappedParkPcStaysRestricted) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   TheVM.loadProgram(spinnerVersion(1));
   TheVM.spawnThread("Spinner", "run", "()V", {}, "spin", true);

@@ -13,7 +13,19 @@
 #include "bytecode/Builtins.h"
 #include "vm/VM.h"
 
+#include <cstdlib>
+
 namespace jvolve::test {
+
+/// True when JVOLVE_CODEVERSION=1 reroutes every strictly body-only
+/// bundle through the per-method CodeVersionManager. Tests that assert
+/// safe-point pipeline mechanics (barriers, OSR, quiescence, starvation,
+/// pending updates) on body-only bundles skip themselves under it — the
+/// fast path commits such bundles instantly, which is the feature.
+inline bool codeVersionModeForced() {
+  const char *V = std::getenv("JVOLVE_CODEVERSION");
+  return V && *V && *V != '0';
+}
 
 /// A VM with a small heap suitable for unit tests.
 inline VM::Config smallConfig() {

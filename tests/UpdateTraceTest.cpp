@@ -50,6 +50,9 @@ ClassSet traceVersion(int64_t HandleValue, bool ExtraField) {
 } // namespace
 
 TEST(UpdateTrace, ImmediateApplicationNarrative) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   TheVM.loadProgram(traceVersion(1, false));
   Updater U(TheVM);
@@ -70,6 +73,9 @@ TEST(UpdateTrace, ImmediateApplicationNarrative) {
 }
 
 TEST(UpdateTrace, BarrierCycleRecorded) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   ClassSet V1 = traceVersion(1, false);
   ClassSet V2 = traceVersion(1000, false);
@@ -127,6 +133,9 @@ TEST(UpdateTrace, GcAndTransformPhasesRecorded) {
 }
 
 TEST(UpdateTrace, TimeoutNarrative) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   ClassSet V1 = traceVersion(1, false);
   ClassSet V2 = traceVersion(1, false);
@@ -199,6 +208,9 @@ TEST(UpdateTrace, EveryEventKindNamedAndRoundTripsThroughSink) {
 }
 
 TEST(UpdateTrace, RendersReadableLog) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   VM TheVM(smallConfig());
   TheVM.loadProgram(traceVersion(1, false));
   Updater U(TheVM);

@@ -155,6 +155,9 @@ TEST(VmBehavior, MultipleFramesOnOneStackAllOsr) {
 }
 
 TEST(VmBehavior, UpdateWhileThreadBlockedInAccept) {
+  if (codeVersionModeForced())
+    GTEST_SKIP() << "body-only bundle commits through the version chains under "
+                    "JVOLVE_CODEVERSION=1 -- no safe-point protocol to assert";
   // Blocked threads are at safe points by construction; an update applies
   // without waking them, and they resume against the new world.
   auto Version = [](int64_t Bonus) {

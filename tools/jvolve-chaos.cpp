@@ -9,7 +9,7 @@
 ///                [--budget <N>] [--check] [--json] [--no-shrink]
 ///                [--metrics-out <file>]
 ///                [--warm <ticks>] [--settle <ticks>] [--requests <N>]
-///   jvolve-chaos --repro --stream <s> [--lazy] [--canary]
+///   jvolve-chaos --repro --stream <s> [--lazy] [--canary] [--codeversion]
 ///                [--warm <ticks>] [--settle <ticks>] [--requests <N>]
 ///                [--inject <site>[:fire[:skip]][,<spec>...]]
 ///
@@ -73,7 +73,8 @@ void usage() {
       "                    [--metrics-out <file>]\n"
       "                    [--warm <ticks>] [--settle <ticks>] "
       "[--requests <N>] [--version <V>]\n"
-      "       jvolve-chaos --repro --stream <s> [--lazy] [--canary]\n"
+      "       jvolve-chaos --repro --stream <s> [--lazy] [--canary] "
+      "[--codeversion]\n"
       "                    [--warm <ticks>] [--settle <ticks>] "
       "[--requests <N>]\n"
       "                    [--inject <site>[:fire[:skip]][,<spec>...]]\n"
@@ -174,6 +175,11 @@ int main(int argc, char **argv) {
     } else if (Flag == "--canary") {
       Opts.CanaryOn = true;
       ReproSpec.Canary = true;
+    } else if (Flag == "--codeversion") {
+      // Campaigns enumerate the codeversion combo by default; for a repro
+      // this selects the code-versioned commit path (body-only release).
+      Opts.CodeVersion = true;
+      ReproSpec.CodeVersion = true;
     } else if (Flag == "--budget") {
       Opts.Budget = std::strtoull(NeedValue(), nullptr, 10);
     } else if (Flag == "--check") {

@@ -3,7 +3,7 @@
 /// \file
 /// jvolve-run: load a MiniVM assembly program and execute it.
 ///
-///   jvolve-run [--verify-heap] [--metrics[=json|table]]
+///   jvolve-run [--verify-heap] [--metrics[=json|table]] [--codeversion]
 ///              [--trace-out <file>] [--stats-window[=TICKS]]
 ///              [--inject <site>[:fire[:skip]][,<spec>...]]
 ///              program.mvm [Class.method] [ints...]
@@ -21,12 +21,17 @@
 /// exit — the offline twin of `jvolve-serve --stats`. --inject arms one
 /// or more FaultInjector sites (comma-separated site[:fire[:skip]] specs,
 /// the same syntax JVOLVE_INJECT accepts); every malformed entry in the
-/// list is reported before the tool exits.
+/// list is reported before the tool exits. --codeversion installs the
+/// per-method CodeVersionManager (dsu/CodeVersion.h) on the VM and prints
+/// its active-version table at exit — the tool never applies updates, so
+/// the table shows the v0 baseline unless the program's own machinery
+/// installs versions.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
 #include "bytecode/Verifier.h"
+#include "dsu/CodeVersion.h"
 #include "heap/HeapVerifier.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
@@ -53,6 +58,7 @@ static std::string readFile(const char *Path) {
 
 int main(int argc, char **argv) {
   bool VerifyHeap = false;
+  bool CodeVersion = false;
   enum class MetricsMode { Off, Table, Json } Metrics = MetricsMode::Off;
   uint64_t StatsWindowTicks = 0;
   std::string InjectSpecs;
@@ -61,6 +67,8 @@ int main(int argc, char **argv) {
     std::string Flag = argv[1];
     if (Flag == "--verify-heap") {
       VerifyHeap = true;
+    } else if (Flag == "--codeversion") {
+      CodeVersion = true;
     } else if (Flag == "--metrics" || Flag == "--metrics=table") {
       Metrics = MetricsMode::Table;
     } else if (Flag == "--metrics=json") {
@@ -125,6 +133,7 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-run [--verify-heap] [--metrics[=json|table]] "
+                 "[--codeversion] "
                  "[--trace-out <file>] [--stats-window[=TICKS]] "
                  "[--inject <site>[:fire[:skip]][,<spec>...]] "
                  "<program.mvm> [Class.method] [ints]\n");
@@ -181,6 +190,9 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (CodeVersion)
+    CodeVersionManager::of(TheVM); // installs the manager on the VM
+
   ThreadId Main = TheVM.spawnThread(Cls, Method, Sig, Args, "main");
   TheVM.runToCompletion();
 
@@ -217,6 +229,10 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(W.windowsRolled()));
     std::printf("%s", W.table().c_str());
   }
+  if (CodeVersion)
+    std::printf("%s", CodeVersionManager::of(TheVM)
+                          .activeVersionTable()
+                          .c_str());
   Telemetry::global().closeTrace(); // drain + flush the streaming session
 
   VMThread *T = TheVM.scheduler().findThread(Main);

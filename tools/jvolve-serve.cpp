@@ -9,9 +9,17 @@
 /// applied.
 ///
 ///   jvolve-serve jetty|email|crossftp [--trace] [--stats] [--analyze]
-///                [--lazy] [--canary[=<ticks>]] [--revert]
+///                [--lazy] [--codeversion] [--canary[=<ticks>]] [--revert]
 ///                [--trace-out <file>] [--metrics-out <file>]
 ///                [--inject <site>[:fire[:skip]][,<spec>...]] [--admit <N>]
+///
+/// --codeversion commits every strictly body-only release through the
+/// per-method CodeVersionManager (dsu/CodeVersion.h): one atomic
+/// active-version switch, no safe point, no DSU collection — each thread
+/// picks the new bodies up at its next poll point while in-flight frames
+/// finish on their old version. Releases with class-shape changes keep
+/// taking the full pipeline. With --stats, the active-version table
+/// (version chains, epoch, stale frames) prints after every update.
 ///
 /// --lazy commits every update with lazy object transformation
 /// (dsu/LazyTransform.h): the pause covers only the DSU collection and
@@ -85,6 +93,7 @@
 #include "apps/JettyApp.h"
 #include "apps/Workload.h"
 #include "dsu/Canary.h"
+#include "dsu/CodeVersion.h"
 #include "dsu/LazyTransform.h"
 #include "dsu/Updater.h"
 #include "dsu/Upt.h"
@@ -189,7 +198,8 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: jvolve-serve jetty|email|crossftp [--trace] "
-                 "[--stats] [--analyze] [--lazy] [--canary[=<ticks>]] "
+                 "[--stats] [--analyze] [--lazy] [--codeversion] "
+                 "[--canary[=<ticks>]] "
                  "[--revert] [--trace-out <file>] "
                  "[--metrics-out <file>] "
                  "[--inject <site>[:fire[:skip]][,<spec>...]] "
@@ -202,6 +212,7 @@ int main(int argc, char **argv) {
   bool ShowStats = false;
   bool AnalyzeFirst = false;
   bool LazyMode = false;
+  bool CodeVersionMode = false;
   uint64_t CanaryTicks = 0; // 0 = no canary window
   bool WantRevert = false;
   const char *MetricsOut = nullptr;
@@ -220,6 +231,8 @@ int main(int argc, char **argv) {
       AnalyzeFirst = true;
     } else if (std::strcmp(argv[I], "--lazy") == 0) {
       LazyMode = true;
+    } else if (std::strcmp(argv[I], "--codeversion") == 0) {
+      CodeVersionMode = true;
     } else if (std::strncmp(argv[I], "--canary", 8) == 0 &&
                (argv[I][8] == '\0' || argv[I][8] == '=')) {
       CanaryTicks = argv[I][8] == '='
@@ -321,6 +334,7 @@ int main(int argc, char **argv) {
     Opts.DrainNetwork = true;
     Opts.AnalyzeFirst = AnalyzeFirst;
     Opts.LazyTransform = LazyMode;
+    Opts.CodeVersioning = CodeVersionMode;
     if (CanaryTicks > 0) {
       Opts.CanaryWindow.WindowTicks = CanaryTicks;
       Opts.CanaryWindow.CheckIntervalTicks = 500;
@@ -368,6 +382,10 @@ int main(int argc, char **argv) {
         std::printf("  committed lazily: %llu shell(s) untransformed, "
                     "draining behind the read barrier\n",
                     static_cast<unsigned long long>(R.LazyPendingAtCommit));
+      if (R.CodeVersioned)
+        std::printf("  committed through the code-version manager: %d "
+                    "method body(ies), no safe point\n",
+                    R.CodeVersionedMethods);
       Version = V;
     } else {
       std::printf("  %s — still serving %s\n",
@@ -437,8 +455,12 @@ int main(int argc, char **argv) {
       LoadResult Settled = Driver.measure(6'000);
       std::printf("  throughput %.1f resp/ktick\n", Settled.Throughput);
     }
-    if (ShowStats)
+    if (ShowStats) {
       serveStatsRequest(TheVM, Port);
+      if (auto *Versions =
+              static_cast<CodeVersionManager *>(TheVM.codeVersions()))
+        std::printf("%s", Versions->activeVersionTable().c_str());
+    }
   }
 
   Telemetry::global().closeTrace(); // flush any buffered JSONL events
